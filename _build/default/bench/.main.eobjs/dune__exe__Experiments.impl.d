@@ -1,0 +1,1 @@
+bench/experiments.ml: Adaptive Aggregate Array Core Evaluator Factorgraph Format Fun Harness Ie List Marginals Mcmc Parallel_eval Pdb Printf Random Relational String Tuplepdb Unix World

@@ -1,0 +1,1 @@
+bench/harness.ml: Core Evaluator Ie List Marginals Mcmc Parallel_eval Pdb Printf Relational Unix World

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Core Factorgraph Harness Hashtbl Ie Instance List Measure Printf Relational Staged Test Time Toolkit

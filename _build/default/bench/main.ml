@@ -1,0 +1,43 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment, quick scale
+     dune exec bench/main.exe -- e1 e4        # selected experiments
+     dune exec bench/main.exe -- all --full   # paper-leaning sizes (slower)
+
+   Experiment ids follow DESIGN.md §4: e1–e7 map to the paper's figures,
+   a1/a3 are ablations, micro is the Bechamel suite (A2). *)
+
+let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro" ]
+
+let run ~full = function
+  | "e1" -> Experiments.e1 ~full ()
+  | "e2" -> Experiments.e2 ~full ()
+  | "e3" -> Experiments.e3 ~full ()
+  | "e4" -> Experiments.e4 ~full ()
+  | "e5" -> Experiments.e5 ~full ()
+  | "e6" -> Experiments.e6 ~full ()
+  | "e7" -> Experiments.e7 ~full ()
+  | "e8" -> Experiments.e8 ~full ()
+  | "a1" -> Experiments.a1 ()
+  | "a3" -> Experiments.a3 ~full ()
+  | "a4" -> Experiments.a4 ~full ()
+  | "a5" -> Experiments.a5 ~full ()
+  | "a6" -> Experiments.a6 ~full ()
+  | "a7" -> Experiments.a7 ()
+  | "a8" -> Experiments.a8 ~full ()
+  | "micro" -> Micro.run ()
+  | id ->
+    Printf.eprintf "unknown experiment %S (known: %s, all)\n" id (String.concat ", " all_ids);
+    exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let ids = List.filter (fun a -> a <> "--full" && a <> "all") args in
+  let ids = if ids = [] then all_ids else ids in
+  Printf.printf "factor-graph PDB experiment harness (%s scale)\n"
+    (if full then "full" else "quick");
+  let t0 = Unix.gettimeofday () in
+  List.iter (run ~full) ids;
+  Printf.printf "\nall experiments finished in %.1fs\n" (Unix.gettimeofday () -. t0)

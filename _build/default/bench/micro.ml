@@ -1,0 +1,85 @@
+(* A2 — Bechamel micro-benchmarks backing the paper's cost claims:
+
+   - the MH walk-step cost is constant in the database size (§5.3);
+   - delta scoring touches O(degree) factors while full scoring is O(n)
+     (Appendix 9.2);
+   - an incremental view update is orders of magnitude cheaper than
+     re-running the query (§4.2). *)
+
+open Bechamel
+open Toolkit
+
+let run_group name tests =
+  Printf.printf "\n--- %s ---\n%!" name;
+  let grouped = Test.make_grouped ~name tests in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (k, v) ->
+         match Analyze.OLS.estimates v with
+         | Some (t :: _) -> Printf.printf "  %-44s %14.1f ns/run\n%!" k t
+         | Some [] | None -> Printf.printf "  %-44s (no estimate)\n%!" k)
+
+let mh_step_tests () =
+  (* One MH step over NER instances of growing size: the per-step cost must
+     stay flat. *)
+  List.map
+    (fun n ->
+      let inst = Harness.make_instance ~corpus_seed:300 ~chain_seed:1 ~n_tokens:n () in
+      Test.make
+        ~name:(Printf.sprintf "mh-step/%dk-tuples" (n / 1000))
+        (Staged.stage (fun () -> Core.Pdb.walk inst.Harness.pdb ~steps:1)))
+    [ 1_000; 10_000; 100_000 ]
+
+let scoring_tests () =
+  let params = Ie.Crf.default_params () in
+  let tokens =
+    Array.init 2_000 (fun i -> if i mod 97 = 0 then "IBM" else Printf.sprintf "w%d" (i mod 500))
+  in
+  let { Factorgraph.Templates.graph; labels; assignment } =
+    Factorgraph.Templates.unroll_chain ~params ~label_domain:Ie.Labels.domain ~tokens ()
+  in
+  [ Test.make ~name:"score/full-graph-2k-tokens"
+      (Staged.stage (fun () -> Factorgraph.Graph.log_score graph assignment));
+    Test.make ~name:"score/delta-one-flip"
+      (Staged.stage (fun () ->
+           Factorgraph.Graph.delta_log_score graph assignment [ (labels.(500), 1) ])) ]
+
+let view_tests () =
+  let inst = Harness.make_instance ~corpus_seed:301 ~chain_seed:2 ~n_tokens:20_000 () in
+  let db = Core.Pdb.db inst.Harness.pdb in
+  let world = Core.Pdb.world inst.Harness.pdb in
+  let query = Relational.Sql.parse "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'" in
+  let view = Relational.View.create db query in
+  ignore (Core.World.drain_delta world : Relational.Delta.t);
+  [ Test.make ~name:"query/full-rerun-20k"
+      (Staged.stage (fun () -> Relational.Eval.eval db query));
+    Test.make ~name:"query/view-update-100-steps"
+      (Staged.stage (fun () ->
+           Core.Pdb.walk inst.Harness.pdb ~steps:100;
+           let delta = Core.World.drain_delta world in
+           Relational.View.update view delta;
+           Relational.View.result view)) ]
+
+let index_tests () =
+  (* Two identical databases; only one carries the index, so the two tests
+     measure genuinely different plans. *)
+  let scan_q = Relational.Sql.parse "SELECT string FROM TOKEN WHERE doc_id = 7" in
+  let mk () = Core.Pdb.db (Harness.make_instance ~corpus_seed:302 ~chain_seed:3 ~n_tokens:50_000 ()).Harness.pdb in
+  let db_scan = mk () in
+  let db_probe = mk () in
+  Relational.Table.create_index (Relational.Database.table db_probe "TOKEN") "doc_id";
+  [ Test.make ~name:"select/full-scan-50k"
+      (Staged.stage (fun () -> Relational.Eval.eval db_scan scan_q));
+    Test.make ~name:"select/index-probe-50k"
+      (Staged.stage (fun () -> Relational.Eval.eval db_probe scan_q)) ]
+
+let run () =
+  Harness.print_header "A2 / micro-benchmarks (Bechamel)";
+  run_group "mh-step-constant-in-n" (mh_step_tests ());
+  run_group "delta-vs-full-scoring" (scoring_tests ());
+  run_group "view-update-vs-full-query" (view_tests ());
+  run_group "index-probe-vs-scan" (index_tests ())

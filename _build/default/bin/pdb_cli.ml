@@ -1,0 +1,178 @@
+(* Command-line driver for the factor-graph probabilistic database.
+
+   Subcommands:
+     corpus  — generate a synthetic news corpus and print its statistics
+     train   — train the skip-chain CRF with SampleRank and report accuracy
+     query   — evaluate SQL over the probabilistic database by MCMC
+     coref   — run entity resolution over a list of mention strings *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let tokens_arg =
+  Arg.(
+    value
+    & opt int 20_000
+    & info [ "tokens"; "n" ] ~docv:"N" ~doc:"Approximate number of TOKEN tuples.")
+
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let run seed tokens =
+    let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
+    let total = Ie.Corpus.total_tokens docs in
+    Printf.printf "documents: %d\ntokens:    %d\n" (List.length docs) total;
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun { Ie.Corpus.tokens; _ } ->
+        Array.iter
+          (fun { Ie.Corpus.truth; _ } ->
+            let k = Ie.Labels.to_string truth in
+            Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+          tokens)
+      docs;
+    Printf.printf "label distribution (truth):\n";
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort compare
+    |> List.iter (fun (k, v) ->
+           Printf.printf "  %-8s %8d (%5.2f%%)\n" k v (100. *. float_of_int v /. float_of_int total))
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Generate the synthetic news corpus and print statistics.")
+    Term.(const run $ seed_arg $ tokens_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let steps_arg =
+  Arg.(value & opt int 300_000 & info [ "steps" ] ~docv:"K" ~doc:"SampleRank steps.")
+
+let train_cmd =
+  let run seed tokens steps =
+    let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
+    let db = Relational.Database.create () in
+    ignore (Ie.Token_table.load db docs : Relational.Table.t);
+    let world = Core.World.create db in
+    let params = Factorgraph.Params.create () in
+    let crf = Ie.Crf.create ~params world in
+    let t0 = Unix.gettimeofday () in
+    let report = Ie.Training.train ~steps ~rng:(Mcmc.Rng.create (seed + 1)) crf in
+    Printf.printf
+      "steps:            %d\nweight updates:   %d\nfeatures:         %d\ntime:             %.1fs\n"
+      report.Ie.Training.steps report.updates
+      (Factorgraph.Params.cardinal params)
+      (Unix.gettimeofday () -. t0);
+    Printf.printf "token accuracy:   %.3f -> %.3f\n" report.accuracy_before report.accuracy_after
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train the skip-chain CRF with SampleRank.")
+    Term.(const run $ seed_arg $ tokens_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let sql_arg =
+  Arg.(
+    value
+    & opt string "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+    & info [ "sql" ] ~docv:"SQL" ~doc:"Query to evaluate over possible worlds.")
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum [ ("materialized", Core.Evaluator.Materialized); ("naive", Core.Evaluator.Naive) ]
+  in
+  Arg.(
+    value
+    & opt strategy_conv Core.Evaluator.Materialized
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Evaluator: $(b,materialized) or $(b,naive).")
+
+let samples_arg =
+  Arg.(value & opt int 200 & info [ "samples" ] ~docv:"S" ~doc:"Worlds to sample.")
+
+let thin_arg =
+  Arg.(value & opt int 1_000 & info [ "thin"; "k" ] ~docv:"K" ~doc:"MH steps between samples.")
+
+let top_arg =
+  Arg.(value & opt int 20 & info [ "top" ] ~docv:"T" ~doc:"Answer tuples to print.")
+
+let query_cmd =
+  let run seed tokens sql strategy samples thin top =
+    let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
+    let db = Relational.Database.create () in
+    ignore (Ie.Token_table.load db docs : Relational.Table.t);
+    let world = Core.World.create db in
+    let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
+    let rng = Mcmc.Rng.create (seed + 2) in
+    let proposal = Ie.Proposals.batched_flip ~rng crf in
+    let pdb = Core.Pdb.create ~world ~proposal ~rng in
+    let t0 = Unix.gettimeofday () in
+    let m =
+      Core.Evaluator.evaluate_sql ~burn_in:(4 * tokens) strategy pdb ~sql ~thin ~samples
+    in
+    Printf.printf "evaluated %d sampled worlds in %.2fs (%s; acceptance %.2f)\n\n"
+      (Core.Marginals.samples m)
+      (Unix.gettimeofday () -. t0)
+      (Core.Evaluator.strategy_name strategy)
+      (Core.Pdb.acceptance_rate pdb);
+    let answers =
+      Core.Marginals.estimates m |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    Printf.printf "%d answer tuples; top %d:\n" (List.length answers) top;
+    List.iteri
+      (fun i (row, p) ->
+        if i < top then Printf.printf "  %-24s %.4f\n" (Relational.Row.to_string row) p)
+      answers
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a SQL query over the NER probabilistic database.")
+    Term.(const run $ seed_arg $ tokens_arg $ sql_arg $ strategy_arg $ samples_arg $ thin_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let mentions_arg =
+  Arg.(
+    value
+    & opt (list ~sep:',' string)
+        [ "John Smith"; "J. Smith"; "J. Simms"; "IBM"; "IBM corp."; "Bob Jones" ]
+    & info [ "mentions" ] ~docv:"M1,M2,..." ~doc:"Comma-separated mention strings.")
+
+let coref_cmd =
+  let run seed mentions samples =
+    let strings = Array.of_list mentions in
+    let db = Relational.Database.create () in
+    let world, coref = Ie.Coref.load db ~strings in
+    let rng = Mcmc.Rng.create (seed + 3) in
+    let proposal =
+      Mcmc.Proposal.mix
+        [| (0.7, Ie.Coref.move_proposal coref); (0.3, Ie.Coref.split_merge_proposal coref) |]
+    in
+    let pdb = Core.Pdb.create ~world ~proposal ~rng in
+    let n = Array.length strings in
+    let hits = Array.make_matrix n n 0 in
+    for _ = 1 to samples do
+      Core.Pdb.walk pdb ~steps:20;
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Ie.Coref.cluster_of coref i = Ie.Coref.cluster_of coref j then
+            hits.(i).(j) <- hits.(i).(j) + 1
+        done
+      done
+    done;
+    Printf.printf "pairwise co-reference probabilities (%d samples):\n" samples;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Printf.printf "  %-20s ~ %-20s %.3f\n" strings.(i) strings.(j)
+          (float_of_int hits.(i).(j) /. float_of_int samples)
+      done
+    done
+  in
+  Cmd.v
+    (Cmd.info "coref" ~doc:"Entity resolution over mention strings.")
+    Term.(const run $ seed_arg $ mentions_arg $ samples_arg)
+
+let () =
+  let info =
+    Cmd.info "pdb_cli" ~version:"1.0"
+      ~doc:"Scalable probabilistic databases with factor graphs and MCMC."
+  in
+  exit (Cmd.eval (Cmd.group info [ corpus_cmd; train_cmd; query_cmd; coref_cmd ]))

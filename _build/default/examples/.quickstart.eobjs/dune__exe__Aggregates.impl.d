@@ -1,0 +1,1 @@
+examples/aggregates.ml: Aggregate Array Core Evaluator Ie List Marginals Mcmc Pdb Printf Relational String World

@@ -1,0 +1,1 @@
+examples/entity_resolution.ml: Aggregate Array Core Evaluator Ie List Mcmc Pdb Printf Relational String

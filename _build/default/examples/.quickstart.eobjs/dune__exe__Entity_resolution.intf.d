@@ -1,0 +1,1 @@
+examples/entity_resolution.mli:

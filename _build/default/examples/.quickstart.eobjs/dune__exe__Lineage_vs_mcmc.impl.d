@@ -1,0 +1,1 @@
+examples/lineage_vs_mcmc.ml: Algebra Core Database Factorgraph Format List Mcmc Printf Relational Row Schema Table Tuplepdb Value

@@ -1,0 +1,1 @@
+examples/lineage_vs_mcmc.mli:

@@ -1,0 +1,1 @@
+examples/ner_pipeline.ml: Core Evaluator Factorgraph Ie List Marginals Mcmc Pdb Printf Relational Unix World

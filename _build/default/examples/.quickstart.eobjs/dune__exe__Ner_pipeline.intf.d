@@ -1,0 +1,1 @@
+examples/ner_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Database Evaluator Factorgraph Field Graph_pdb List Marginals Mcmc Pdb Printf Relational Row Schema Table Value World

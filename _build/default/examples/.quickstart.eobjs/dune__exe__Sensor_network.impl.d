@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Array Confidence Core Database Evaluator Factorgraph Field Graph_pdb Marginals Mcmc Printf Relational Row Schema String Table Value World

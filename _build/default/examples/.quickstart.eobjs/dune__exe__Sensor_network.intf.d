@@ -1,0 +1,1 @@
+examples/sensor_network.mli:

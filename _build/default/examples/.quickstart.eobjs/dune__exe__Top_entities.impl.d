@@ -1,0 +1,1 @@
+examples/top_entities.ml: Aggregate Confidence Core Evaluator Ie List Marginals Mcmc Pdb Printf Relational Topk_eval Unix World

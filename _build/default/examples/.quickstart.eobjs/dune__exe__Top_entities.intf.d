@@ -1,0 +1,1 @@
+examples/top_entities.mli:

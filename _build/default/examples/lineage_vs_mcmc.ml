@@ -1,0 +1,103 @@
+(* Two representations of the same uncertain data:
+
+   1. the classic tuple-independent PDB with lineage (MystiQ-style), which
+      answers SPJ queries exactly — until lineage blows up, aggregates
+      appear, or tuples stop being independent;
+   2. this paper's factor-graph + MCMC database, which handles all three.
+
+   We build both over the same sightings data, check they agree under
+   independence, then add a correlation (two witnesses contradict each
+   other) that only the factor graph can express. *)
+
+open Relational
+
+let schema () =
+  Schema.make
+    [ { Schema.name = "id"; ty = Value.T_int };
+      { Schema.name = "place"; ty = Value.T_text } ]
+
+let sightings =
+  (* (id, place, confidence) — e.g. extracted sightings of one person *)
+  [ (0, "cafe", 0.8); (1, "cafe", 0.5); (2, "park", 0.6); (3, "office", 0.3) ]
+
+let () =
+  (* ---- tuple-independent side ---- *)
+  let tdb = Tuplepdb.Tipdb.create () in
+  Tuplepdb.Tipdb.add_table tdb ~name:"SIGHTING" (schema ())
+    (List.map (fun (i, pl, p) -> (Row.make [ Value.Int i; Value.Text pl ], p)) sightings);
+  let q = Algebra.(project [ "place" ] (scan "SIGHTING")) in
+  Printf.printf "tuple-independent PDB (lineage), places with probabilities:\n";
+  let _, answers = Tuplepdb.Tipdb.eval tdb q in
+  List.iter
+    (fun { Tuplepdb.Tipdb.row; lineage } ->
+      let p =
+        Tuplepdb.Lineage.exact_probability (Tuplepdb.Tipdb.probability_of_event tdb) lineage
+      in
+      Printf.printf "  %-8s %.4f   lineage: %s\n"
+        (Value.to_string (Row.get row 0))
+        p
+        (Format.asprintf "%a" Tuplepdb.Lineage.pp lineage))
+    (List.sort (fun a b -> Row.compare a.Tuplepdb.Tipdb.row b.Tuplepdb.Tipdb.row) answers);
+  (match Tuplepdb.Tipdb.eval tdb (Algebra.count_star (Algebra.scan "SIGHTING")) with
+  | exception Failure msg -> Printf.printf "\n  COUNT(*) rejected: %s\n" msg
+  | _ -> assert false);
+
+  (* ---- factor-graph side, independent: must agree ---- *)
+  let build_pdb ~contradiction =
+    let db = Database.create () in
+    let fg_schema =
+      Schema.make
+        [ { Schema.name = "id"; ty = Value.T_int };
+          { Schema.name = "place"; ty = Value.T_text };
+          { Schema.name = "present"; ty = Value.T_text } ]
+    in
+    let t = Database.create_table db ~pk:"id" ~name:"SIGHTING" fg_schema in
+    List.iter
+      (fun (i, pl, _) ->
+        Table.insert t (Row.make [ Value.Int i; Value.Text pl; Value.Text "false" ]))
+      sightings;
+    let world = Core.World.create db in
+    let gp = Core.Graph_pdb.create world in
+    let vars =
+      List.map
+        (fun (i, _, p) ->
+          let v =
+            Core.Graph_pdb.bind gp
+              (Core.Field.make ~table:"SIGHTING" ~key:(Value.Int i) ~column:"present")
+              Factorgraph.Domain.boolean
+          in
+          ignore
+            (Factorgraph.Graph.add_table_factor (Core.Graph_pdb.graph gp) ~scope:[| v |]
+               [| 0.; log (p /. (1. -. p)) |]);
+          v)
+        sightings
+    in
+    if contradiction then begin
+      (* Witnesses 0 and 3 cannot both be right: a strong repulsive factor —
+         a correlation no tuple-independent table can carry. *)
+      let v0 = List.nth vars 0 and v3 = List.nth vars 3 in
+      ignore
+        (Factorgraph.Graph.add_table_factor (Core.Graph_pdb.graph gp) ~scope:[| v0; v3 |]
+           [| 0.; 0.; 0.; -6. |])
+    end;
+    Core.Graph_pdb.pdb gp ~rng:(Mcmc.Rng.create 33)
+  in
+  let sql = "SELECT place FROM SIGHTING WHERE present = 'true'" in
+  let report label pdb =
+    let m = Core.Evaluator.evaluate_sql Core.Evaluator.Materialized pdb ~sql ~thin:11 ~samples:40_000 in
+    Printf.printf "%s\n" label;
+    List.iter
+      (fun (row, p) -> Printf.printf "  %-8s %.4f\n" (Value.to_string (Row.get row 0)) p)
+      (Core.Marginals.estimates m);
+    m
+  in
+  Printf.printf "\nfactor-graph PDB, independent factors (must agree with lineage):\n";
+  let _ = report "" (build_pdb ~contradiction:false) in
+  Printf.printf "\nfactor-graph PDB, with a contradiction factor between sightings 0 and 3\n";
+  Printf.printf "(inexpressible as independent tuples):\n";
+  let _ = report "" (build_pdb ~contradiction:true) in
+  Printf.printf
+    "\nThe 'office' probability drops once the model knows witness 3 conflicts\n\
+     with the (more credible) witness 0 — the kind of dependency the paper's\n\
+     representation exists to capture. And COUNT queries, rejected above,\n\
+     are routine for the sampler.\n"

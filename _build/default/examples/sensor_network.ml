@@ -1,0 +1,105 @@
+(* The paper's other motivating domain (§1): sensor networks produce
+   imprecise readings. Here a READING relation stores one (noisy) discrete
+   temperature level per (room, epoch); the factor graph couples readings
+   with observation factors (near the reported value), temporal smoothness
+   within a room, and spatial smoothness between adjacent rooms. Queries
+   over possible worlds then answer questions the raw noisy data cannot:
+   "which rooms were actually hot at epoch 3, and with what probability?" *)
+
+open Relational
+open Core
+
+let levels = [| "cold"; "cool"; "warm"; "hot" |]
+let n_rooms = 4
+let n_epochs = 6
+
+(* Reported (noisy) level index per room/epoch: room 2 trends hot with one
+   clearly-glitched cold reading at epoch 3. *)
+let reported =
+  [| [| 1; 1; 1; 1; 1; 1 |];
+     [| 1; 1; 2; 2; 1; 1 |];
+     [| 2; 3; 3; 0; 3; 3 |];
+     [| 2; 2; 2; 3; 2; 2 |] |]
+
+let () =
+  let db = Database.create () in
+  let schema =
+    Schema.make
+      [ { Schema.name = "reading_id"; ty = Value.T_int };
+        { Schema.name = "room"; ty = Value.T_int };
+        { Schema.name = "epoch"; ty = Value.T_int };
+        { Schema.name = "level"; ty = Value.T_text } ]
+  in
+  let table = Database.create_table db ~pk:"reading_id" ~name:"READING" schema in
+  let id r e = (r * n_epochs) + e in
+  for room = 0 to n_rooms - 1 do
+    for epoch = 0 to n_epochs - 1 do
+      Table.insert table
+        (Row.make
+           [ Value.Int (id room epoch); Value.Int room; Value.Int epoch;
+             Value.Text levels.(reported.(room).(epoch)) ])
+    done
+  done;
+
+  let world = World.create db in
+  let gp = Graph_pdb.create world in
+  let dom = Factorgraph.Domain.make (Array.to_list levels) in
+  let field r e = Field.make ~table:"READING" ~key:(Value.Int (id r e)) ~column:"level" in
+  let vars =
+    Array.init n_rooms (fun r -> Array.init n_epochs (fun e -> Graph_pdb.bind gp (field r e) dom))
+  in
+  let g = Graph_pdb.graph gp in
+  (* Observation: the true level is near the reported one. *)
+  for room = 0 to n_rooms - 1 do
+    for epoch = 0 to n_epochs - 1 do
+      let obs = reported.(room).(epoch) in
+      let table_factor =
+        Array.init 4 (fun l -> -.(1.1 *. float_of_int (abs (l - obs))))
+      in
+      ignore (Factorgraph.Graph.add_table_factor g ~scope:[| vars.(room).(epoch) |] table_factor)
+    done
+  done;
+  (* Temporal smoothness within a room, spatial smoothness between
+     neighbouring rooms (a line topology 0-1-2-3). *)
+  let smooth w a b =
+    let t = Array.init 16 (fun k -> -.(w *. float_of_int (abs ((k / 4) - (k mod 4))))) in
+    ignore (Factorgraph.Graph.add_table_factor g ~scope:[| a; b |] t)
+  in
+  for room = 0 to n_rooms - 1 do
+    for epoch = 0 to n_epochs - 2 do
+      smooth 1.5 vars.(room).(epoch) vars.(room).(epoch + 1)
+    done
+  done;
+  for room = 0 to n_rooms - 2 do
+    for epoch = 0 to n_epochs - 1 do
+      smooth 0.5 vars.(room).(epoch) vars.(room + 1).(epoch)
+    done
+  done;
+
+  let pdb = Graph_pdb.pdb gp ~rng:(Mcmc.Rng.create 8) in
+  let sql = "SELECT room FROM READING WHERE epoch = 3 AND level = 'hot'" in
+  let m = Evaluator.evaluate_sql ~burn_in:20_000 Evaluator.Materialized pdb ~sql ~thin:25 ~samples:8_000 in
+  Printf.printf "query: %s\n\n" sql;
+  Printf.printf "%-6s %-10s %-22s %s\n" "room" "Pr[hot]" "95%% interval" "reported at epoch 3";
+  for room = 0 to n_rooms - 1 do
+    let row = Row.make [ Value.Int room ] in
+    let p = Marginals.probability m row in
+    let lo, hi = Confidence.wilson_interval m row in
+    Printf.printf "%-6d %-10.3f [%5.3f, %5.3f]        %s\n" room p lo hi
+      levels.(reported.(room).(3))
+  done;
+  (* The full repaired posterior for the glitched cell. *)
+  Printf.printf "\nposterior for room 2 at epoch 3 (reported: cold):\n";
+  Array.iter
+    (fun level ->
+      let sql =
+        Printf.sprintf "SELECT room FROM READING WHERE room=2 AND epoch=3 AND level='%s'" level
+      in
+      let m = Evaluator.evaluate_sql Evaluator.Materialized pdb ~sql ~thin:25 ~samples:4_000 in
+      let p = Marginals.probability m (Row.make [ Value.Int 2 ]) in
+      Printf.printf "  %-6s %.3f %s\n" level p (String.make (int_of_float (50. *. p)) '#'))
+    levels;
+  Printf.printf
+    "\nRoom 2 reported 'cold' at epoch 3, but its neighbours in time and space\n\
+     say otherwise: the posterior moves the mass to warm/hot, repairing the\n\
+     glitched reading. Smoothing priors + noisy observations + plain SQL.\n"

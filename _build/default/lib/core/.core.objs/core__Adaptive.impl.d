@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Delta Eval Evaluator List Marginals Pdb Relational Unix View World

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Hashtbl List Marginals Option Relational Row Value

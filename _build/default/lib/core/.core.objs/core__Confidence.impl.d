@@ -1,0 +1,1 @@
+lib/core/confidence.ml: List Marginals Relational

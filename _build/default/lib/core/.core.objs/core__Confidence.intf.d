@@ -1,0 +1,1 @@
+lib/core/confidence.mli: Marginals Relational

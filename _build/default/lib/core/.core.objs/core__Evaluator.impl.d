@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Delta Eval Marginals Pdb Relational Sql Unix View World

@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Marginals Pdb Relational

@@ -1,0 +1,1 @@
+lib/core/field.ml: Format Relational String

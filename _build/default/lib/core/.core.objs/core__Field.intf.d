@@ -1,0 +1,1 @@
+lib/core/field.mli: Format Relational

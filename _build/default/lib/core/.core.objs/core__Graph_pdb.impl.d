@@ -1,0 +1,1 @@
+lib/core/graph_pdb.ml: Array Assignment Domain Factorgraph Field Format Graph Hashtbl Mcmc Pdb Relational World

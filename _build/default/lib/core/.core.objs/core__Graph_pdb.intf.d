@@ -1,0 +1,1 @@
+lib/core/graph_pdb.mli: Factorgraph Field Mcmc Pdb Relational World

@@ -1,0 +1,1 @@
+lib/core/marginals.ml: Bag Format Hashtbl List Option Relational Row

@@ -1,0 +1,1 @@
+lib/core/marginals.mli: Format Relational

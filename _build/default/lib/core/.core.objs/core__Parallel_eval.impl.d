@@ -1,0 +1,1 @@
+lib/core/parallel_eval.ml: Evaluator Marginals Mcmc

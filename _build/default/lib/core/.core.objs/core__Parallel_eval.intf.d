@@ -1,0 +1,1 @@
+lib/core/parallel_eval.mli: Evaluator Marginals Pdb Relational

@@ -1,0 +1,1 @@
+lib/core/pdb.ml: Mcmc World

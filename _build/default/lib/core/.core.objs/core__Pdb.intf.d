@@ -1,0 +1,1 @@
+lib/core/pdb.mli: Mcmc Relational World

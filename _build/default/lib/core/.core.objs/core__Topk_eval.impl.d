@@ -1,0 +1,1 @@
+lib/core/topk_eval.ml: Confidence Delta List Marginals Pdb Relational Row View World

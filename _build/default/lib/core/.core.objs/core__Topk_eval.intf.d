@@ -1,0 +1,1 @@
+lib/core/topk_eval.mli: Pdb Relational

@@ -1,0 +1,1 @@
+lib/core/world.ml: Database Delta Field Printf Relational Row Schema Table Value

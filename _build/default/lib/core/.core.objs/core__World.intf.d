@@ -1,0 +1,1 @@
+lib/core/world.mli: Field Relational

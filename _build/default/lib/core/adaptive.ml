@@ -1,0 +1,78 @@
+open Relational
+
+type report = {
+  marginals : Marginals.t;
+  final_thin : int;
+  thin_trajectory : (int * int) list;
+  walk_s : float;
+  query_s : float;
+}
+
+let evaluate ?(strategy = Evaluator.Materialized) ?(k_min = 50) ?(k_max = 50_000)
+    ?(target_overhead = 0.25) ?(initial_thin = 1_000) pdb ~query ~samples =
+  let world = Pdb.world pdb in
+  let db = Pdb.db pdb in
+  let marginals = Marginals.create () in
+  let walk_s = ref 0. and query_s = ref 0. in
+  let timed acc f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    acc := !acc +. (Unix.gettimeofday () -. t0);
+    x
+  in
+  ignore (World.drain_delta world : Delta.t);
+  let view =
+    match strategy with
+    | Evaluator.Materialized -> Some (View.create db query)
+    | Evaluator.Naive -> None
+  in
+  let observe () =
+    let bag =
+      timed query_s (fun () ->
+          match view with
+          | Some v ->
+            View.update v (World.drain_delta world);
+            View.result v
+          | None ->
+            ignore (World.drain_delta world : Delta.t);
+            (Eval.eval db query).Eval.bag)
+    in
+    Marginals.observe marginals bag
+  in
+  (match view with
+  | Some v -> Marginals.observe marginals (View.result v)
+  | None -> Marginals.observe marginals (Eval.eval db query).Eval.bag);
+  let thin = ref initial_thin in
+  let trajectory = ref [ (0, !thin) ] in
+  let window_walk = ref 0. and window_query = ref 0. and window_steps = ref 0 in
+  for i = 1 to samples do
+    let w0 = !walk_s and q0 = !query_s in
+    timed walk_s (fun () -> Pdb.walk pdb ~steps:!thin);
+    observe ();
+    window_walk := !window_walk +. (!walk_s -. w0);
+    window_query := !window_query +. (!query_s -. q0);
+    window_steps := !window_steps + !thin;
+    if i mod 10 = 0 && !window_steps > 0 then begin
+      (* Per-step walk cost and per-sample query cost over the window. *)
+      let walk_per_step = !window_walk /. float_of_int !window_steps in
+      let query_per_sample = !window_query /. 10. in
+      if walk_per_step > 0. then begin
+        (* Choose k so query cost ≈ target_overhead × (k · walk cost):
+           k* = query / (target · walk). Damp the update geometrically. *)
+        let ideal = query_per_sample /. (target_overhead *. walk_per_step) in
+        let damped =
+          int_of_float (sqrt (float_of_int !thin *. max 1. ideal))
+        in
+        let next = max k_min (min k_max damped) in
+        if next <> !thin then begin
+          thin := next;
+          trajectory := (i, next) :: !trajectory
+        end
+      end;
+      window_walk := 0.;
+      window_query := 0.;
+      window_steps := 0
+    end
+  done;
+  { marginals; final_thin = !thin; thin_trajectory = List.rev !trajectory;
+    walk_s = !walk_s; query_s = !query_s }

@@ -1,0 +1,38 @@
+open Relational
+
+let distribution ?(column = 0) m =
+  let raw =
+    List.map (fun (row, p) -> (Row.get row column, p)) (Marginals.estimates m)
+  in
+  (* Collapse rows that agree on the aggregate column, then renormalize so
+     the histogram is a proper distribution even if some samples produced
+     multi-row answers. *)
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun (v, p) ->
+      Hashtbl.replace acc v (p +. Option.value ~default:0. (Hashtbl.find_opt acc v)))
+    raw;
+  let total = Hashtbl.fold (fun _ p t -> t +. p) acc 0. in
+  Hashtbl.fold (fun v p l -> (v, (if total > 0. then p /. total else 0.)) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+let expectation ?column m =
+  List.fold_left
+    (fun acc (v, p) -> acc +. (Value.to_float v *. p))
+    0. (distribution ?column m)
+
+let variance ?column m =
+  let mu = expectation ?column m in
+  List.fold_left
+    (fun acc (v, p) -> acc +. (p *. ((Value.to_float v -. mu) ** 2.)))
+    0. (distribution ?column m)
+
+let quantile ?column m q =
+  let dist = distribution ?column m in
+  if dist = [] then invalid_arg "Aggregate.quantile: empty distribution";
+  let rec walk acc = function
+    | [ (v, _) ] -> v
+    | (v, p) :: rest -> if acc +. p >= q then v else walk (acc +. p) rest
+    | [] -> assert false
+  in
+  walk 0. dist

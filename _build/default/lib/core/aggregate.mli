@@ -1,0 +1,20 @@
+(** Helpers for aggregate query answers (§5.5, Figures 6–7).
+
+    A sampled aggregate answer is a relation like any other — e.g. a
+    COUNT( * ) query yields one single-column row per world — so the marginal
+    estimator already induces a distribution over aggregate values. These
+    helpers read that distribution out. *)
+
+val distribution : ?column:int -> Marginals.t -> (Relational.Value.t * float) list
+(** Probability of each observed aggregate value, sorted by value — the
+    histogram of Figure 7. [column] (default 0) selects the aggregate column
+    of the answer rows. *)
+
+val expectation : ?column:int -> Marginals.t -> float
+(** Mean aggregate value under the (renormalized) sampled distribution. *)
+
+val variance : ?column:int -> Marginals.t -> float
+
+val quantile : ?column:int -> Marginals.t -> float -> Relational.Value.t
+(** [quantile m q] with q in [0,1]; raises [Invalid_argument] on an empty
+    distribution. *)

@@ -1,0 +1,53 @@
+open Relational
+
+type strategy = Naive | Materialized
+
+type progress = {
+  sample : int;
+  elapsed : float;
+  marginals : Marginals.t;
+}
+
+let strategy_name = function Naive -> "naive" | Materialized -> "materialized"
+
+let evaluate ?on_sample ?(burn_in = 0) strategy pdb ~query ~thin ~samples =
+  let world = Pdb.world pdb in
+  let db = Pdb.db pdb in
+  let marginals = Marginals.create () in
+  let started = Unix.gettimeofday () in
+  let notify sample =
+    match on_sample with
+    | None -> ()
+    | Some f -> f { sample; elapsed = Unix.gettimeofday () -. started; marginals }
+  in
+  if burn_in > 0 then Pdb.walk pdb ~steps:burn_in;
+  (* Updates recorded before evaluation starts (and burn-in) belong to no
+     sample. *)
+  ignore (World.drain_delta world : Delta.t);
+  (match strategy with
+  | Naive ->
+    Marginals.observe marginals (Eval.eval db query).Eval.bag;
+    notify 0;
+    for i = 1 to samples do
+      Pdb.walk pdb ~steps:thin;
+      (* The naive evaluator ignores the deltas — it pays for a full query
+         execution on every sampled world. *)
+      ignore (World.drain_delta world : Delta.t);
+      Marginals.observe marginals (Eval.eval db query).Eval.bag;
+      notify i
+    done
+  | Materialized ->
+    let view = View.create db query in
+    Marginals.observe marginals (View.result view);
+    notify 0;
+    for i = 1 to samples do
+      Pdb.walk pdb ~steps:thin;
+      let delta = World.drain_delta world in
+      View.update view delta;
+      Marginals.observe marginals (View.result view);
+      notify i
+    done);
+  marginals
+
+let evaluate_sql ?on_sample ?burn_in strategy pdb ~sql ~thin ~samples =
+  evaluate ?on_sample ?burn_in strategy pdb ~query:(Sql.parse sql) ~thin ~samples

@@ -1,0 +1,65 @@
+open Relational
+
+module RH = Hashtbl.Make (struct
+  type t = Row.t
+
+  let equal = Row.equal
+  let hash = Row.hash
+end)
+
+type t = { counts : int RH.t; mutable z : int }
+
+let create () = { counts = RH.create 64; z = 0 }
+
+let observe m answer =
+  Bag.iter
+    (fun row c ->
+      if c > 0 then RH.replace m.counts row (1 + Option.value ~default:0 (RH.find_opt m.counts row)))
+    answer;
+  m.z <- m.z + 1
+
+let samples m = m.z
+
+let probability m row =
+  if m.z = 0 then 0.
+  else float_of_int (Option.value ~default:0 (RH.find_opt m.counts row)) /. float_of_int m.z
+
+let estimates m =
+  RH.fold (fun row c acc -> (row, float_of_int c /. float_of_int (max 1 m.z)) :: acc) m.counts []
+  |> List.sort (fun (a, _) (b, _) -> Row.compare a b)
+
+let merge ms =
+  let out = create () in
+  List.iter
+    (fun m ->
+      RH.iter
+        (fun row c -> RH.replace out.counts row (c + Option.value ~default:0 (RH.find_opt out.counts row)))
+        m.counts;
+      out.z <- out.z + m.z)
+    ms;
+  out
+
+let squared_error_to ~reference m =
+  let seen = RH.create 64 in
+  let acc = ref 0. in
+  List.iter
+    (fun (row, p) ->
+      RH.replace seen row ();
+      let q = probability m row in
+      acc := !acc +. ((p -. q) ** 2.))
+    reference;
+  RH.iter
+    (fun row c ->
+      if not (RH.mem seen row) then begin
+        let q = float_of_int c /. float_of_int (max 1 m.z) in
+        acc := !acc +. (q ** 2.)
+      end)
+    m.counts;
+  !acc
+
+let squared_error ~reference m = squared_error_to ~reference:(estimates reference) m
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (row, p) -> Format.fprintf fmt "%s: %.4f@," (Row.to_string row) p) (estimates m);
+  Format.fprintf fmt "(%d samples)@]" m.z

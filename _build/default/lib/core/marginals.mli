@@ -1,0 +1,33 @@
+(** Tuple-marginal estimates (Eq. 5): counts of how many sampled worlds
+    contained each answer tuple, normalized by the number of samples.
+
+    Membership uses the multiset convention of the paper's remark on
+    projections: a tuple is in the answer of a sampled world iff its
+    maintained count is positive. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> Relational.Bag.t -> unit
+(** Folds one sampled answer set in: every row with positive count gets +1;
+    the normalizer z gets +1. *)
+
+val samples : t -> int
+
+val probability : t -> Relational.Row.t -> float
+(** Estimated Pr[t ∈ Q(W)]; 0 for never-seen tuples. *)
+
+val estimates : t -> (Relational.Row.t * float) list
+(** All observed tuples with probabilities, sorted by row. *)
+
+val merge : t list -> t
+(** Pools counts and normalizers across independent chains (§5.4). *)
+
+val squared_error : reference:t -> t -> float
+(** Element-wise squared loss over the union of support — the paper's
+    evaluation metric. *)
+
+val squared_error_to : reference:(Relational.Row.t * float) list -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+let evaluate ?burn_in ~chains ~make ~strategy ~query ~thin ~samples () =
+  let results =
+    Mcmc.Parallel.map ~n:chains (fun i ->
+        let pdb = make ~chain:i in
+        Evaluator.evaluate ?burn_in strategy pdb ~query ~thin ~samples)
+  in
+  Marginals.merge results

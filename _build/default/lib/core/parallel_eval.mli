@@ -1,0 +1,20 @@
+(** Parallel query evaluation: c identical copies of the probabilistic
+    database, one MH chain each, pooled counts (§5.4).
+
+    Samples drawn across chains are more independent than samples within
+    one, which is where the paper's super-linear error reduction comes
+    from. *)
+
+val evaluate :
+  ?burn_in:int ->
+  chains:int ->
+  make:(chain:int -> Pdb.t) ->
+  strategy:Evaluator.strategy ->
+  query:Relational.Algebra.t ->
+  thin:int ->
+  samples:int ->
+  unit ->
+  Marginals.t
+(** [make ~chain] must build an independent instance (own database copy and
+    RNG) for each chain index; instances are evaluated on separate domains
+    and merged. *)

@@ -1,0 +1,22 @@
+type t = {
+  world : World.t;
+  proposal : World.t Mcmc.Proposal.t;
+  rng : Mcmc.Rng.t;
+  stats : Mcmc.Metropolis.stats;
+  mutable steps : int;
+}
+
+let create ~world ~proposal ~rng =
+  { world; proposal; rng; stats = Mcmc.Metropolis.fresh_stats (); steps = 0 }
+
+let world t = t.world
+let db t = World.db t.world
+let rng t = t.rng
+
+let walk t ~steps =
+  Mcmc.Metropolis.run ~stats:t.stats t.rng t.proposal t.world ~steps;
+  t.steps <- t.steps + steps
+
+let steps_taken t = t.steps
+let stats t = t.stats
+let acceptance_rate t = Mcmc.Metropolis.acceptance_rate t.stats

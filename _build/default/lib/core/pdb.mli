@@ -1,0 +1,22 @@
+(** The probabilistic database: a deterministic world in a relational
+    database, a factor-graph model reachable only through its proposal
+    distribution, and a Metropolis–Hastings sampler over it (§3–§4).
+
+    The model itself never materializes over the whole database: proposals
+    carry the delta log-score of the factors they touch, which is all MH
+    needs (Appendix 9.2). *)
+
+type t
+
+val create : world:World.t -> proposal:World.t Mcmc.Proposal.t -> rng:Mcmc.Rng.t -> t
+val world : t -> World.t
+val db : t -> Relational.Database.t
+val rng : t -> Mcmc.Rng.t
+
+val walk : t -> steps:int -> unit
+(** Advance the MH random walk; world mutations accumulate in the pending
+    delta. *)
+
+val steps_taken : t -> int
+val stats : t -> Mcmc.Metropolis.stats
+val acceptance_rate : t -> float

@@ -1,0 +1,1 @@
+lib/factorgraph/assignment.ml: Array Fun List

@@ -1,0 +1,1 @@
+lib/factorgraph/bp.ml: Array Assignment Domain Graph Hashtbl List Logspace

@@ -1,0 +1,1 @@
+lib/factorgraph/bp.mli: Assignment Graph

@@ -1,0 +1,1 @@
+lib/factorgraph/chain_fb.ml: Array Logspace Random

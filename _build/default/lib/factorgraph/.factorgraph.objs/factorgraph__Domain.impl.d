@@ -1,0 +1,1 @@
+lib/factorgraph/domain.ml: Array Format Hashtbl String

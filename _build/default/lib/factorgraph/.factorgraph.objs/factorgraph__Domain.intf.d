@@ -1,0 +1,1 @@
+lib/factorgraph/domain.mli: Format

@@ -1,0 +1,1 @@
+lib/factorgraph/exact.ml: Array Assignment Domain Fun Graph List

@@ -1,0 +1,1 @@
+lib/factorgraph/exact.mli: Assignment Graph

@@ -1,0 +1,1 @@
+lib/factorgraph/graph.ml: Array Assignment Domain Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/factorgraph/graph.mli: Assignment Domain

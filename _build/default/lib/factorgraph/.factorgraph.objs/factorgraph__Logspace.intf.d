@@ -1,0 +1,1 @@
+lib/factorgraph/logspace.mli:

@@ -1,0 +1,1 @@
+lib/factorgraph/params.ml: Hashtbl List Option String

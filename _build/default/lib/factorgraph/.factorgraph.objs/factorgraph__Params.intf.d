@@ -1,0 +1,1 @@
+lib/factorgraph/params.mli:

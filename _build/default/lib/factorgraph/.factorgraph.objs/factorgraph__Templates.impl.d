@@ -1,0 +1,1 @@
+lib/factorgraph/templates.ml: Array Assignment Buffer Domain Graph Params Printf String

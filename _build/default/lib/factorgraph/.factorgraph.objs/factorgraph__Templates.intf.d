@@ -1,0 +1,1 @@
+lib/factorgraph/templates.mli: Assignment Domain Graph Params

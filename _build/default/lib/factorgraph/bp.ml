@@ -1,0 +1,118 @@
+type result = {
+  marginals : (Graph.var * float array) list;
+  converged : bool;
+  iterations : int;
+  max_residual : float;
+}
+
+(* Messages are log-space arrays over a variable's domain, normalized so the
+   max entry is 0 (keeps magnitudes bounded). *)
+let normalize msg =
+  let m = Array.fold_left max neg_infinity msg in
+  if m = neg_infinity then msg else Array.map (fun x -> x -. m) msg
+
+let run ?(max_iters = 100) ?(tol = 1e-6) ?(damping = 0.3) g a =
+  let n_vars = Graph.num_variables g in
+  let hidden = ref [] in
+  for v = n_vars - 1 downto 0 do
+    if not (Graph.is_observed g v) then hidden := v :: !hidden
+  done;
+  let hidden = !hidden in
+  (* Collect edges: (factor, hidden var in its scope). *)
+  let factor_ids = ref [] in
+  List.iter
+    (fun v -> List.iter (fun f -> if not (List.mem f !factor_ids) then factor_ids := f :: !factor_ids)
+        (Graph.factors_of g v))
+    hidden;
+  let factor_ids = !factor_ids in
+  let dom_size v = Domain.size (Graph.domain g v) in
+  (* Message tables keyed by (factor, var) and (var, factor). *)
+  let f2v : (int * int, float array) Hashtbl.t = Hashtbl.create 64 in
+  let v2f : (int * int, float array) Hashtbl.t = Hashtbl.create 64 in
+  let edges = ref [] in
+  List.iter
+    (fun f ->
+      Array.iter
+        (fun v ->
+          if not (Graph.is_observed g v) then begin
+            Hashtbl.replace f2v (f, v) (Array.make (dom_size v) 0.);
+            Hashtbl.replace v2f (v, f) (Array.make (dom_size v) 0.);
+            edges := (f, v) :: !edges
+          end)
+        (Graph.factor_scope g f))
+    factor_ids;
+  let edges = !edges in
+  let scratch = Assignment.copy a in
+  (* Enumerate the hidden part of a factor's scope. *)
+  let factor_message f v =
+    let scope = Graph.factor_scope g f in
+    let hidden_scope = Array.of_list (List.filter (fun u -> not (Graph.is_observed g u)) (Array.to_list scope)) in
+    let out = Array.make (dom_size v) neg_infinity in
+    let rec enum i acc_in =
+      if i >= Array.length hidden_scope then begin
+        let s = Graph.factor_score g f scratch +. acc_in in
+        let xv = Assignment.get scratch v in
+        out.(xv) <- Logspace.log_add out.(xv) s
+      end
+      else begin
+        let u = hidden_scope.(i) in
+        let incoming = if u = v then None else Hashtbl.find_opt v2f (u, f) in
+        for x = 0 to dom_size u - 1 do
+          Assignment.set scratch u x;
+          let acc' = match incoming with None -> acc_in | Some m -> acc_in +. m.(x) in
+          enum (i + 1) acc'
+        done;
+        Assignment.set scratch u (Assignment.get a u)
+      end
+    in
+    enum 0 0.;
+    normalize out
+  in
+  let var_message v f =
+    let out = Array.make (dom_size v) 0. in
+    List.iter
+      (fun f' ->
+        if f' <> f then
+          match Hashtbl.find_opt f2v (f', v) with
+          | None -> ()
+          | Some m -> Array.iteri (fun x mv -> out.(x) <- out.(x) +. mv) m)
+      (Graph.factors_of g v);
+    normalize out
+  in
+  let mix old_msg new_msg =
+    Array.mapi (fun i x -> (damping *. old_msg.(i)) +. ((1. -. damping) *. x)) new_msg
+  in
+  let residual = ref infinity in
+  let iters = ref 0 in
+  while !iters < max_iters && !residual > tol do
+    incr iters;
+    residual := 0.;
+    List.iter
+      (fun (f, v) ->
+        let old_msg = Hashtbl.find f2v (f, v) in
+        let fresh = mix old_msg (factor_message f v) in
+        Array.iteri (fun i x -> residual := max !residual (abs_float (x -. old_msg.(i)))) fresh;
+        Hashtbl.replace f2v (f, v) fresh)
+      edges;
+    List.iter
+      (fun (f, v) ->
+        let old_msg = Hashtbl.find v2f (v, f) in
+        let fresh = mix old_msg (var_message v f) in
+        Array.iteri (fun i x -> residual := max !residual (abs_float (x -. old_msg.(i)))) fresh;
+        Hashtbl.replace v2f (v, f) fresh)
+      edges
+  done;
+  let marginals =
+    List.map
+      (fun v ->
+        let belief = Array.make (dom_size v) 0. in
+        List.iter
+          (fun f ->
+            match Hashtbl.find_opt f2v (f, v) with
+            | None -> ()
+            | Some m -> Array.iteri (fun x mv -> belief.(x) <- belief.(x) +. mv) m)
+          (Graph.factors_of g v);
+        (v, Logspace.normalize_log belief))
+      hidden
+  in
+  { marginals; converged = !residual <= tol; iterations = !iters; max_residual = !residual }

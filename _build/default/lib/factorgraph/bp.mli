@@ -1,0 +1,16 @@
+(** Loopy belief propagation (sum-product), the baseline the paper contrasts
+    with: exact on trees, approximate — and often non-convergent — on loopy
+    graphs such as skip-chain CRFs (§5.3). *)
+
+type result = {
+  marginals : (Graph.var * float array) list; (* hidden variables only *)
+  converged : bool;
+  iterations : int;
+  max_residual : float; (* largest message change in the final sweep *)
+}
+
+val run : ?max_iters:int -> ?tol:float -> ?damping:float -> Graph.t -> Assignment.t -> result
+(** [run g a] clamps observed variables to their values in [a] and runs
+    synchronous sum-product with damped updates until messages change by less
+    than [tol] (default 1e-6) or [max_iters] (default 100) sweeps elapse.
+    [damping] (default 0.3) mixes old and new messages in log space. *)

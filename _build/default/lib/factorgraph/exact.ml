@@ -1,0 +1,89 @@
+exception Too_large of int
+
+let default_budget = 2_000_000
+
+let hidden_vars g =
+  let out = ref [] in
+  for v = Graph.num_variables g - 1 downto 0 do
+    if not (Graph.is_observed g v) then out := v :: !out
+  done;
+  !out
+
+let state_space_size g =
+  List.fold_left
+    (fun acc v ->
+      let s = Domain.size (Graph.domain g v) in
+      if acc > max_int / s then max_int else acc * s)
+    1 (hidden_vars g)
+
+let check_budget budget g =
+  let n = state_space_size g in
+  if n > budget then raise (Too_large n)
+
+(* Enumerate hidden assignments in odometer order, calling [f] for each.
+   The scratch assignment is restored afterwards. *)
+let iter_hidden g (a : Assignment.t) f =
+  let hs = Array.of_list (hidden_vars g) in
+  let saved = Array.map (fun v -> Assignment.get a v) hs in
+  let n = Array.length hs in
+  Array.iter (fun v -> Assignment.set a v 0) hs;
+  let rec tick i = (* advance the odometer; returns false on wrap-around *)
+    if i < 0 then false
+    else
+      let v = hs.(i) in
+      let next = Assignment.get a v + 1 in
+      if next < Domain.size (Graph.domain g v) then (Assignment.set a v next; true)
+      else (Assignment.set a v 0; tick (i - 1))
+  in
+  let rec loop () =
+    f ();
+    if tick (n - 1) then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Array.iteri (fun i v -> Assignment.set a v saved.(i)) hs)
+    loop
+
+let log_partition ?(budget = default_budget) g a =
+  check_budget budget g;
+  (* Single pass with running log-sum-exp. *)
+  let m = ref neg_infinity and acc = ref 0. in
+  iter_hidden g a (fun () ->
+      let s = Graph.log_score g a in
+      if s > !m then begin
+        acc := (!acc *. exp (!m -. s)) +. 1.;
+        m := s
+      end
+      else acc := !acc +. exp (s -. !m));
+  if !m = neg_infinity then neg_infinity else !m +. log !acc
+
+let marginals ?(budget = default_budget) g a =
+  check_budget budget g;
+  let hs = hidden_vars g in
+  let accs =
+    List.map (fun v -> (v, Array.make (Domain.size (Graph.domain g v)) 0.)) hs
+  in
+  let log_z = log_partition ~budget g a in
+  iter_hidden g a (fun () ->
+      let p = exp (Graph.log_score g a -. log_z) in
+      List.iter (fun (v, arr) -> arr.(Assignment.get a v) <- arr.(Assignment.get a v) +. p) accs);
+  accs
+
+let event_probability ?(budget = default_budget) g a pred =
+  check_budget budget g;
+  let log_z = log_partition ~budget g a in
+  let p = ref 0. in
+  iter_hidden g a (fun () ->
+      if pred a then p := !p +. exp (Graph.log_score g a -. log_z));
+  !p
+
+let map_assignment ?(budget = default_budget) g a =
+  check_budget budget g;
+  let best = ref neg_infinity in
+  let best_a = ref (Assignment.copy a) in
+  iter_hidden g a (fun () ->
+      let s = Graph.log_score g a in
+      if s > !best then begin
+        best := s;
+        best_a := Assignment.copy a
+      end);
+  !best_a

@@ -1,0 +1,148 @@
+type var = int
+type factor_id = int
+
+type factor = {
+  scope : var array;
+  score : Assignment.t -> float;
+  features : (Assignment.t -> (string * float) list) option;
+}
+
+type var_info = { vname : string; dom : Domain.t; observed : bool }
+
+type t = {
+  mutable vars : var_info array; (* grows by doubling *)
+  mutable n_vars : int;
+  factors : (factor_id, factor) Hashtbl.t;
+  adjacency : (var, factor_id list) Hashtbl.t;
+  mutable next_factor : int;
+}
+
+let create () =
+  { vars = Array.make 16 { vname = ""; dom = Domain.boolean; observed = false };
+    n_vars = 0;
+    factors = Hashtbl.create 64;
+    adjacency = Hashtbl.create 64;
+    next_factor = 0 }
+
+let add_variable ?name ?(observed = false) g dom =
+  let id = g.n_vars in
+  if id = Array.length g.vars then begin
+    let bigger = Array.make (2 * id) g.vars.(0) in
+    Array.blit g.vars 0 bigger 0 id;
+    g.vars <- bigger
+  end;
+  let vname = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
+  g.vars.(id) <- { vname; dom; observed };
+  g.n_vars <- id + 1;
+  id
+
+let check_var g v =
+  if v < 0 || v >= g.n_vars then invalid_arg (Printf.sprintf "Graph: unknown variable %d" v)
+
+let num_variables g = g.n_vars
+
+let domain g v =
+  check_var g v;
+  g.vars.(v).dom
+
+let var_name g v =
+  check_var g v;
+  g.vars.(v).vname
+
+let is_observed g v =
+  check_var g v;
+  g.vars.(v).observed
+
+let add_factor ?features g ~scope score =
+  Array.iter (check_var g) scope;
+  let id = g.next_factor in
+  g.next_factor <- id + 1;
+  Hashtbl.replace g.factors id { scope; score; features };
+  Array.iter
+    (fun v ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt g.adjacency v) in
+      Hashtbl.replace g.adjacency v (id :: prev))
+    scope;
+  id
+
+let add_table_factor g ~scope table =
+  let doms = Array.map (fun v -> Domain.size (domain g v)) scope in
+  let expected = Array.fold_left ( * ) 1 doms in
+  if Array.length table <> expected then
+    invalid_arg
+      (Printf.sprintf "Graph.add_table_factor: table size %d, expected %d"
+         (Array.length table) expected);
+  let score a =
+    let idx = ref 0 in
+    Array.iteri (fun i v -> idx := (!idx * doms.(i)) + Assignment.get a v) scope;
+    table.(!idx)
+  in
+  add_factor g ~scope score
+
+let remove_factor g id =
+  match Hashtbl.find_opt g.factors id with
+  | None -> ()
+  | Some f ->
+    Hashtbl.remove g.factors id;
+    Array.iter
+      (fun v ->
+        match Hashtbl.find_opt g.adjacency v with
+        | None -> ()
+        | Some fs -> Hashtbl.replace g.adjacency v (List.filter (fun x -> x <> id) fs))
+      f.scope
+
+let num_factors g = Hashtbl.length g.factors
+
+let factor g id =
+  match Hashtbl.find_opt g.factors id with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Graph: unknown factor %d" id)
+
+let factor_scope g id = Array.copy (factor g id).scope
+let factors_of g v = Option.value ~default:[] (Hashtbl.find_opt g.adjacency v)
+let factor_score g id a = (factor g id).score a
+let new_assignment g = Assignment.create g.n_vars
+let log_score g a = Hashtbl.fold (fun _ f acc -> acc +. f.score a) g.factors 0.
+
+let touched_factors g changes =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun (v, _) ->
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem seen id) then begin
+            Hashtbl.add seen id ();
+            out := id :: !out
+          end)
+        (factors_of g v))
+    changes;
+  !out
+
+let delta_log_score g a changes =
+  let ids = touched_factors g changes in
+  let before = List.fold_left (fun acc id -> acc +. (factor g id).score a) 0. ids in
+  let after =
+    Assignment.with_values a changes (fun () ->
+        List.fold_left (fun acc id -> acc +. (factor g id).score a) 0. ids)
+  in
+  after -. before
+
+let delta_features g a changes =
+  let ids = touched_factors g changes in
+  let acc : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let fold scale =
+    List.iter
+      (fun id ->
+        match (factor g id).features with
+        | None -> ()
+        | Some feats ->
+          List.iter
+            (fun (k, v) ->
+              Hashtbl.replace acc k ((scale *. v) +. Option.value ~default:0. (Hashtbl.find_opt acc k)))
+            (feats a))
+      ids
+  in
+  fold (-1.);
+  Assignment.with_values a changes (fun () -> fold 1.);
+  Hashtbl.fold (fun k v out -> if v <> 0. then (k, v) :: out else out) acc []

@@ -1,0 +1,11 @@
+let log_sum_exp xs =
+  let m = Array.fold_left max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else m +. log (Array.fold_left (fun acc x -> acc +. exp (x -. m)) 0. xs)
+
+let log_add a b = log_sum_exp [| a; b |]
+
+let normalize_log xs =
+  let z = log_sum_exp xs in
+  if z = neg_infinity then Array.map (fun _ -> 0.) xs
+  else Array.map (fun x -> exp (x -. z)) xs

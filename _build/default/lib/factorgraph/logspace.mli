@@ -1,0 +1,9 @@
+(** Numerically stable log-space arithmetic. *)
+
+val log_sum_exp : float array -> float
+(** log Σ exp(xᵢ), stable under large magnitudes; [neg_infinity] for an
+    empty or all-[neg_infinity] input. *)
+
+val log_add : float -> float -> float
+val normalize_log : float array -> float array
+(** Exponentiates and normalizes to a probability vector. *)

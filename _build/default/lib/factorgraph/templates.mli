@@ -1,0 +1,39 @@
+(** Factor templates: unroll repeated factor structure onto a graph
+    (Figure 1's plate notation). These materialized templates are used for
+    small-graph validation and ablations; the IE library scores the same
+    models lazily without materializing factors. *)
+
+type chain = {
+  graph : Graph.t;
+  labels : Graph.var array; (** hidden label variable per token position *)
+  assignment : Assignment.t;
+}
+
+val unroll_chain :
+  ?skip_edges:bool ->
+  params:Params.t ->
+  label_domain:Domain.t ->
+  tokens:string array ->
+  unit ->
+  chain
+(** Builds the paper's NER model over one token sequence: emission factors
+    (string ⊗ label), transition factors between neighbouring labels, bias
+    factors per label, and — when [skip_edges] is true — skip factors
+    between every pair of positions with identical token strings (the
+    skip-chain CRF of Figure 3).
+
+    Feature names follow ["emit:<string>:<label>"], ["trans:<l1>:<l2>"],
+    ["bias:<label>"], and ["skip:<same|diff>"], so weights learned here are
+    interchangeable with the lazy {!Ie} scorer. *)
+
+val emission_feature : string -> string -> string
+val transition_feature : string -> string -> string
+val bias_feature : string -> string
+val skip_feature : same:bool -> string
+
+val word_shape : string -> string
+(** Collapsed orthographic shape: "Boston" ↦ "Xx", "IBM" ↦ "X", "3rd" ↦
+    "dx", "said" ↦ "x". Lets emissions generalize beyond the lexicon. *)
+
+val shape_feature : string -> string -> string
+(** ["shape:<shape>:<label>"], fired alongside the lexical emission. *)

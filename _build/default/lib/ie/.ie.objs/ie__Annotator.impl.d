@@ -1,0 +1,1 @@
+lib/ie/annotator.ml: Array Corpus Labels Lexicon List Random String

@@ -1,0 +1,1 @@
+lib/ie/annotator.mli: Corpus Labels

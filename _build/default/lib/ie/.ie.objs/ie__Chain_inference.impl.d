@@ -1,0 +1,1 @@
+lib/ie/chain_inference.ml: Array Chain_fb Crf Factorgraph Labels Params Templates

@@ -1,0 +1,1 @@
+lib/ie/chain_inference.mli: Crf Factorgraph Labels

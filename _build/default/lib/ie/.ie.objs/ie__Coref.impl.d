@@ -1,0 +1,1 @@
+lib/ie/coref.ml: Array Bag Core Database Fun Hashtbl List Mcmc Relational Row Schema String Table Value

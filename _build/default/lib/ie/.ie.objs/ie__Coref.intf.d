@@ -1,0 +1,1 @@
+lib/ie/coref.mli: Core Mcmc Relational

@@ -1,0 +1,1 @@
+lib/ie/corpus.ml: Array Labels Lexicon List Random

@@ -1,0 +1,1 @@
+lib/ie/corpus.mli: Labels

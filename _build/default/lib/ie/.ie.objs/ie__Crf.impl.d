@@ -1,0 +1,1 @@
+lib/ie/crf.ml: Array Bag Core Database Factorgraph Hashtbl Labels Lexicon List Option Params Relational Row Schema Table Templates Token_table Value

@@ -1,0 +1,1 @@
+lib/ie/crf.mli: Core Factorgraph Labels

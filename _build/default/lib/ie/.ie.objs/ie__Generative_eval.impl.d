@@ -1,0 +1,1 @@
+lib/ie/generative_eval.ml: Array Chain_inference Core Crf Factorgraph Labels Mcmc Relational Unix

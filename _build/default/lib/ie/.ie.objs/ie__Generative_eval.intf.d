@@ -1,0 +1,1 @@
+lib/ie/generative_eval.mli: Core Crf Mcmc Relational

@@ -1,0 +1,1 @@
+lib/ie/labels.ml: Array Factorgraph List String

@@ -1,0 +1,1 @@
+lib/ie/metrics.ml: Array Crf Format Hashtbl Labels List

@@ -1,0 +1,1 @@
+lib/ie/metrics.mli: Crf Format Labels

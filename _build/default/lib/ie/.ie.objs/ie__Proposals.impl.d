@@ -1,0 +1,1 @@
+lib/ie/proposals.ml: Array Core Crf Fun Hashtbl Labels List Mcmc Proposal Relational Rng String

@@ -1,0 +1,1 @@
+lib/ie/proposals.mli: Core Crf Mcmc Relational

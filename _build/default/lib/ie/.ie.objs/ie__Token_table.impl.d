@@ -1,0 +1,1 @@
+lib/ie/token_table.ml: Array Core Corpus Database Labels List Relational Row Schema Table Value

@@ -1,0 +1,1 @@
+lib/ie/token_table.mli: Core Corpus Relational

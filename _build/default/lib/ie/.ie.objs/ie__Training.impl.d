@@ -1,0 +1,1 @@
+lib/ie/training.ml: Array Crf Labels Mcmc

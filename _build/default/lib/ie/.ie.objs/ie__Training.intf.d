@@ -1,0 +1,1 @@
+lib/ie/training.mli: Crf Mcmc

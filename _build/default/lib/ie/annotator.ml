@@ -1,0 +1,67 @@
+let mem arr s = Array.exists (String.equal s) arr
+
+let annotate ?(noise = 0.) ?(seed = 0) tokens =
+  let n = Array.length tokens in
+  let out = Array.make n Labels.O in
+  let i = ref 0 in
+  while !i < n do
+    let s = tokens.(!i) in
+    let next = if !i + 1 < n then Some tokens.(!i + 1) else None in
+    if mem Lexicon.ambiguous_city_orgs s then begin
+      (* City string: ORG when an org suffix follows, else LOC. *)
+      match next with
+      | Some nx when mem Lexicon.org_suffixes nx ->
+        out.(!i) <- Labels.B Org;
+        out.(!i + 1) <- Labels.I Org;
+        i := !i + 2
+      | _ ->
+        out.(!i) <- Labels.B Loc;
+        incr i
+    end
+    else if mem Lexicon.first_names s then begin
+      out.(!i) <- Labels.B Per;
+      (match next with
+      | Some nx when mem Lexicon.last_names nx ->
+        out.(!i + 1) <- Labels.I Per;
+        i := !i + 2
+      | _ -> incr i)
+    end
+    else if mem Lexicon.org_words s then begin
+      out.(!i) <- Labels.B Org;
+      (match next with
+      | Some nx when mem Lexicon.org_suffixes nx ->
+        out.(!i + 1) <- Labels.I Org;
+        i := !i + 2
+      | _ -> incr i)
+    end
+    else if mem Lexicon.locations s then begin
+      out.(!i) <- Labels.B Loc;
+      incr i
+    end
+    else if mem Lexicon.misc_words s then begin
+      out.(!i) <- Labels.B Misc;
+      incr i
+    end
+    else incr i
+  done;
+  if noise > 0. then begin
+    let rand = Random.State.make [| seed; 0xA110 |] in
+    Array.iteri
+      (fun idx l ->
+        if Random.State.float rand 1. < noise then begin
+          let alternatives = Array.of_list (List.filter (fun x -> x <> l) (Array.to_list Labels.all)) in
+          out.(idx) <- alternatives.(Random.State.int rand (Array.length alternatives))
+        end)
+      out
+  end;
+  out
+
+let annotate_docs ?noise ?seed docs =
+  List.map
+    (fun ({ Corpus.tokens; _ } as doc) ->
+      let strings = Array.map (fun t -> t.Corpus.string) tokens in
+      let labels = annotate ?noise ?seed strings in
+      { doc with
+        Corpus.tokens =
+          Array.mapi (fun i t -> { t with Corpus.truth = labels.(i) }) tokens })
+    docs

@@ -1,0 +1,16 @@
+(** A lexicon-based named-entity annotator — the stand-in for the external
+    system the paper used to estimate ground truth (Stanford NER, their
+    footnote 1). Deterministic greedy lookup with an optional noise rate, so
+    experiments can use *estimated* truth exactly as the paper did. *)
+
+val annotate : ?noise:float -> ?seed:int -> string array -> Labels.t array
+(** [annotate tokens] labels each token by lexicon membership: first names
+    open PER mentions (last names continue them), organization words open
+    ORG (suffixes continue), locations LOC, misc words MISC, everything else
+    O. Ambiguous city strings resolve to ORG when followed by an
+    organization suffix and to LOC otherwise. [noise] (default 0) flips that
+    fraction of labels to a random other label — simulating annotator
+    error. *)
+
+val annotate_docs : ?noise:float -> ?seed:int -> Corpus.doc list -> Corpus.doc list
+(** Replaces each document's truth with estimated labels. *)

@@ -1,0 +1,20 @@
+(** Exact per-document inference for the *linear-chain* CRF via
+    forward–backward (skip factors are outside chain structure and are
+    ignored — inference over the full skip-chain model is what MCMC is
+    for). *)
+
+val model_of_doc : Crf.t -> doc:int -> Factorgraph.Chain_fb.model
+(** Node potentials are emission+bias, edge potentials the transition
+    weights, all read live from the CRF's parameter store. *)
+
+val marginals : Crf.t -> doc:int -> float array array
+(** [positions × 9] label marginals for one document, in {!Labels.all}
+    order. *)
+
+val log_partition : Crf.t -> doc:int -> float
+
+val viterbi_labels : Crf.t -> doc:int -> Labels.t array
+
+val decode : Crf.t -> unit
+(** Sets every document's labels to its Viterbi path (in the in-memory
+    mirror only). *)

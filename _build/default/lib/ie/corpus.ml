@@ -1,0 +1,82 @@
+type token = { string : string; truth : Labels.t }
+type doc = { id : int; tokens : token array }
+
+type params = {
+  n_docs : int;
+  avg_doc_len : int;
+  entity_density : float;
+  repeat_boost : float;
+}
+
+let default_params =
+  { n_docs = 20; avg_doc_len = 120; entity_density = 0.25; repeat_boost = 0.4 }
+
+(* One mention: a list of (string, label) pairs. *)
+let fresh_mention rand =
+  let pick arr = arr.(Random.State.int rand (Array.length arr)) in
+  match Random.State.int rand 4 with
+  | 0 ->
+    (* Person: first [last] *)
+    let toks = [ (pick Lexicon.first_names, Labels.B Per) ] in
+    if Random.State.bool rand then toks @ [ (pick Lexicon.last_names, Labels.I Per) ] else toks
+  | 1 ->
+    (* Organization: name [suffix]; city-derived names make "Boston" an ORG
+       sometimes. *)
+    let toks = [ (pick Lexicon.org_words, Labels.B Org) ] in
+    if Random.State.int rand 3 = 0 then toks @ [ (pick Lexicon.org_suffixes, Labels.I Org) ]
+    else toks
+  | 2 -> [ (pick Lexicon.locations, Labels.B Loc) ]
+  | _ -> [ (pick Lexicon.misc_words, Labels.B Misc) ]
+
+let generate ?(params = default_params) ~seed () =
+  let rand = Random.State.make [| seed; 0xC0FFEE |] in
+  let docs = ref [] in
+  for doc_id = 0 to params.n_docs - 1 do
+    let len = max 10 (params.avg_doc_len / 2 + Random.State.int rand params.avg_doc_len) in
+    let tokens = ref [] in
+    let n = ref 0 in
+    (* Mentions already used in this document, available for repetition. *)
+    let prior_mentions = ref [] in
+    while !n < len do
+      if Random.State.float rand 1. < params.entity_density then begin
+        let mention =
+          match !prior_mentions with
+          | _ :: _ when Random.State.float rand 1. < params.repeat_boost ->
+            (* Reuse a random earlier mention verbatim: identical strings in
+               one document are what skip edges connect. *)
+            List.nth !prior_mentions (Random.State.int rand (List.length !prior_mentions))
+          | _ ->
+            let m = fresh_mention rand in
+            prior_mentions := m :: !prior_mentions;
+            m
+        in
+        List.iter
+          (fun (s, l) ->
+            tokens := { string = s; truth = l } :: !tokens;
+            incr n)
+          mention
+      end
+      else begin
+        let s = Lexicon.common_words.(Random.State.int rand (Array.length Lexicon.common_words)) in
+        tokens := { string = s; truth = Labels.O } :: !tokens;
+        incr n
+      end
+    done;
+    docs := { id = doc_id; tokens = Array.of_list (List.rev !tokens) } :: !docs
+  done;
+  List.rev !docs
+
+let total_tokens docs = List.fold_left (fun acc d -> acc + Array.length d.tokens) 0 docs
+
+let generate_tokens ~seed ~n_tokens =
+  let per_doc = default_params.avg_doc_len in
+  let n_docs = max 1 ((n_tokens + per_doc - 1) / per_doc + 1) in
+  let docs = generate ~params:{ default_params with n_docs } ~seed () in
+  (* Trim whole documents from the tail until we are just above the target. *)
+  let rec take acc count = function
+    | [] -> List.rev acc
+    | d :: rest ->
+      if count >= n_tokens then List.rev acc
+      else take (d :: acc) (count + Array.length d.tokens) rest
+  in
+  take [] 0 docs

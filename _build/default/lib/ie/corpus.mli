@@ -1,0 +1,29 @@
+(** Seeded synthetic news corpus — the stand-in for the paper's ten million
+    NYT tokens (see DESIGN.md §2 for the substitution argument).
+
+    Documents are sequences of "sentences"; each sentence interleaves filler
+    words with entity mentions drawn from the lexicon. Entity strings repeat
+    within a document with elevated probability (giving skip edges bite) and
+    ambiguous city strings are emitted as both LOC and ORG, so queries like
+    paper Query 4 have genuinely uncertain answers. *)
+
+type token = { string : string; truth : Labels.t }
+type doc = { id : int; tokens : token array }
+
+type params = {
+  n_docs : int;
+  avg_doc_len : int;  (** tokens per document, roughly *)
+  entity_density : float;  (** fraction of sentence starts that spawn a mention *)
+  repeat_boost : float;  (** probability a new mention reuses an earlier string *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int -> unit -> doc list
+(** Deterministic in [seed]. *)
+
+val total_tokens : doc list -> int
+
+val generate_tokens : seed:int -> n_tokens:int -> doc list
+(** Convenience: documents of the default shape until at least [n_tokens]
+    tokens exist (the scalability sweeps call this). *)

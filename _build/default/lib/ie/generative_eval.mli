@@ -1,0 +1,25 @@
+(** MCDB-style generative query evaluation, for the linear-chain model only.
+
+    Each sample regenerates every document's labels independently from the
+    exact chain posterior (forward filtering / backward sampling), then runs
+    the full query from scratch — the feed-forward Monte Carlo regime of
+    MCDB [13] that the paper contrasts with (§2).
+
+    Two limitations are inherent and deliberate: (1) it requires the
+    tractable chain normalizer, so it cannot express skip edges at all —
+    exactly the representational wall MCMC removes; (2) every sample costs a
+    full-corpus regeneration plus a full query execution, with no deltas to
+    exploit. *)
+
+val evaluate :
+  ?on_sample:(int -> float -> Core.Marginals.t -> unit) ->
+  rng:Mcmc.Rng.t ->
+  crf:Crf.t ->
+  query:Relational.Algebra.t ->
+  samples:int ->
+  unit ->
+  Core.Marginals.t
+(** [crf] must have been created with [~skip_edges:false]; raises
+    [Invalid_argument] otherwise. [on_sample i elapsed marginals] fires
+    after each sample with the live estimate. Labels are written through the world (and deltas discarded), so
+    the database afterwards holds the last sampled world. *)

@@ -1,0 +1,81 @@
+type entity = Per | Org | Loc | Misc
+type t = O | B of entity | I of entity
+
+let entities = [| Per; Org; Loc; Misc |]
+
+let all =
+  Array.concat ([| O |] :: Array.to_list (Array.map (fun e -> [| B e; I e |]) entities))
+
+let entity_string = function Per -> "PER" | Org -> "ORG" | Loc -> "LOC" | Misc -> "MISC"
+
+let to_string = function
+  | O -> "O"
+  | B e -> "B-" ^ entity_string e
+  | I e -> "I-" ^ entity_string e
+
+let of_string_opt = function
+  | "O" -> Some O
+  | s -> (
+    if String.length s < 3 then None
+    else
+      let entity =
+        match String.sub s 2 (String.length s - 2) with
+        | "PER" -> Some Per
+        | "ORG" -> Some Org
+        | "LOC" -> Some Loc
+        | "MISC" -> Some Misc
+        | _ -> None
+      in
+      match entity, s.[0], s.[1] with
+      | Some e, 'B', '-' -> Some (B e)
+      | Some e, 'I', '-' -> Some (I e)
+      | _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some l -> l
+  | None -> invalid_arg ("Labels.of_string: " ^ s)
+
+let entity_of = function O -> None | B e | I e -> Some e
+
+let domain = Factorgraph.Domain.make (Array.to_list (Array.map to_string all))
+
+let index l =
+  match Factorgraph.Domain.index_opt domain (to_string l) with
+  | Some i -> i
+  | None -> assert false
+
+let of_index i = of_string (Factorgraph.Domain.value domain i)
+
+let valid_transition ~prev l =
+  match l with
+  | O | B _ -> true
+  | I e -> (
+    match prev with
+    | Some (B e') | Some (I e') -> e = e'
+    | Some O | None -> false)
+
+let valid_sequence ls =
+  let rec go prev = function
+    | [] -> true
+    | l :: rest -> valid_transition ~prev l && go (Some l) rest
+  in
+  go None ls
+
+let segments arr =
+  let n = Array.length arr in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match arr.(!i) with
+    | O -> incr i
+    | B e | I e ->
+      (* A stray I opens a mention, leniently. *)
+      let start = !i in
+      incr i;
+      while !i < n && (match arr.(!i) with I e' -> e' = e | O | B _ -> false) do
+        incr i
+      done;
+      out := (start, !i, e) :: !out)
+  done;
+  List.rev !out

@@ -1,0 +1,35 @@
+(** CoNLL entity types in BIO encoding — the nine labels of §5.1 and the
+    validity rules of Appendix 9.3. *)
+
+type entity = Per | Org | Loc | Misc
+type t = O | B of entity | I of entity
+
+val all : t array
+(** The nine labels in a fixed order: O, B-PER, I-PER, B-ORG, I-ORG, B-LOC,
+    I-LOC, B-MISC, I-MISC. *)
+
+val to_string : t -> string
+(** "O", "B-PER", "I-LOC", ... *)
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on unknown labels. *)
+
+val of_string_opt : string -> t option
+val entity_of : t -> entity option
+
+val domain : Factorgraph.Domain.t
+(** The label set as a factor-graph domain, in {!all} order. *)
+
+val index : t -> int
+val of_index : int -> t
+
+val valid_transition : prev:t option -> t -> bool
+(** BIO validity: I-T may only follow B-T or I-T; [prev = None] means
+    sequence (or document) start. *)
+
+val valid_sequence : t list -> bool
+
+val segments : t array -> (int * int * entity) list
+(** Maximal mentions as [(start, stop_exclusive, entity)], reading B/I runs
+    left to right; invalid I labels are treated as B (the usual lenient
+    decoding). *)

@@ -1,0 +1,37 @@
+let first_names =
+  [| "Bill"; "Hillary"; "Manny"; "Pedro"; "Theo"; "David"; "Kevin"; "Eli"; "Jason";
+     "Peter"; "Nomar"; "Curt"; "Johnny"; "Derek"; "Alex"; "George"; "John"; "Maria";
+     "Sandra"; "Carlos" |]
+
+let last_names =
+  [| "Clinton"; "Ramirez"; "Martinez"; "Epstein"; "Ortiz"; "Garciaparra"; "Schilling";
+     "Damon"; "Jeter"; "Rodriguez"; "Smith"; "Johnson"; "Williams"; "Brown"; "Miller";
+     "Rivera"; "Chen"; "Beltran"; "Varitek"; "Millar" |]
+
+let ambiguous_city_orgs = [| "Boston"; "Houston"; "Chicago"; "Dallas"; "Phoenix" |]
+
+let org_words =
+  Array.append ambiguous_city_orgs
+    [| "IBM"; "Enron"; "Microsoft"; "Google"; "Raytheon"; "Gillette"; "Fidelity";
+       "Staples"; "Reuters"; "NASDAQ" |]
+
+let org_suffixes = [| "corp"; "inc"; "group"; "systems"; "partners" |]
+
+let locations =
+  Array.append ambiguous_city_orgs
+    [| "Amherst"; "Springfield"; "Worcester"; "Cambridge"; "Brooklyn"; "Manhattan";
+       "Albany"; "Hartford"; "Providence"; "Concord" |]
+
+let misc_words =
+  [| "American"; "Japanese"; "Olympics"; "French"; "Grammy"; "Oscars"; "Latin";
+     "Canadian"; "Brazilian"; "European" |]
+
+let common_words =
+  [| "the"; "a"; "an"; "of"; "to"; "and"; "in"; "for"; "on"; "with"; "said"; "that";
+     "was"; "at"; "by"; "as"; "from"; "has"; "have"; "be"; "is"; "are"; "it"; "its";
+     "his"; "her"; "their"; "after"; "before"; "during"; "while"; "against"; "between";
+     "about"; "into"; "through"; "season"; "game"; "market"; "shares"; "report";
+     "officials"; "yesterday"; "today"; "week"; "year"; "executive"; "spokesman";
+     "announced"; "played"; "won"; "lost"; "traded"; "signed"; "met"; "visited" |]
+
+let is_capitalized s = String.length s > 0 && s.[0] >= 'A' && s.[0] <= 'Z'

@@ -1,0 +1,27 @@
+(** Name pools for the synthetic news corpus.
+
+    The pools are built so corpus statistics resemble the paper's NYT data
+    where it matters: entity strings repeat within and across documents
+    (feeding the skip-chain factors), and some strings are ambiguous between
+    types — "Boston" is both a city and the metonymic team/organization,
+    which is exactly the ambiguity Query 4 probes. *)
+
+val first_names : string array
+val last_names : string array
+val org_words : string array
+(** Single-token organization names, including city-derived ones. *)
+
+val org_suffixes : string array
+(** "corp", "inc", ... — continuation tokens of ORG mentions. *)
+
+val locations : string array
+val misc_words : string array
+(** Nationalities, events — MISC entities. *)
+
+val common_words : string array
+(** Lowercase filler vocabulary (O tokens). *)
+
+val ambiguous_city_orgs : string array
+(** Strings appearing both in [locations] and [org_words] ("Boston", ...). *)
+
+val is_capitalized : string -> bool

@@ -1,0 +1,41 @@
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  gold_mentions : int;
+  predicted_mentions : int;
+  correct_mentions : int;
+  token_accuracy : float;
+}
+
+let score ~gold ~predicted =
+  if Array.length gold <> Array.length predicted then
+    invalid_arg "Metrics.score: length mismatch";
+  let g = Labels.segments gold in
+  let p = Labels.segments predicted in
+  let gset = Hashtbl.create 64 in
+  List.iter (fun seg -> Hashtbl.replace gset seg ()) g;
+  let correct = List.length (List.filter (Hashtbl.mem gset) p) in
+  let ng = List.length g and np = List.length p in
+  let precision = if np = 0 then (if ng = 0 then 1. else 0.) else float_of_int correct /. float_of_int np in
+  let recall = if ng = 0 then 1. else float_of_int correct /. float_of_int ng in
+  let f1 =
+    if precision +. recall = 0. then 0. else 2. *. precision *. recall /. (precision +. recall)
+  in
+  let n = Array.length gold in
+  let hits = ref 0 in
+  Array.iteri (fun i l -> if l = predicted.(i) then incr hits) gold;
+  let token_accuracy = if n = 0 then 1. else float_of_int !hits /. float_of_int n in
+  { precision; recall; f1; gold_mentions = ng; predicted_mentions = np;
+    correct_mentions = correct; token_accuracy }
+
+let score_crf crf =
+  let n = Crf.n_tokens crf in
+  let gold = Array.init n (Crf.truth crf) in
+  let predicted = Array.init n (Crf.label crf) in
+  score ~gold ~predicted
+
+let pp fmt s =
+  Format.fprintf fmt "P=%.3f R=%.3f F1=%.3f (gold %d, predicted %d, correct %d; token acc %.3f)"
+    s.precision s.recall s.f1 s.gold_mentions s.predicted_mentions s.correct_mentions
+    s.token_accuracy

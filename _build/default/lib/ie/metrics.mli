@@ -1,0 +1,25 @@
+(** Standard NER evaluation: segment-level precision/recall/F1 (a predicted
+    mention counts only when its boundaries *and* type match a gold mention)
+    plus token accuracy. *)
+
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  gold_mentions : int;
+  predicted_mentions : int;
+  correct_mentions : int;
+  token_accuracy : float;
+}
+
+val score : gold:Labels.t array -> predicted:Labels.t array -> scores
+(** Raises [Invalid_argument] on length mismatch. Empty-gold/empty-predicted
+    edge cases follow the usual conventions (0/0 = 1). *)
+
+val score_crf : Crf.t -> scores
+(** Current labels vs the TRUTH column, document boundaries respected (the
+    arrays are per-corpus but segments never span documents because token
+    order preserves document grouping and truth is BIO-valid per
+    document). *)
+
+val pp : Format.formatter -> scores -> unit

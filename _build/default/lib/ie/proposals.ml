@@ -1,0 +1,163 @@
+open Mcmc
+
+let all_labels = Labels.all
+
+let candidate (crf : Crf.t) pos label =
+  { Proposal.delta_log_pi = Crf.delta_log_score crf ~pos label;
+    log_q_ratio = 0.;
+    commit = (fun () -> Crf.set_label crf ~pos label) }
+
+let uniform_flip crf : Core.World.t Proposal.t =
+  fun rng _world ->
+    let pos = Rng.pick rng (Crf.unclamped_positions crf) in
+    let label = Rng.pick rng all_labels in
+    candidate crf pos label
+
+let batched_flip ?(batch_docs = 5) ?(proposals_per_batch = 2000) ~rng crf : Core.World.t Proposal.t =
+  let batch = ref [||] in
+  let remaining = ref 0 in
+  let reload () =
+    let n_docs = Crf.n_docs crf in
+    let k = min batch_docs n_docs in
+    let chosen = Array.init k (fun _ -> Rng.int rng n_docs) in
+    let positions = ref [] in
+    Array.iter
+      (fun d ->
+        let first, stop = Crf.doc_token_range crf d in
+        for p = first to stop - 1 do
+          if not (Crf.is_clamped crf p) then positions := p :: !positions
+        done)
+      chosen;
+    batch := Array.of_list !positions;
+    remaining := proposals_per_batch
+  in
+  fun rng' _world ->
+    if !remaining <= 0 || Array.length !batch = 0 then reload ();
+    decr remaining;
+    let pos = (!batch).(Rng.int rng' (Array.length !batch)) in
+    let label = Rng.pick rng' all_labels in
+    candidate crf pos label
+
+(* Labels compatible with the BIO context around [pos]: I-T requires the
+   left neighbour to be B-T/I-T, and if the right neighbour is I-T then only
+   B-T/I-T keep it valid. *)
+let valid_labels (crf : Crf.t) pos =
+  let n = Crf.n_tokens crf in
+  let left =
+    if pos > 0 && Crf.doc_of crf (pos - 1) = Crf.doc_of crf pos then Some (Crf.label crf (pos - 1))
+    else None
+  in
+  let right =
+    if pos + 1 < n && Crf.doc_of crf (pos + 1) = Crf.doc_of crf pos then
+      Some (Crf.label crf (pos + 1))
+    else None
+  in
+  Array.to_list all_labels
+  |> List.filter (fun l ->
+         Labels.valid_transition ~prev:left l
+         &&
+         match right with
+         | Some (Labels.I _ as r) -> Labels.valid_transition ~prev:(Some l) r
+         | Some (Labels.O | Labels.B _) | None -> true)
+  |> Array.of_list
+
+let bio_constrained_flip crf : Core.World.t Proposal.t =
+  fun rng _world ->
+    let pos = Rng.pick rng (Crf.unclamped_positions crf) in
+    let options = valid_labels crf pos in
+    if Array.length options = 0 then candidate crf pos (Crf.label crf pos)
+    else candidate crf pos (Rng.pick rng options)
+
+(* Span patterns for the block proposer: all-O plus one B-T/I-T run per
+   entity type. *)
+let span_patterns len =
+  let all_o = Array.make len Labels.O in
+  let mention e = Array.init len (fun i -> if i = 0 then Labels.B e else Labels.I e) in
+  Array.of_list (all_o :: List.map mention [ Labels.Per; Labels.Org; Labels.Loc; Labels.Misc ])
+
+let is_pattern current =
+  Array.exists
+    (fun p -> p = current)
+    (span_patterns (Array.length current))
+
+let segment_flip ?(max_len = 3) crf : Core.World.t Proposal.t =
+  fun rng _world ->
+    let n = Crf.n_tokens crf in
+    let start = Rng.int rng n in
+    let doc = Crf.doc_of crf start in
+    let _, stop = Crf.doc_token_range crf doc in
+    let len = min (1 + Rng.int rng max_len) (stop - start) in
+    let current = Array.init len (fun i -> Crf.label crf (start + i)) in
+    let touches_clamp =
+      Array.exists Fun.id (Array.init len (fun i -> Crf.is_clamped crf (start + i)))
+    in
+    let patterns = span_patterns len in
+    let target = Rng.pick rng patterns in
+    let changes =
+      List.init len (fun i -> (start + i, target.(i)))
+      |> List.filter (fun (pos, l) -> Crf.label crf pos <> l)
+    in
+    if changes = [] || touches_clamp then
+      { Proposal.delta_log_pi = 0.; log_q_ratio = 0.; commit = (fun () -> ()) }
+    else if not (is_pattern current) then
+      (* The reverse move cannot regenerate an off-pattern span: reject. *)
+      { Proposal.delta_log_pi = neg_infinity; log_q_ratio = 0.; commit = (fun () -> ()) }
+    else
+      { Proposal.delta_log_pi = Crf.delta_log_score_multi crf changes;
+        log_q_ratio = 0.;
+        commit = (fun () -> Crf.set_labels_multi crf changes) }
+
+(* Text constants compared for equality against the STRING column, anywhere
+   in the plan. *)
+let string_constants (q : Relational.Algebra.t) =
+  let out = ref [] in
+  let rec expr (e : Relational.Expr.t) =
+    match e with
+    | Cmp (Eq, Col c, Const (Text s)) | Cmp (Eq, Const (Text s), Col c) ->
+      if String.lowercase_ascii (Relational.Schema.bare c) = "string" then out := s :: !out
+    | Cmp (_, a, b) | And (a, b) | Or (a, b) | Arith (_, a, b) ->
+      expr a;
+      expr b
+    | Not a | Like (a, _) | Is_null a -> expr a
+    | Col _ | Const _ -> ()
+  in
+  let rec alg (q : Relational.Algebra.t) =
+    match q with
+    | Scan _ -> ()
+    | Select (p, c) -> expr p; alg c
+    | Project (_, c) | Distinct c -> alg c
+    | Product (a, b) | Union (a, b) | Diff (a, b) -> alg a; alg b
+    | Join (p, a, b) -> expr p; alg a; alg b
+    | Group_by { child; _ } -> alg child
+    | Count_join { child; sub; _ } -> alg child; alg sub
+    | Order_by { child; _ } -> alg child
+  in
+  alg q;
+  !out
+
+let query_targeted crf query : Core.World.t Proposal.t =
+  let constants = string_constants query in
+  let positions =
+    match constants with
+    | [] -> Crf.unclamped_positions crf
+    | cs ->
+      let docs = Hashtbl.create 16 in
+      List.iter (fun s -> List.iter (fun d -> Hashtbl.replace docs d ()) (Crf.docs_containing crf s)) cs;
+      let out = ref [] in
+      Hashtbl.iter
+        (fun d () ->
+          let first, stop = Crf.doc_token_range crf d in
+          for p = first to stop - 1 do
+            if not (Crf.is_clamped crf p) then out := p :: !out
+          done)
+        docs;
+      Array.of_list !out
+  in
+  fun rng _world ->
+    if Array.length positions = 0 then
+      { Proposal.delta_log_pi = 0.; log_q_ratio = 0.; commit = (fun () -> ()) }
+    else begin
+      let pos = Rng.pick rng positions in
+      let label = Rng.pick rng all_labels in
+      candidate crf pos label
+    end

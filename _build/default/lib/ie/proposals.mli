@@ -1,0 +1,50 @@
+(** Proposal distributions for the NER models (§5.1).
+
+    The paper's jump function: pick a label variable uniformly at random
+    from the currently loaded batch of documents, flip it to one of the nine
+    CoNLL labels; after a fixed number of proposals, load a fresh batch of
+    up to five random documents. *)
+
+val batched_flip :
+  ?batch_docs:int ->
+  ?proposals_per_batch:int ->
+  rng:Mcmc.Rng.t ->
+  Crf.t ->
+  Core.World.t Mcmc.Proposal.t
+(** Defaults follow §5.1: [batch_docs = 5], [proposals_per_batch = 2000].
+    Symmetric within a batch, so the proposal ratio is zero. *)
+
+val uniform_flip : Crf.t -> Core.World.t Mcmc.Proposal.t
+(** Flip a uniformly random token anywhere in the corpus — the batch-free
+    variant used by small tests. *)
+
+val bio_constrained_flip : Crf.t -> Core.World.t Mcmc.Proposal.t
+(** The "more intelligent jump function" suggested in Appendix 9.3: only
+    proposes labels that keep the token's local BIO context valid (an I-T
+    label is offered only after B-T/I-T, and labels that would orphan a
+    following I-T are avoided). The candidate sets depend only on the
+    neighbours — which the move does not change — so forward and reverse
+    candidate sets have equal size and the proposal stays symmetric. *)
+
+val segment_flip : ?max_len:int -> Crf.t -> Core.World.t Mcmc.Proposal.t
+(** Block move: pick a random in-document span of length ≤ [max_len]
+    (default 3) and relabel it wholesale to one of five patterns — all-O, or
+    B-T (I-T)* for each entity type. The move is its own reverse when the
+    span currently holds a pattern (symmetric, ratio 1); otherwise the
+    reverse has probability 0 and the move is rejected outright, which keeps
+    the kernel exactly reversible. Mix with a single-flip proposal for
+    ergodicity. *)
+
+val query_targeted :
+  Crf.t -> Relational.Algebra.t -> Core.World.t Mcmc.Proposal.t
+(** §4.1's "inject query-specific knowledge into the proposal
+    distribution", derived automatically from the query structure: flips
+    are restricted to documents that can influence the answer. This is
+    *exact*, not approximate, because the skip-chain CRF factorizes over
+    documents — labels elsewhere are independent of the answer, so sampling
+    the restricted component's conditional equals sampling its marginal.
+
+    Relevance analysis: every equality between the STRING column and a text
+    constant anywhere in the query marks the documents containing that
+    constant as relevant (unioned, which is conservative); a query without
+    such constants keeps every document. *)

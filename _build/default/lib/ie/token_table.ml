@@ -1,0 +1,31 @@
+open Relational
+
+let table_name = "TOKEN"
+
+let schema () =
+  Schema.make
+    [ { Schema.name = "tok_id"; ty = Value.T_int };
+      { Schema.name = "doc_id"; ty = Value.T_int };
+      { Schema.name = "pos"; ty = Value.T_int };
+      { Schema.name = "string"; ty = Value.T_text };
+      { Schema.name = "label"; ty = Value.T_text };
+      { Schema.name = "truth"; ty = Value.T_text } ]
+
+let load db docs =
+  let t = Database.create_table db ~pk:"tok_id" ~name:table_name (schema ()) in
+  let tok_id = ref 0 in
+  List.iter
+    (fun { Corpus.id = doc_id; tokens } ->
+      Array.iteri
+        (fun pos { Corpus.string; truth } ->
+          Table.insert t
+            (Row.make
+               [ Value.Int !tok_id; Value.Int doc_id; Value.Int pos; Value.Text string;
+                 Value.Text "O"; Value.Text (Labels.to_string truth) ]);
+          incr tok_id)
+        tokens)
+    docs;
+  t
+
+let field_of_tok tok_id =
+  Core.Field.make ~table:table_name ~key:(Relational.Value.Int tok_id) ~column:"label"

@@ -1,0 +1,51 @@
+type report = {
+  steps : int;
+  updates : int;
+  accuracy_before : float;
+  accuracy_after : float;
+}
+
+let greedy_decode crf ~sweeps =
+  let n = Crf.n_tokens crf in
+  for _ = 1 to sweeps do
+    for pos = 0 to n - 1 do
+      let best = ref (Crf.label crf pos) in
+      let best_delta = ref 0. in
+      Array.iter
+        (fun l ->
+          let d = Crf.delta_log_score crf ~pos l in
+          if d > !best_delta then begin
+            best_delta := d;
+            best := l
+          end)
+        Labels.all;
+      if !best <> Crf.label crf pos then Crf.set_label_local crf ~pos !best
+    done
+  done
+
+let train ?(steps = 200_000) ?(learning_rate = 1.0) ~rng crf =
+  let accuracy_before = Crf.accuracy crf in
+  let spec =
+    { Mcmc.Samplerank.propose =
+        (fun r ->
+          let pos = Mcmc.Rng.int r (Crf.n_tokens crf) in
+          let label = Mcmc.Rng.pick r Labels.all in
+          (pos, label));
+      delta_features = (fun (pos, label) -> Crf.delta_features crf ~pos label);
+      delta_objective =
+        (fun (pos, label) ->
+          let target = Crf.truth crf pos in
+          let score l = if l = target then 1. else 0. in
+          score label -. score (Crf.label crf pos));
+      apply = (fun (pos, label) -> Crf.set_label_local crf ~pos label) }
+  in
+  let stats = Mcmc.Samplerank.train ~learning_rate ~rng ~params:(Crf.params crf) ~steps spec in
+  (* Measure what the learned weights decode to, then restore the paper's
+     initial world (all "O"). *)
+  greedy_decode crf ~sweeps:3;
+  let accuracy_after = Crf.accuracy crf in
+  let n = Crf.n_tokens crf in
+  for pos = 0 to n - 1 do
+    Crf.set_label_local crf ~pos Labels.O
+  done;
+  { steps = stats.Mcmc.Samplerank.steps; updates = stats.updates; accuracy_before; accuracy_after }

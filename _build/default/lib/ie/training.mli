@@ -1,0 +1,24 @@
+(** SampleRank training of the skip-chain CRF (§5.2): one MH-style walk over
+    label flips, perceptron updates whenever the model mis-ranks a proposed
+    pair of worlds against token-level truth. *)
+
+type report = {
+  steps : int;
+  updates : int;
+  accuracy_before : float;
+  accuracy_after : float;  (** greedy decode accuracy under the learned weights *)
+}
+
+val train :
+  ?steps:int ->
+  ?learning_rate:float ->
+  rng:Mcmc.Rng.t ->
+  Crf.t ->
+  report
+(** Mutates the CRF's parameter store in place. Labels move only in the
+    in-memory mirror during training; the database world is untouched.
+    After training, labels are reset to "O". Default [steps] 200_000. *)
+
+val greedy_decode : Crf.t -> sweeps:int -> unit
+(** Iterated conditional modes: repeatedly set each token to its locally
+    best label (used to measure learned-model accuracy). *)

@@ -1,0 +1,1 @@
+lib/mcmc/annealing.ml: Metropolis Proposal Rng

@@ -1,0 +1,1 @@
+lib/mcmc/annealing.mli: Metropolis Proposal Rng

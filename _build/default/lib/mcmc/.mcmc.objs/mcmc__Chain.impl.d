@@ -1,0 +1,1 @@
+lib/mcmc/chain.ml: Metropolis Proposal Rng

@@ -1,0 +1,1 @@
+lib/mcmc/chain.mli: Metropolis Proposal Rng

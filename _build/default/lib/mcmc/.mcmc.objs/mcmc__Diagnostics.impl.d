@@ -1,0 +1,1 @@
+lib/mcmc/diagnostics.ml: Array List

@@ -1,0 +1,1 @@
+lib/mcmc/graph_model.ml: Array Assignment Domain Factorgraph Graph Logspace Proposal Rng

@@ -1,0 +1,1 @@
+lib/mcmc/graph_model.mli: Factorgraph Proposal

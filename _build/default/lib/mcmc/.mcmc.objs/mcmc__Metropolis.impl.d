@@ -1,0 +1,1 @@
+lib/mcmc/metropolis.ml: Proposal Rng

@@ -1,0 +1,1 @@
+lib/mcmc/metropolis.mli: Proposal Rng

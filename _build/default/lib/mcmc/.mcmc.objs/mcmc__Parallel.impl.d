@@ -1,0 +1,1 @@
+lib/mcmc/parallel.ml: Array Atomic Domain List Option Rng

@@ -1,0 +1,1 @@
+lib/mcmc/parallel.mli: Rng

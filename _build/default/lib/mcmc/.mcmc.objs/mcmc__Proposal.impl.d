@@ -1,0 +1,1 @@
+lib/mcmc/proposal.ml: Array Rng

@@ -1,0 +1,1 @@
+lib/mcmc/proposal.mli: Rng

@@ -1,0 +1,1 @@
+lib/mcmc/rng.ml: Array Random

@@ -1,0 +1,1 @@
+lib/mcmc/samplerank.mli: Factorgraph Rng

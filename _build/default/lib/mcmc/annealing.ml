@@ -1,0 +1,18 @@
+let geometric_schedule ~t0 ~alpha step = max 1e-3 (t0 *. (alpha ** float_of_int step))
+
+let linear_schedule ~t0 ~steps step =
+  max 1e-3 (t0 *. (1. -. (float_of_int step /. float_of_int (max 1 steps))))
+
+let run ?stats ~schedule rng (proposal : 'w Proposal.t) world ~steps =
+  for step = 1 to steps do
+    let candidate = proposal rng world in
+    let t = max 1e-9 (schedule step) in
+    let log_alpha = candidate.Proposal.delta_log_pi /. t in
+    let accept = log_alpha >= 0. || Rng.log_uniform rng < log_alpha in
+    (match stats with
+    | None -> ()
+    | Some s ->
+      s.Metropolis.proposed <- s.Metropolis.proposed + 1;
+      if accept then s.Metropolis.accepted <- s.Metropolis.accepted + 1);
+    if accept then candidate.Proposal.commit ()
+  done

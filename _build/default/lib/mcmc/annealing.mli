@@ -1,0 +1,24 @@
+(** Simulated annealing on top of the MH kernel: acceptance uses the
+    tempered ratio Δ/T with a decreasing temperature schedule, turning the
+    sampler into a MAP (maximum a-posteriori) search. Useful to extract a
+    best single world from the same proposal machinery the marginal
+    estimators use. *)
+
+val geometric_schedule : t0:float -> alpha:float -> int -> float
+(** [geometric_schedule ~t0 ~alpha step] = t0·alphaᵉˣᵖ... i.e. t0·alpha^step,
+    floored at 1e-3. *)
+
+val linear_schedule : t0:float -> steps:int -> int -> float
+(** Linear decay from [t0] to ~0 over [steps]. *)
+
+val run :
+  ?stats:Metropolis.stats ->
+  schedule:(int -> float) ->
+  Rng.t ->
+  'w Proposal.t ->
+  'w ->
+  steps:int ->
+  unit
+(** Proposal-correction terms are ignored (annealing targets the mode, not
+    the distribution), and each candidate is accepted with probability
+    min(1, exp(Δ/T(step))). *)

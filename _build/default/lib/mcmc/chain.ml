@@ -1,0 +1,23 @@
+type 'w t = {
+  rng : Rng.t;
+  proposal : 'w Proposal.t;
+  w : 'w;
+  stats : Metropolis.stats;
+  mutable steps : int;
+}
+
+let create ~rng ~proposal w = { rng; proposal; w; stats = Metropolis.fresh_stats (); steps = 0 }
+let world c = c.w
+let stats c = c.stats
+let acceptance_rate c = Metropolis.acceptance_rate c.stats
+let steps_taken c = c.steps
+
+let run c ~steps =
+  Metropolis.run ~stats:c.stats c.rng c.proposal c.w ~steps;
+  c.steps <- c.steps + steps
+
+let sample c ~thin ~samples f =
+  for _ = 1 to samples do
+    run c ~steps:thin;
+    f c.w
+  done

@@ -1,0 +1,19 @@
+(** A single MCMC chain: a world, a proposal, a generator, and statistics.
+    Supports the paper's thinned sampling regime — walk k steps, observe,
+    repeat (§4.1). *)
+
+type 'w t
+
+val create : rng:Rng.t -> proposal:'w Proposal.t -> 'w -> 'w t
+val world : 'w t -> 'w
+val stats : 'w t -> Metropolis.stats
+val acceptance_rate : 'w t -> float
+val steps_taken : 'w t -> int
+
+val run : 'w t -> steps:int -> unit
+(** Advance the walk by [steps] transitions. *)
+
+val sample : 'w t -> thin:int -> samples:int -> ('w -> unit) -> unit
+(** [sample c ~thin ~samples f] repeats [samples] times: advance [thin]
+    steps, then call [f] on the current world (collect counts every k
+    samples — the thinning of Algorithm 3). *)

@@ -1,0 +1,23 @@
+type stats = { mutable proposed : int; mutable accepted : int }
+
+let fresh_stats () = { proposed = 0; accepted = 0 }
+
+let acceptance_rate s =
+  if s.proposed = 0 then 0. else float_of_int s.accepted /. float_of_int s.proposed
+
+let step ?stats rng (proposal : 'w Proposal.t) world =
+  let candidate = proposal rng world in
+  let log_alpha = candidate.Proposal.delta_log_pi +. candidate.Proposal.log_q_ratio in
+  let accept = log_alpha >= 0. || Rng.log_uniform rng < log_alpha in
+  (match stats with
+  | None -> ()
+  | Some s ->
+    s.proposed <- s.proposed + 1;
+    if accept then s.accepted <- s.accepted + 1);
+  if accept then candidate.Proposal.commit ();
+  accept
+
+let run ?stats rng proposal world ~steps =
+  for _ = 1 to steps do
+    ignore (step ?stats rng proposal world : bool)
+  done

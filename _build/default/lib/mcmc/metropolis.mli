@@ -1,0 +1,21 @@
+(** The Metropolis–Hastings kernel (Algorithm 2 of the paper).
+
+    Acceptance follows Eq. 3: α = min(1, [π(w′)q(w|w′)] / [π(w)q(w′|w)]),
+    evaluated in log space from the candidate's ratios, so the #P-hard
+    normalizer Z never appears. *)
+
+type stats = {
+  mutable proposed : int;
+  mutable accepted : int;
+}
+
+val fresh_stats : unit -> stats
+val acceptance_rate : stats -> float
+
+val step : ?stats:stats -> Rng.t -> 'w Proposal.t -> 'w -> bool
+(** One MH transition; returns whether the proposal was accepted (and
+    committed). *)
+
+val run : ?stats:stats -> Rng.t -> 'w Proposal.t -> 'w -> steps:int -> unit
+(** [run rng q w ~steps] performs a random walk of [steps] transitions,
+    mutating [w] in place. *)

@@ -1,0 +1,27 @@
+let max_domains = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ~n f =
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let n_workers = min n max_domains in
+  if n_workers <= 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- Some (f i)
+    done
+  else begin
+    let domains = List.init n_workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  Array.to_list (Array.map Option.get results)
+
+let split_rngs rng n = Array.init n (fun _ -> Rng.split rng)

@@ -1,0 +1,12 @@
+(** Parallel chain execution on OCaml 5 domains (§5.4).
+
+    Each worker gets an index and an independently split RNG; results are
+    collected in index order. The number of simultaneously running domains
+    is capped to the machine's recommended domain count. *)
+
+val map : n:int -> (int -> 'a) -> 'a list
+(** [map ~n f] evaluates [f 0 .. f (n-1)] on separate domains (batched when
+    [n] exceeds the hardware parallelism) and returns results in order. *)
+
+val split_rngs : Rng.t -> int -> Rng.t array
+(** Independent generators for n workers, derived deterministically. *)

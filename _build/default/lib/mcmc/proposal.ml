@@ -1,0 +1,19 @@
+type candidate = {
+  delta_log_pi : float;
+  log_q_ratio : float;
+  commit : unit -> unit;
+}
+
+type 'w t = Rng.t -> 'w -> candidate
+
+let mix components =
+  if Array.length components = 0 then invalid_arg "Proposal.mix: no components";
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0. components in
+  if total <= 0. then invalid_arg "Proposal.mix: weights must be positive";
+  fun rng world ->
+    let x = Rng.float rng total in
+    let rec pick i acc =
+      let w, p = components.(i) in
+      if x < acc +. w || i = Array.length components - 1 then p else pick (i + 1) (acc +. w)
+    in
+    (pick 0 0.) rng world

@@ -1,0 +1,20 @@
+(** Proposal distributions q(·|w) for Metropolis–Hastings.
+
+    A proposal inspects the current world and returns a {!candidate}: the
+    log model-probability ratio, the log proposal-correction ratio, and a
+    [commit] thunk that mutates the world into the proposed one. Nothing is
+    mutated unless the kernel accepts and calls [commit] — proposers that
+    must mutate to evaluate should undo before returning. *)
+
+type candidate = {
+  delta_log_pi : float;  (** log π(w′) − log π(w) (normalizer cancels) *)
+  log_q_ratio : float;  (** log q(w|w′) − log q(w′|w); 0 for symmetric proposals *)
+  commit : unit -> unit;  (** apply the change to the world *)
+}
+
+type 'w t = Rng.t -> 'w -> candidate
+
+val mix : (float * 'w t) array -> 'w t
+(** Mixture proposal: picks a component by weight each step. Correct for MH
+    when each component is itself reversible (standard cycle/mixture
+    kernel). Weights must be positive. *)

@@ -1,0 +1,27 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9 |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let int t n = Random.State.int t n
+let float t x = Random.State.float t x
+let uniform t = Random.State.float t 1.
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1. < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(Random.State.int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let raw_state t = t
+
+let log_uniform t =
+  let u = Random.State.float t 1. in
+  if u <= 0. then -745. (* log of the smallest positive double *) else log u

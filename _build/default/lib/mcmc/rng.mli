@@ -1,0 +1,33 @@
+(** Seeded random number generation with explicit state, so every sampler in
+    the system is reproducible and parallel chains get independent streams. *)
+
+type t
+
+val create : int -> t
+val split : t -> t
+(** A new generator seeded from (but independent of) this one. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). *)
+
+val float : t -> float -> float
+val uniform : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val raw_state : t -> Random.State.t
+(** The underlying generator, for interop with code that consumes
+    [Random.State.t] directly. *)
+
+val log_uniform : t -> float
+(** log of a uniform draw, never [-inf]; compare against log acceptance
+    ratios without exponentiating. *)

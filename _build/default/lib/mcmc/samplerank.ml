@@ -1,0 +1,34 @@
+type 'c spec = {
+  propose : Rng.t -> 'c;
+  delta_features : 'c -> (string * float) list;
+  delta_objective : 'c -> float;
+  apply : 'c -> unit;
+}
+
+type stats = { steps : int; updates : int; accepted : int }
+
+let train ?(learning_rate = 1.0) ~rng ~params ~steps spec =
+  let updates = ref 0 and accepted = ref 0 in
+  for _ = 1 to steps do
+    let change = spec.propose rng in
+    let dphi = spec.delta_features change in
+    let dscore = Factorgraph.Params.dot params dphi in
+    let dobj = spec.delta_objective change in
+    (* Mis-ranked pair: the objective prefers one world, the model the
+       other (or is indifferent). Move weights toward the objective. *)
+    if dobj > 0. && dscore <= 0. then begin
+      Factorgraph.Params.update_sparse params dphi ~scale:learning_rate;
+      incr updates
+    end
+    else if dobj < 0. && dscore >= 0. then begin
+      Factorgraph.Params.update_sparse params dphi ~scale:(-.learning_rate);
+      incr updates
+    end;
+    (* Walk step: MH on the (possibly just-updated) model score. *)
+    let dscore' = Factorgraph.Params.dot params dphi in
+    if dscore' >= 0. || Rng.log_uniform rng < dscore' then begin
+      spec.apply change;
+      incr accepted
+    end
+  done;
+  { steps; updates = !updates; accepted = !accepted }

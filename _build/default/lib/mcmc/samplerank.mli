@@ -1,0 +1,31 @@
+(** SampleRank (Wick et al., 2009): learns log-linear weights from atomic
+    gradients during an MH walk. Whenever the model ranks a proposed pair of
+    consecutive worlds differently from the ground-truth objective, the
+    weights receive a perceptron-style update along the feature difference.
+    This is the training method of §5.2 — "learning all parameters in a
+    matter of minutes". *)
+
+type 'c spec = {
+  propose : Rng.t -> 'c;  (** draw a candidate change to the current world *)
+  delta_features : 'c -> (string * float) list;  (** φ(w′) − φ(w) *)
+  delta_objective : 'c -> float;  (** truth score difference F(w′) − F(w) *)
+  apply : 'c -> unit;  (** commit the change *)
+}
+
+type stats = {
+  steps : int;
+  updates : int;  (** mis-ranked pairs that triggered a weight update *)
+  accepted : int;
+}
+
+val train :
+  ?learning_rate:float ->
+  rng:Rng.t ->
+  params:Factorgraph.Params.t ->
+  steps:int ->
+  'c spec ->
+  stats
+(** Runs the walk for [steps] proposals, updating [params] in place. The
+    chain itself moves by MH on the *current* model score (computed from
+    [delta_features] and [params]), so training explores roughly the same
+    distribution inference will. *)

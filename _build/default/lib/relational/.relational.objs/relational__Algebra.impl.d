@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Database Expr Format Hashtbl List Printf Schema String Table Value

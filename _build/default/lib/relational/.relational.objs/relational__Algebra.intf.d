@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Database Expr Format Schema

@@ -1,0 +1,1 @@
+lib/relational/bag.ml: Format Hashtbl List Option Row

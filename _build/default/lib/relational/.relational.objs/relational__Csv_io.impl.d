@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Bag Buffer Fun In_channel List Printf Schema String Table Value

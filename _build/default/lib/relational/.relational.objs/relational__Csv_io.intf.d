@@ -1,0 +1,1 @@
+lib/relational/csv_io.mli: Schema Table

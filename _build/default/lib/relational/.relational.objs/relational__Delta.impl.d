@@ -1,0 +1,1 @@
+lib/relational/delta.ml: Bag Hashtbl

@@ -1,0 +1,1 @@
+lib/relational/delta.mli: Bag Row

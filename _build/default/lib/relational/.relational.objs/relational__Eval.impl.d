@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Algebra Array Bag Database Expr Group_acc Hashtbl List Option Row Schema Table Value

@@ -1,0 +1,1 @@
+lib/relational/eval.mli: Algebra Bag Database Expr Row Schema

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Char Format Hashtbl List Row Schema Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relational/group_acc.ml: Algebra Array Bag List Row Schema Value

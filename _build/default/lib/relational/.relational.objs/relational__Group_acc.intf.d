@@ -1,0 +1,1 @@
+lib/relational/group_acc.mli: Algebra Row Schema Value

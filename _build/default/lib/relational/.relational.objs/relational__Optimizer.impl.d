@@ -1,0 +1,1 @@
+lib/relational/optimizer.ml: Algebra Expr List Option String

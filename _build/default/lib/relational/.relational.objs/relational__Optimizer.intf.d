@@ -1,0 +1,1 @@
+lib/relational/optimizer.mli: Algebra

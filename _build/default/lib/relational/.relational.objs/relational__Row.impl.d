@@ -1,0 +1,1 @@
+lib/relational/row.ml: Array Format List Stdlib String Value

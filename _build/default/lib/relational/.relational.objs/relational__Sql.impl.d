@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Algebra Bag Buffer Database Delta Eval Expr List Optimizer Option Printf Row Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Algebra Database Delta Eval Expr Value

@@ -1,0 +1,1 @@
+lib/relational/storage.ml: Csv_io Database Filename In_channel List Option Out_channel Printf Schema String Sys Table Value

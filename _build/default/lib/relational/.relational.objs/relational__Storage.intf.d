@@ -1,0 +1,1 @@
+lib/relational/storage.mli: Database Table

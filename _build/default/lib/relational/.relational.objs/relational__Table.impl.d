@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Bag Hashtbl List Option Printf Row Schema Value

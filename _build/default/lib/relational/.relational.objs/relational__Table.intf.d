@@ -1,0 +1,1 @@
+lib/relational/table.mli: Bag Row Schema Value

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Format Hashtbl Printf Stdlib String

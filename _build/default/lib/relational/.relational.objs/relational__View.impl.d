@@ -1,0 +1,1 @@
+lib/relational/view.ml: Algebra Array Bag Database Delta Eval Expr Group_acc Hashtbl List Option Row Schema Table Value

@@ -1,0 +1,1 @@
+lib/relational/view.mli: Algebra Bag Database Delta Schema

@@ -1,0 +1,132 @@
+type agg =
+  | Count_star
+  | Count of string
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+type agg_item = { agg : agg; as_name : string }
+type dir = Asc | Desc
+
+type t =
+  | Scan of { table : string; alias : string option }
+  | Select of Expr.t * t
+  | Project of string list * t
+  | Product of t * t
+  | Join of Expr.t * t * t
+  | Distinct of t
+  | Union of t * t
+  | Diff of t * t
+  | Group_by of { keys : string list; aggs : agg_item list; child : t }
+  | Count_join of { child : t; key : string; sub : t; sub_key : string; as_name : string }
+  | Order_by of { keys : (string * dir) list; limit : int option; child : t }
+
+let scan ?alias table = Scan { table; alias }
+let select p q = Select (p, q)
+let project cols q = Project (cols, q)
+let join p a b = Join (p, a, b)
+let group_by keys aggs child = Group_by { keys; aggs; child }
+
+let count_star ?(as_name = "count") child =
+  Group_by { keys = []; aggs = [ { agg = Count_star; as_name } ]; child }
+
+let agg_ty child_schema = function
+  | Count_star | Count _ -> Value.T_int
+  | Avg _ -> Value.T_float
+  | Sum c | Min c | Max c -> (Schema.column child_schema (Schema.index_of child_schema c)).ty
+
+let rec output_schema db = function
+  | Scan { table; alias } ->
+    let s = Table.schema (Database.table db table) in
+    (match alias with None -> s | Some a -> Schema.qualify a s)
+  | Select (p, q) ->
+    let s = output_schema db q in
+    (* Validate predicate columns eagerly so malformed queries fail fast. *)
+    List.iter (fun c -> ignore (Schema.index_of s c)) (Expr.columns p);
+    s
+  | Project (cols, q) -> fst (Schema.project (output_schema db q) cols)
+  | Product (a, b) -> Schema.concat (output_schema db a) (output_schema db b)
+  | Join (p, a, b) ->
+    let s = Schema.concat (output_schema db a) (output_schema db b) in
+    List.iter (fun c -> ignore (Schema.index_of s c)) (Expr.columns p);
+    s
+  | Distinct q -> output_schema db q
+  | Union (a, b) | Diff (a, b) ->
+    let sa = output_schema db a and sb = output_schema db b in
+    if Schema.arity sa <> Schema.arity sb then failwith "Algebra: union/diff arity mismatch";
+    sa
+  | Group_by { keys; aggs; child } ->
+    let cs = output_schema db child in
+    let key_cols =
+      List.map (fun k -> { (Schema.column cs (Schema.index_of cs k)) with Schema.name = Schema.bare k }) keys
+    in
+    let agg_cols = List.map (fun { agg; as_name } -> { Schema.name = as_name; ty = agg_ty cs agg }) aggs in
+    Schema.make (key_cols @ agg_cols)
+  | Count_join { child; key; sub; sub_key; as_name } ->
+    let cs = output_schema db child in
+    ignore (Schema.index_of cs key);
+    let ss = output_schema db sub in
+    ignore (Schema.index_of ss sub_key);
+    Schema.make (Schema.columns cs @ [ { Schema.name = as_name; ty = Value.T_int } ])
+  | Order_by { keys; child; _ } ->
+    let cs = output_schema db child in
+    List.iter (fun (k, _) -> ignore (Schema.index_of cs k)) keys;
+    cs
+
+let base_tables q =
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  let rec go = function
+    | Scan { table; _ } ->
+      if not (Hashtbl.mem seen table) then begin
+        Hashtbl.add seen table ();
+        out := table :: !out
+      end
+    | Select (_, q) | Project (_, q) | Distinct q -> go q
+    | Product (a, b) | Join (_, a, b) | Union (a, b) | Diff (a, b) ->
+      go a;
+      go b
+    | Group_by { child; _ } -> go child
+    | Count_join { child; sub; _ } ->
+      go child;
+      go sub
+    | Order_by { child; _ } -> go child
+  in
+  go q;
+  List.rev !out
+
+let pp_agg fmt { agg; as_name } =
+  let s =
+    match agg with
+    | Count_star -> "COUNT(*)"
+    | Count c -> Printf.sprintf "COUNT(%s)" c
+    | Sum c -> Printf.sprintf "SUM(%s)" c
+    | Avg c -> Printf.sprintf "AVG(%s)" c
+    | Min c -> Printf.sprintf "MIN(%s)" c
+    | Max c -> Printf.sprintf "MAX(%s)" c
+  in
+  Format.fprintf fmt "%s AS %s" s as_name
+
+let rec pp fmt = function
+  | Scan { table; alias = None } -> Format.fprintf fmt "%s" table
+  | Scan { table; alias = Some a } -> Format.fprintf fmt "%s AS %s" table a
+  | Select (p, q) -> Format.fprintf fmt "sel[%a](%a)" Expr.pp p pp q
+  | Project (cols, q) -> Format.fprintf fmt "proj[%s](%a)" (String.concat "," cols) pp q
+  | Product (a, b) -> Format.fprintf fmt "(%a x %a)" pp a pp b
+  | Join (p, a, b) -> Format.fprintf fmt "(%a join[%a] %a)" pp a Expr.pp p pp b
+  | Distinct q -> Format.fprintf fmt "distinct(%a)" pp q
+  | Union (a, b) -> Format.fprintf fmt "(%a U %a)" pp a pp b
+  | Diff (a, b) -> Format.fprintf fmt "(%a - %a)" pp a pp b
+  | Group_by { keys; aggs; child } ->
+    Format.fprintf fmt "group[%s; %a](%a)" (String.concat "," keys)
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_agg)
+      aggs pp child
+  | Count_join { child; key; sub; sub_key; as_name } ->
+    Format.fprintf fmt "countjoin[%s=%s as %s](%a; %a)" key sub_key as_name pp child pp sub
+  | Order_by { keys; limit; child } ->
+    Format.fprintf fmt "order[%s%s](%a)"
+      (String.concat ","
+         (List.map (fun (k, d) -> k ^ (match d with Asc -> "" | Desc -> " desc")) keys))
+      (match limit with None -> "" | Some n -> Printf.sprintf "; limit %d" n)
+      pp child

@@ -1,0 +1,134 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let parse_line line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush_field ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv_io: unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let write_channel oc table =
+  let schema = Table.schema table in
+  output_string oc (String.concat "," (List.map escape_field (Schema.names schema)));
+  output_char oc '\n';
+  (* Stable order keeps exports reproducible. *)
+  List.iter
+    (fun (row, count) ->
+      let line =
+        String.concat ","
+          (List.map
+             (fun v -> escape_field (match v with Value.Null -> "" | v -> Value.to_string v))
+             (Array.to_list row))
+      in
+      for _ = 1 to count do
+        output_string oc line;
+        output_char oc '\n'
+      done)
+    (Bag.to_list (Table.rows table))
+
+let write_file path table =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc table)
+
+let parse_cell (ty : Value.ty) raw =
+  if raw = "" then Value.Null
+  else
+    match ty with
+    | Value.T_int -> (
+      match int_of_string_opt raw with
+      | Some n -> Value.Int n
+      | None -> failwith (Printf.sprintf "Csv_io: %S is not an integer" raw))
+    | Value.T_float -> (
+      match float_of_string_opt raw with
+      | Some f -> Value.Float f
+      | None -> failwith (Printf.sprintf "Csv_io: %S is not a float" raw))
+    | Value.T_bool -> (
+      match String.lowercase_ascii raw with
+      | "true" | "1" -> Value.Bool true
+      | "false" | "0" -> Value.Bool false
+      | _ -> failwith (Printf.sprintf "Csv_io: %S is not a boolean" raw))
+    | Value.T_text -> Value.Text raw
+
+let read_channel ?pk ~name schema ic =
+  let header =
+    match In_channel.input_line ic with
+    | None -> failwith "Csv_io: empty input"
+    | Some l -> parse_line l
+  in
+  let arity = Schema.arity schema in
+  if List.length header <> arity then
+    failwith
+      (Printf.sprintf "Csv_io: header has %d columns, schema %d" (List.length header) arity);
+  (* Position of each schema column inside the CSV record. *)
+  let positions =
+    Array.init arity (fun i ->
+        let target = String.lowercase_ascii (Schema.column schema i).Schema.name in
+        match
+          List.find_index (fun h -> String.lowercase_ascii h = target) header
+        with
+        | Some j -> j
+        | None -> failwith ("Csv_io: missing column " ^ target))
+  in
+  let table = Table.create ?pk ~name schema in
+  let rec loop line_no =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some "" -> loop (line_no + 1)
+    | Some line ->
+      let cells = Array.of_list (parse_line line) in
+      if Array.length cells <> arity then
+        failwith (Printf.sprintf "Csv_io: line %d has %d fields, expected %d" line_no
+                    (Array.length cells) arity);
+      let row =
+        Array.init arity (fun i -> parse_cell (Schema.column schema i).Schema.ty cells.(positions.(i)))
+      in
+      Table.insert table row;
+      loop (line_no + 1)
+  in
+  loop 2;
+  table
+
+let read_file ?pk ~name schema path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ?pk ~name schema ic)

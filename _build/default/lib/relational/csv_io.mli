@@ -1,0 +1,21 @@
+(** CSV import/export for tables (RFC-4180-style quoting).
+
+    The first line is a header of column names. On import, cell values are
+    parsed according to the target schema's column types; empty cells become
+    [Null]. *)
+
+val write_channel : out_channel -> Table.t -> unit
+val write_file : string -> Table.t -> unit
+
+val read_channel :
+  ?pk:string -> name:string -> Schema.t -> in_channel -> Table.t
+(** Reads rows into a fresh table. The header must name exactly the schema's
+    columns (case-insensitively, any order). Raises [Failure] on malformed
+    input. *)
+
+val read_file : ?pk:string -> name:string -> Schema.t -> string -> Table.t
+
+val parse_line : string -> string list
+(** One CSV record (no embedded newlines); exposed for tests. *)
+
+val escape_field : string -> string

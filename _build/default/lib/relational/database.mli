@@ -1,0 +1,15 @@
+(** A database: a namespace of {!Table.t}. *)
+
+type t
+
+val create : unit -> t
+val create_table : t -> ?pk:string -> name:string -> Schema.t -> Table.t
+(** Raises [Invalid_argument] if the name is taken. *)
+
+val add_table : t -> Table.t -> unit
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val table_opt : t -> string -> Table.t option
+val tables : t -> Table.t list
+val drop_table : t -> string -> unit

@@ -1,0 +1,41 @@
+type t = (string, Bag.t) Hashtbl.t
+
+let create () = Hashtbl.create 4
+
+let bag_for d table =
+  match Hashtbl.find_opt d table with
+  | Some b -> b
+  | None ->
+    let b = Bag.create () in
+    Hashtbl.replace d table b;
+    b
+
+let record_insert d ~table row = Bag.add (bag_for d table) row
+let record_delete d ~table row = Bag.remove (bag_for d table) row
+
+let record_update d ~table ~old_row ~new_row =
+  let b = bag_for d table in
+  Bag.remove b old_row;
+  Bag.add b new_row
+
+let for_table d table = Hashtbl.find_opt d table
+let tables d = Hashtbl.fold (fun name _ acc -> name :: acc) d []
+let is_empty d = Hashtbl.fold (fun _ b acc -> acc && Bag.is_empty b) d true
+let clear d = Hashtbl.reset d
+
+let signed_part ~sign d ~table =
+  let out = Bag.create () in
+  (match Hashtbl.find_opt d table with
+  | None -> ()
+  | Some b ->
+    Bag.iter
+      (fun row c ->
+        if sign * c > 0 then Bag.add ~count:(abs c) out row)
+      b);
+  out
+
+let plus d ~table = signed_part ~sign:1 d ~table
+let minus d ~table = signed_part ~sign:(-1) d ~table
+
+let total_magnitude d =
+  Hashtbl.fold (fun _ b acc -> Bag.fold (fun _ c acc -> acc + abs c) b acc) d 0

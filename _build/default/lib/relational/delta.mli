@@ -1,0 +1,31 @@
+(** Signed per-table update batches (the Δ−/Δ+ of the paper, coalesced).
+
+    A delta maps each base table to a signed row multiset: a row updated from
+    [a] to [b] contributes [a ↦ −1, b ↦ +1]; opposite changes within one
+    batch cancel automatically. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+
+val record_insert : t -> table:string -> Row.t -> unit
+val record_delete : t -> table:string -> Row.t -> unit
+val record_update : t -> table:string -> old_row:Row.t -> new_row:Row.t -> unit
+
+val for_table : t -> string -> Bag.t option
+(** Net signed delta for a table, or [None] when untouched (an all-zero bag
+    may still be returned as an empty bag). *)
+
+val tables : t -> string list
+val clear : t -> unit
+
+val plus : t -> table:string -> Bag.t
+(** Rows with positive net count (the paper's Δ+ auxiliary table). *)
+
+val minus : t -> table:string -> Bag.t
+(** Rows with negative net count, returned with positive multiplicities
+    (the paper's Δ− auxiliary table). *)
+
+val total_magnitude : t -> int
+(** Sum of absolute net counts across all tables — the |Δ| in cost terms. *)

@@ -1,0 +1,70 @@
+type t = {
+  mutable count : int;
+  sums_int : int array;
+  sums_float : float array;
+  int_only : bool array;
+  value_bags : Bag.t array; (* Min/Max keep the full value multiset so that
+                               removals can surface a new extremum. *)
+}
+
+type spec = { aggs : Algebra.agg_item array; cols : int option array }
+
+let agg_col cs = function
+  | Algebra.Count_star -> None
+  | Count c | Sum c | Avg c | Min c | Max c -> Some (Schema.index_of cs c)
+
+let spec_of child_schema aggs =
+  let aggs = Array.of_list aggs in
+  let cols = Array.map (fun { Algebra.agg; _ } -> agg_col child_schema agg) aggs in
+  { aggs; cols }
+
+let create spec =
+  let n = Array.length spec.aggs in
+  {
+    count = 0;
+    sums_int = Array.make n 0;
+    sums_float = Array.make n 0.;
+    int_only = Array.make n true;
+    value_bags = Array.init n (fun _ -> Bag.create ~size:4 ());
+  }
+
+let add spec acc row count =
+  acc.count <- acc.count + count;
+  Array.iteri
+    (fun j col ->
+      match col with
+      | None -> ()
+      | Some pos ->
+        let v = Row.get row pos in
+        (match spec.aggs.(j).Algebra.agg with
+        | Algebra.Sum _ | Algebra.Avg _ -> (
+          match v with
+          | Value.Int n -> acc.sums_int.(j) <- acc.sums_int.(j) + (n * count)
+          | Value.Null -> ()
+          | _ ->
+            acc.int_only.(j) <- false;
+            acc.sums_float.(j) <- acc.sums_float.(j) +. (Value.to_float v *. float_of_int count))
+        | Algebra.Count _ -> if v <> Value.Null then acc.sums_int.(j) <- acc.sums_int.(j) + count
+        | Algebra.Min _ | Algebra.Max _ -> Bag.add ~count acc.value_bags.(j) [| v |]
+        | Algebra.Count_star -> ()))
+    spec.cols
+
+let is_empty acc = acc.count = 0
+
+let finalize spec acc =
+  Array.mapi
+    (fun j { Algebra.agg; _ } ->
+      match agg with
+      | Algebra.Count_star -> Value.Int acc.count
+      | Algebra.Count _ -> Value.Int acc.sums_int.(j)
+      | Algebra.Sum _ ->
+        if acc.int_only.(j) then Value.Int acc.sums_int.(j)
+        else Value.Float (acc.sums_float.(j) +. float_of_int acc.sums_int.(j))
+      | Algebra.Avg _ ->
+        if acc.count = 0 then Value.Null
+        else Value.Float ((acc.sums_float.(j) +. float_of_int acc.sums_int.(j)) /. float_of_int acc.count)
+      | Algebra.Min _ -> (
+        match Bag.rows acc.value_bags.(j) with [] -> Value.Null | r :: _ -> r.(0))
+      | Algebra.Max _ -> (
+        match List.rev (Bag.rows acc.value_bags.(j)) with [] -> Value.Null | r :: _ -> r.(0)))
+    spec.aggs

@@ -1,0 +1,25 @@
+(** Per-group aggregate accumulators, shared by full evaluation and by the
+    incremental view engine. Accumulation accepts signed multiplicities, so
+    the same structure supports both building a result from scratch and
+    maintaining it under deltas. *)
+
+type t
+
+type spec = {
+  aggs : Algebra.agg_item array;
+  cols : int option array;  (** position of each agg's input column in the child schema *)
+}
+
+val spec_of : Schema.t -> Algebra.agg_item list -> spec
+
+val create : spec -> t
+
+val add : spec -> t -> Row.t -> int -> unit
+(** [add spec acc row count] folds [count] (possibly negative) occurrences of
+    a child [row] into the accumulator. *)
+
+val is_empty : t -> bool
+(** True when the group contains no rows (net multiplicity zero). *)
+
+val finalize : spec -> t -> Value.t array
+(** Aggregate output values, in [spec.aggs] order. *)

@@ -1,0 +1,77 @@
+let rec exposed_aliases (q : Algebra.t) : string list =
+  match q with
+  | Scan { table; alias } -> [ Option.value ~default:table alias ]
+  | Select (_, c) | Distinct c -> exposed_aliases c
+  | Project _ | Group_by _ -> [] (* renamed columns: stop attribution *)
+  | Product (a, b) | Join (_, a, b) | Union (a, b) | Diff (a, b) ->
+    exposed_aliases a @ exposed_aliases b
+  | Count_join { child; _ } -> exposed_aliases child
+  | Order_by { child; _ } -> exposed_aliases child
+
+let alias_of_col c =
+  match String.index_opt c '.' with
+  | Some i -> Some (String.sub c 0 i)
+  | None -> None
+
+(* Which side of (left_aliases, right_aliases) does a conjunct's column set
+   fall on?  [`Neither] means some column is unqualified or unknown. *)
+let side_of ~left ~right conj =
+  let cols = Expr.columns conj in
+  if cols = [] then `Either
+  else
+    let side c =
+      match alias_of_col c with
+      | Some a when List.mem a left -> `L
+      | Some a when List.mem a right -> `R
+      | _ -> `Unknown
+    in
+    let sides = List.map side cols in
+    if List.for_all (fun s -> s = `L) sides then `Left
+    else if List.for_all (fun s -> s = `R) sides then `Right
+    else if List.for_all (fun s -> s <> `Unknown) sides then `Mixed
+    else `Neither
+
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let select_opt pred q = match pred with [] -> q | ps -> Algebra.Select (Expr.conj ps, q)
+
+let rec optimize (q : Algebra.t) : Algebra.t =
+  match q with
+  | Scan _ -> q
+  | Select (p, child) -> (
+    let child = optimize child in
+    match child with
+    | Product (a, b) | Join (_, a, b) ->
+      let base_pred = match child with Join (jp, _, _) -> [ jp ] | _ -> [] in
+      let left = exposed_aliases a and right = exposed_aliases b in
+      let to_left = ref [] and to_right = ref [] and join_pred = ref [] and residual = ref [] in
+      List.iter
+        (fun c ->
+          match side_of ~left ~right c with
+          | `Left -> to_left := c :: !to_left
+          | `Right -> to_right := c :: !to_right
+          | `Mixed -> join_pred := c :: !join_pred
+          | `Either | `Neither -> residual := c :: !residual)
+        (conjuncts p);
+      let a = select_opt (List.rev !to_left) a in
+      let b = select_opt (List.rev !to_right) b in
+      let joined =
+        match base_pred @ List.rev !join_pred with
+        | [] -> Algebra.Product (a, b)
+        | ps -> Algebra.Join (Expr.conj ps, a, b)
+      in
+      select_opt (List.rev !residual) joined
+    | Select (p2, grandchild) -> Algebra.Select (Expr.And (p, p2), grandchild) |> optimize
+    | child -> Select (p, child))
+  | Project (cols, c) -> Project (cols, optimize c)
+  | Product (a, b) -> Product (optimize a, optimize b)
+  | Join (p, a, b) -> Join (p, optimize a, optimize b)
+  | Distinct c -> Distinct (optimize c)
+  | Union (a, b) -> Union (optimize a, optimize b)
+  | Diff (a, b) -> Diff (optimize a, optimize b)
+  | Group_by { keys; aggs; child } -> Group_by { keys; aggs; child = optimize child }
+  | Count_join cj ->
+    Count_join { cj with child = optimize cj.child; sub = optimize cj.sub }
+  | Order_by ob -> Order_by { ob with child = optimize ob.child }

@@ -1,0 +1,12 @@
+(** Algebraic rewrites applied to parsed queries.
+
+    The rewriter is purely syntactic (alias-driven) so it runs without a
+    database: selections over products are split by which side their columns
+    belong to, single-side conjuncts are pushed down, and cross-side equality
+    conjuncts turn the product into a join — the plan shape both the naive
+    evaluator and the view maintainer want. *)
+
+val optimize : Algebra.t -> Algebra.t
+
+val exposed_aliases : Algebra.t -> string list
+(** Alias (or table-name) prefixes a subtree's columns may carry. *)

@@ -1,0 +1,15 @@
+(** Rows: fixed-arity arrays of {!Value.t}. Treated as immutable. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val get : t -> int -> Value.t
+val set : t -> int -> Value.t -> t
+(** Functional update: returns a fresh row. *)
+
+val append : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,95 @@
+type column = { name : string; ty : Value.ty }
+type t = column array
+
+let make cols =
+  let a = Array.of_list cols in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then failwith ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add seen c.name ())
+    a;
+  a
+
+let columns s = Array.to_list s
+let arity = Array.length
+let column s i = s.(i)
+
+let bare name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let index_of s name =
+  (* SQL identifiers are case-insensitive; exact match wins, then a
+     case-insensitive full-name match, then bare-name resolution ("STRING"
+     matches "T1.String" when unambiguous). *)
+  let exact = ref (-1) in
+  Array.iteri (fun i c -> if c.name = name then exact := i) s;
+  if !exact >= 0 then !exact
+  else begin
+    let lname = String.lowercase_ascii name in
+    let ci = ref [] in
+    Array.iteri (fun i c -> if String.lowercase_ascii c.name = lname then ci := i :: !ci) s;
+    match !ci with
+    | [ i ] -> i
+    | _ :: _ -> failwith ("Schema.index_of: ambiguous column " ^ name)
+    | [] when String.contains name '.' ->
+      (* A qualified name must match a qualified column — falling back to the
+         bare suffix would let T1.x resolve to T2.x. *)
+      raise Not_found
+    | [] -> (
+      let lbare = String.lowercase_ascii (bare name) in
+      let matches = ref [] in
+      Array.iteri
+        (fun i c -> if String.lowercase_ascii (bare c.name) = lbare then matches := i :: !matches)
+        s;
+      match !matches with
+      | [ i ] -> i
+      | [] -> raise Not_found
+      | _ -> failwith ("Schema.index_of: ambiguous column " ^ name))
+  end
+
+let mem s name =
+  match index_of s name with _ -> true | exception Not_found -> false | exception Failure _ -> true
+
+let names s = Array.to_list (Array.map (fun c -> c.name) s)
+
+let qualify alias s = Array.map (fun c -> { c with name = alias ^ "." ^ bare c.name }) s
+
+let concat a b =
+  let joined = Array.append a b in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then failwith ("Schema.concat: duplicate column " ^ c.name);
+      Hashtbl.add seen c.name ())
+    joined;
+  joined
+
+let project s cols =
+  let positions = Array.of_list (List.map (index_of s) cols) in
+  let projected =
+    Array.map (fun i -> { s.(i) with name = bare s.(i).name }) positions
+  in
+  (* Duplicate bare names after projection (e.g. projecting T1.X and T2.X)
+     keep their qualified names to stay unambiguous. *)
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace counts c.name (1 + (Option.value ~default:0 (Hashtbl.find_opt counts c.name))))
+    projected;
+  let projected =
+    Array.mapi
+      (fun j c -> if Hashtbl.find counts c.name > 1 then { c with name = s.(positions.(j)).name } else c)
+      projected
+  in
+  (projected, positions)
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2 (fun (x : column) y -> x.name = y.name && x.ty = y.ty) a b
+
+let pp fmt s =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (List.map (fun c -> c.name) (columns s)))

@@ -1,0 +1,36 @@
+(** Relation schemas: ordered, possibly qualified column names with types.
+
+    Column names may be qualified ("T1.STRING") or bare ("STRING"). Lookup by
+    a bare name matches a qualified column when the suffix after the dot
+    matches and the match is unambiguous. *)
+
+type column = { name : string; ty : Value.ty }
+type t
+
+val make : column list -> t
+val columns : t -> column list
+val arity : t -> int
+val column : t -> int -> column
+
+val index_of : t -> string -> int
+(** [index_of s name] resolves [name] (qualified or bare) to a position.
+    Raises [Not_found] if absent and [Failure] if a bare name is ambiguous. *)
+
+val mem : t -> string -> bool
+val names : t -> string list
+
+val qualify : string -> t -> t
+(** [qualify alias s] renames every column to ["alias.bare_name"]. *)
+
+val concat : t -> t -> t
+(** Schema of a product; raises [Failure] on duplicate full names. *)
+
+val project : t -> string list -> t * int array
+(** [project s cols] is the projected schema together with the positions of
+    each projected column in [s]. Projected columns keep their bare name. *)
+
+val bare : string -> string
+(** Suffix after the final ['.'], or the whole name. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

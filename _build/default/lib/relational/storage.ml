@@ -1,0 +1,76 @@
+let ty_to_string = function
+  | Value.T_int -> "int"
+  | Value.T_float -> "float"
+  | Value.T_bool -> "bool"
+  | Value.T_text -> "text"
+
+let ty_of_string = function
+  | "int" -> Value.T_int
+  | "float" -> Value.T_float
+  | "bool" -> Value.T_bool
+  | "text" -> Value.T_text
+  | s -> failwith ("Storage: unknown type " ^ s)
+
+let indexed_columns table =
+  List.filter (Table.has_index table) (Schema.names (Table.schema table))
+
+let manifest_line table =
+  let schema = Table.schema table in
+  let cols =
+    String.concat ","
+      (List.map (fun c -> c.Schema.name ^ ":" ^ ty_to_string c.Schema.ty) (Schema.columns schema))
+  in
+  let pk = Option.value ~default:"-" (Table.pk_column table) in
+  let idx =
+    match indexed_columns table with [] -> "-" | cs -> String.concat "," cs
+  in
+  Printf.sprintf "%s|%s|%s|%s" (Table.name table) pk cols idx
+
+let save db ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let tables = List.sort (fun a b -> compare (Table.name a) (Table.name b)) (Database.tables db) in
+  Out_channel.with_open_text (Filename.concat dir "MANIFEST") (fun oc ->
+      List.iter
+        (fun t ->
+          output_string oc (manifest_line t);
+          output_char oc '\n')
+        tables);
+  List.iter
+    (fun t -> Csv_io.write_file (Filename.concat dir (Table.name t ^ ".csv")) t)
+    tables
+
+let parse_manifest_line line =
+  match String.split_on_char '|' line with
+  | [ name; pk; cols; idx ] ->
+    let schema =
+      Schema.make
+        (List.map
+           (fun spec ->
+             match String.split_on_char ':' spec with
+             | [ col; ty ] -> { Schema.name = col; ty = ty_of_string ty }
+             | _ -> failwith ("Storage: bad column spec " ^ spec))
+           (String.split_on_char ',' cols))
+    in
+    let pk = if pk = "-" then None else Some pk in
+    let indexes = if idx = "-" then [] else String.split_on_char ',' idx in
+    (name, pk, schema, indexes)
+  | _ -> failwith ("Storage: bad manifest line " ^ line)
+
+let load ~dir =
+  let manifest = Filename.concat dir "MANIFEST" in
+  if not (Sys.file_exists manifest) then failwith ("Storage: no manifest in " ^ dir);
+  let db = Database.create () in
+  In_channel.with_open_text manifest (fun ic ->
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some line ->
+          let name, pk, schema, indexes = parse_manifest_line line in
+          let table = Csv_io.read_file ?pk ~name schema (Filename.concat dir (name ^ ".csv")) in
+          List.iter (Table.create_index table) indexes;
+          Database.add_table db table;
+          loop ()
+      in
+      loop ());
+  db

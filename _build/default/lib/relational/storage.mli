@@ -1,0 +1,14 @@
+(** Directory-based persistence: one CSV per table plus a [MANIFEST] listing
+    each table's schema, primary key, and secondary indexes. Enough to park
+    a corpus on disk and reload it — not a transactional store (the paper's
+    DBMS is a black box; see DESIGN.md non-goals). *)
+
+val save : Database.t -> dir:string -> unit
+(** Creates [dir] if needed; overwrites existing files. *)
+
+val load : dir:string -> Database.t
+(** Raises [Failure] on a missing or malformed manifest. *)
+
+val manifest_line : Table.t -> string
+(** Serialized manifest entry, exposed for tests:
+    [name|pk_or_-|col:ty,col:ty,...|indexed_cols_or_-]. *)

@@ -1,0 +1,116 @@
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type index = { col : int; entries : Bag.t VH.t }
+
+type t = {
+  tname : string;
+  schema : Schema.t;
+  pk : int option;
+  rows : Bag.t;
+  by_pk : Row.t VH.t;
+  mutable indexes : index list;
+}
+
+let empty_bag = Bag.create ~size:1 ()
+
+let create ?pk ~name schema =
+  let pk = Option.map (Schema.index_of schema) pk in
+  { tname = name; schema; pk; rows = Bag.create (); by_pk = VH.create 64; indexes = [] }
+
+let name t = t.tname
+let schema t = t.schema
+let pk_column t = Option.map (fun i -> (Schema.column t.schema i).Schema.name) t.pk
+let cardinal t = Bag.total t.rows
+
+let index_add idx row count =
+  let key = Row.get row idx.col in
+  let bag =
+    match VH.find_opt idx.entries key with
+    | Some b -> b
+    | None ->
+      let b = Bag.create ~size:4 () in
+      VH.replace idx.entries key b;
+      b
+  in
+  Bag.add ~count bag row;
+  if Bag.is_empty bag then VH.remove idx.entries key
+
+let insert t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg (Printf.sprintf "Table.insert(%s): arity mismatch" t.tname);
+  (match t.pk with
+  | None -> ()
+  | Some k ->
+    let key = Row.get row k in
+    if VH.mem t.by_pk key then
+      invalid_arg (Printf.sprintf "Table.insert(%s): duplicate key %s" t.tname (Value.to_string key));
+    VH.replace t.by_pk key row);
+  Bag.add t.rows row;
+  List.iter (fun idx -> index_add idx row 1) t.indexes
+
+let delete t row =
+  if not (Bag.mem t.rows row) then raise Not_found;
+  (match t.pk with
+  | None -> ()
+  | Some k -> VH.remove t.by_pk (Row.get row k));
+  Bag.remove t.rows row;
+  List.iter (fun idx -> index_add idx row (-1)) t.indexes
+
+let find_by_pk t key = VH.find_opt t.by_pk key
+
+let update_by_pk t key row =
+  match VH.find_opt t.by_pk key with
+  | None -> invalid_arg (Printf.sprintf "Table.update_by_pk(%s): no key %s" t.tname (Value.to_string key))
+  | Some old_row ->
+    let k = match t.pk with Some k -> k | None -> assert false in
+    if not (Value.equal (Row.get row k) key) then
+      invalid_arg "Table.update_by_pk: key change not supported";
+    Bag.remove t.rows old_row;
+    Bag.add t.rows row;
+    VH.replace t.by_pk key row;
+    List.iter
+      (fun idx ->
+        index_add idx old_row (-1);
+        index_add idx row 1)
+      t.indexes;
+    old_row
+
+let update_field_by_pk t key ~column v =
+  let pos = Schema.index_of t.schema column in
+  match VH.find_opt t.by_pk key with
+  | None -> invalid_arg (Printf.sprintf "Table.update_field_by_pk(%s): no key %s" t.tname (Value.to_string key))
+  | Some old_row ->
+    let new_row = Row.set old_row pos v in
+    ignore (update_by_pk t key new_row);
+    (old_row, new_row)
+
+let rows t = t.rows
+let iter f t = Bag.iter f t.rows
+
+let create_index t column =
+  let col = Schema.index_of t.schema column in
+  t.indexes <- List.filter (fun idx -> idx.col <> col) t.indexes;
+  let idx = { col; entries = VH.create 256 } in
+  Bag.iter (fun row c -> index_add idx row c) t.rows;
+  t.indexes <- idx :: t.indexes
+
+let has_index t column =
+  match Schema.index_of t.schema column with
+  | col -> List.exists (fun idx -> idx.col = col) t.indexes
+  | exception Not_found -> false
+
+let lookup t ~column v =
+  let col = Schema.index_of t.schema column in
+  match List.find_opt (fun idx -> idx.col = col) t.indexes with
+  | None -> invalid_arg (Printf.sprintf "Table.lookup(%s): no index on %s" t.tname column)
+  | Some idx -> Option.value ~default:empty_bag (VH.find_opt idx.entries v)
+
+let clear t =
+  Bag.clear t.rows;
+  VH.reset t.by_pk;
+  List.iter (fun idx -> VH.reset idx.entries) t.indexes

@@ -1,0 +1,49 @@
+(** Named base relations with optional primary key and hash indexes.
+
+    A table stores a multiset of rows. When a primary key is declared the
+    table additionally maintains a key → row map and updates become
+    constant-time row replacements — the access pattern MCMC needs when a
+    field variable changes value. *)
+
+type t
+
+val create : ?pk:string -> name:string -> Schema.t -> t
+(** [create ~pk ~name schema]: [pk], when given, must name a schema column;
+    inserting two rows with the same key then raises. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val pk_column : t -> string option
+(** The declared primary-key column, if any. *)
+
+val cardinal : t -> int
+(** Total number of rows counting multiplicity. *)
+
+val insert : t -> Row.t -> unit
+val delete : t -> Row.t -> unit
+(** Removes one occurrence. Raises [Not_found] if the row is absent. *)
+
+val find_by_pk : t -> Value.t -> Row.t option
+
+val update_by_pk : t -> Value.t -> Row.t -> Row.t
+(** [update_by_pk t k row] replaces the row keyed [k] with [row] (which must
+    carry the same key) and returns the replaced row. *)
+
+val update_field_by_pk : t -> Value.t -> column:string -> Value.t -> Row.t * Row.t
+(** Point update of one field; returns [(old_row, new_row)]. *)
+
+val rows : t -> Bag.t
+(** The live multiset — callers must not mutate it. *)
+
+val iter : (Row.t -> int -> unit) -> t -> unit
+
+val create_index : t -> string -> unit
+(** Builds (or rebuilds) a hash index on the named column. *)
+
+val has_index : t -> string -> bool
+
+val lookup : t -> column:string -> Value.t -> Bag.t
+(** Index lookup; raises [Invalid_argument] if no index exists on [column].
+    The returned bag must not be mutated. *)
+
+val clear : t -> unit

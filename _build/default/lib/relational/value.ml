@@ -1,0 +1,82 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Text of string
+
+type ty = T_int | T_float | T_bool | T_text
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | Bool _ -> Some T_bool
+  | Text _ -> Some T_text
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Text _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Text x, Text y -> String.compare x y
+  | (Null | Int _ | Float _ | Bool _ | Text _), _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 37
+  | Int n -> Hashtbl.hash (2, float_of_int n)
+  | Float f ->
+    (* Keep [hash] compatible with [equal]: Int n and Float (float n) must
+       collide, so integral floats hash through the same path as ints. *)
+    Hashtbl.hash (2, f)
+  | Text s -> Hashtbl.hash (3, s)
+
+let to_string = function
+  | Null -> "NULL"
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+  | Text s -> s
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let to_int = function
+  | Int n -> n
+  | Float f -> int_of_float f
+  | Bool b -> if b then 1 else 0
+  | v -> invalid_arg ("Value.to_int: " ^ to_string v)
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Float f -> f
+  | v -> invalid_arg ("Value.to_float: " ^ to_string v)
+
+let is_truthy = function
+  | Null -> false
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Float f -> f <> 0.
+  | Text s -> s <> ""
+
+let arith int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (to_float a) (to_float b))
+  | _ -> invalid_arg "Value: arithmetic on non-numeric value"
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )

@@ -1,0 +1,383 @@
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+module RH = Hashtbl.Make (struct
+  type t = Row.t
+
+  let equal = Row.equal
+  let hash = Row.hash
+end)
+
+type node = { alg : Algebra.t; schema : Schema.t; kind : kind }
+
+and kind =
+  | K_scan of string
+  | K_select of (Row.t -> bool) * node
+  | K_project of int array * node
+  | K_join of { pred : Expr.t option; left : node; right : node }
+  | K_distinct of { child : node; counts : Bag.t }
+  | K_union of node * node
+  | K_recompute of { mutable current : Bag.t } (* Diff: maintained by re-evaluation *)
+  | K_group of group_info
+  | K_count_join of cj_info
+
+and group_info = {
+  g_child : node;
+  keys_pos : int array;
+  spec : Group_acc.spec;
+  groups : Group_acc.t RH.t;
+  global : bool;
+}
+
+and cj_info = {
+  c_child : node;
+  c_sub : node;
+  key_pos : int;
+  sub_key_pos : int;
+  sub_counts : int VH.t;
+  child_by_key : Bag.t VH.t;
+}
+
+type t = { db : Database.t; alg : Algebra.t; root : node; result : Bag.t; mutable vschema : Schema.t }
+
+let schema v = v.vschema
+let result v = v.result
+let algebra v = v.alg
+
+(* ------------------------------------------------------------------ *)
+(* Construction: build the stateful tree and the initial result in one
+   bottom-up pass.  [build] returns the node plus its current full result
+   (which parents may fold into their own state). *)
+
+let cj_add_child info row count =
+  let k = Row.get row info.key_pos in
+  let bag =
+    match VH.find_opt info.child_by_key k with
+    | Some b -> b
+    | None ->
+      let b = Bag.create ~size:4 () in
+      VH.replace info.child_by_key k b;
+      b
+  in
+  Bag.add ~count bag row;
+  if Bag.is_empty bag then VH.remove info.child_by_key k
+
+let cj_count info k = Option.value ~default:0 (VH.find_opt info.sub_counts k)
+
+let rec build db (alg : Algebra.t) : node * Bag.t =
+  let schema = Algebra.output_schema db alg in
+  match alg with
+  | Scan { table; _ } ->
+    (* Store the canonical table name so delta lookup matches the name the
+       world records updates under, regardless of query-side casing. *)
+    let t = Database.table db table in
+    ({ alg; schema; kind = K_scan (Table.name t) }, Table.rows t)
+  | Select (p, child_alg) ->
+    let child, cbag = build db child_alg in
+    let keep = Expr.bind_pred child.schema p in
+    ({ alg; schema; kind = K_select (keep, child) }, Bag.filter keep cbag)
+  | Project (cols, child_alg) ->
+    let child, cbag = build db child_alg in
+    let _, positions = Schema.project child.schema cols in
+    let out = Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) cbag in
+    ({ alg; schema; kind = K_project (positions, child) }, out)
+  | Product (a, b) ->
+    let left, ba = build db a in
+    let right, bb = build db b in
+    let r = Eval.join_bags left.schema right.schema ba bb in
+    ({ alg; schema; kind = K_join { pred = None; left; right } }, r.Eval.bag)
+  | Join (p, a, b) ->
+    let left, ba = build db a in
+    let right, bb = build db b in
+    let r = Eval.join_bags ~pred:p left.schema right.schema ba bb in
+    ({ alg; schema; kind = K_join { pred = Some p; left; right } }, r.Eval.bag)
+  | Distinct child_alg ->
+    let child, cbag = build db child_alg in
+    let counts = Bag.copy cbag in
+    let out = Bag.create () in
+    Bag.iter (fun r c -> if c > 0 then Bag.add out r) counts;
+    ({ alg; schema; kind = K_distinct { child; counts } }, out)
+  | Union (a, b) ->
+    let left, ba = build db a in
+    let right, bb = build db b in
+    let out = Bag.copy ba in
+    Bag.add_bag out bb;
+    ({ alg; schema; kind = K_union (left, right) }, out)
+  | Diff _ ->
+    let r = Eval.eval db alg in
+    let current = Bag.copy r.Eval.bag in
+    ({ alg; schema; kind = K_recompute { current } }, Bag.copy current)
+  | Group_by { keys; aggs; child = child_alg } ->
+    let child, cbag = build db child_alg in
+    let keys_pos = Array.of_list (List.map (Schema.index_of child.schema) keys) in
+    let spec = Group_acc.spec_of child.schema aggs in
+    let groups = RH.create 64 in
+    Bag.iter
+      (fun row c ->
+        let k = Array.map (fun i -> Row.get row i) keys_pos in
+        let acc =
+          match RH.find_opt groups k with
+          | Some a -> a
+          | None ->
+            let a = Group_acc.create spec in
+            RH.replace groups k a;
+            a
+        in
+        Group_acc.add spec acc row c)
+      cbag;
+    let global = keys = [] in
+    if global && RH.length groups = 0 then RH.replace groups [||] (Group_acc.create spec);
+    let out = Bag.create () in
+    RH.iter (fun k acc -> Bag.add out (Array.append k (Group_acc.finalize spec acc))) groups;
+    ({ alg; schema; kind = K_group { g_child = child; keys_pos; spec; groups; global } }, out)
+  | Order_by { limit = None; child = child_alg; _ } ->
+    (* Without a limit, ordering does not change the multiset. *)
+    let child, cbag = build db child_alg in
+    ({ alg; schema; kind = child.kind }, cbag)
+  | Order_by { limit = Some _; _ } ->
+    let r = Eval.eval db alg in
+    let current = Bag.copy r.Eval.bag in
+    ({ alg; schema; kind = K_recompute { current } }, Bag.copy current)
+  | Count_join { child = child_alg; key; sub = sub_alg; sub_key; _ } ->
+    let child, cbag = build db child_alg in
+    let sub, sbag = build db sub_alg in
+    let key_pos = Schema.index_of child.schema key in
+    let sub_key_pos = Schema.index_of sub.schema sub_key in
+    let info =
+      { c_child = child; c_sub = sub; key_pos; sub_key_pos;
+        sub_counts = VH.create 64; child_by_key = VH.create 64 }
+    in
+    Bag.iter
+      (fun row c ->
+        let k = Row.get row sub_key_pos in
+        VH.replace info.sub_counts k (c + cj_count info k))
+      sbag;
+    Bag.iter (fun row c -> cj_add_child info row c) cbag;
+    let out = Bag.create () in
+    Bag.iter
+      (fun row c ->
+        Bag.add ~count:c out (Array.append row [| Value.Int (cj_count info (Row.get row key_pos)) |]))
+      cbag;
+    ({ alg; schema; kind = K_count_join info }, out)
+
+(* ------------------------------------------------------------------ *)
+(* Delta propagation.  [delta db node d] returns the signed change of the
+   node's result and updates any node-local state.  Sibling "current" values
+   use the post-update database, matching the new-state maintenance rule
+   δ(R×S) = δR⋈S' + R'⋈δS − δR⋈δS. *)
+
+let rec delta db node (d : Delta.t) : Bag.t =
+  match node.kind with
+  | K_scan table -> (
+    match Delta.for_table d table with
+    | Some b -> Bag.copy b
+    | None -> Bag.create ~size:1 ())
+  | K_select (keep, child) -> Bag.filter keep (delta db child d)
+  | K_project (positions, child) ->
+    Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) (delta db child d)
+  | K_join { pred; left; right } ->
+    let da = delta db left d in
+    let db_ = delta db right d in
+    let out = Bag.create () in
+    if not (Bag.is_empty da) then begin
+      let right_now = (Eval.eval db right.alg).Eval.bag in
+      Bag.add_bag out (Eval.join_bags ?pred left.schema right.schema da right_now).Eval.bag
+    end;
+    if not (Bag.is_empty db_) then begin
+      let left_now = (Eval.eval db left.alg).Eval.bag in
+      Bag.add_bag out (Eval.join_bags ?pred left.schema right.schema left_now db_).Eval.bag
+    end;
+    if (not (Bag.is_empty da)) && not (Bag.is_empty db_) then
+      Bag.add_bag ~scale:(-1) out (Eval.join_bags ?pred left.schema right.schema da db_).Eval.bag;
+    out
+  | K_distinct { child; counts } ->
+    let dc = delta db child d in
+    let out = Bag.create () in
+    Bag.iter
+      (fun row c ->
+        let before = Bag.count counts row in
+        let after = before + c in
+        Bag.add ~count:c counts row;
+        if before <= 0 && after > 0 then Bag.add out row
+        else if before > 0 && after <= 0 then Bag.remove out row)
+      dc;
+    out
+  | K_union (a, b) ->
+    let out = delta db a d in
+    Bag.add_bag out (delta db b d);
+    out
+  | K_recompute state ->
+    let fresh = Bag.copy (Eval.eval db node.alg).Eval.bag in
+    let out = Bag.copy fresh in
+    Bag.add_bag ~scale:(-1) out state.current;
+    state.current <- fresh;
+    out
+  | K_group info ->
+    let dc = delta db info.g_child d in
+    if Bag.is_empty dc then Bag.create ~size:1 ()
+    else begin
+      (* Pass 1: snapshot old output rows of affected groups; pass 2: fold
+         the child delta into accumulators; pass 3: emit new output rows. *)
+      let affected : Row.t list RH.t = RH.create 8 in
+      let note k = if not (RH.mem affected k) then RH.replace affected k [] in
+      Bag.iter (fun row _ -> note (Array.map (fun i -> Row.get row i) info.keys_pos)) dc;
+      let out = Bag.create () in
+      RH.iter
+        (fun k _ ->
+          match RH.find_opt info.groups k with
+          | Some acc when (not (Group_acc.is_empty acc)) || info.global ->
+            Bag.remove out (Array.append k (Group_acc.finalize info.spec acc))
+          | _ -> ())
+        affected;
+      Bag.iter
+        (fun row c ->
+          let k = Array.map (fun i -> Row.get row i) info.keys_pos in
+          let acc =
+            match RH.find_opt info.groups k with
+            | Some a -> a
+            | None ->
+              let a = Group_acc.create info.spec in
+              RH.replace info.groups k a;
+              a
+          in
+          Group_acc.add info.spec acc row c)
+        dc;
+      RH.iter
+        (fun k _ ->
+          match RH.find_opt info.groups k with
+          | Some acc ->
+            if (not (Group_acc.is_empty acc)) || info.global then
+              Bag.add out (Array.append k (Group_acc.finalize info.spec acc))
+            else RH.remove info.groups k
+          | None -> ())
+        affected;
+      out
+    end
+  | K_count_join info ->
+    let dchild = delta db info.c_child d in
+    let dsub = delta db info.c_sub d in
+    let out = Bag.create () in
+    (* Aggregate the sub delta per key and update the stored counts. *)
+    let dcounts = VH.create 8 in
+    Bag.iter
+      (fun row c ->
+        let k = Row.get row info.sub_key_pos in
+        VH.replace dcounts k (c + Option.value ~default:0 (VH.find_opt dcounts k)))
+      dsub;
+    let changed = VH.fold (fun k dc acc -> if dc <> 0 then (k, dc) :: acc else acc) dcounts [] in
+    List.iter
+      (fun (k, dc) ->
+        let n = cj_count info k + dc in
+        if n = 0 then VH.remove info.sub_counts k else VH.replace info.sub_counts k n)
+      changed;
+    (* Part A: changed child rows, extended with the *new* count. *)
+    Bag.iter
+      (fun row c ->
+        let n = cj_count info (Row.get row info.key_pos) in
+        Bag.add ~count:c out (Array.append row [| Value.Int n |]))
+      dchild;
+    (* Part B: unchanged-by-this-batch child rows whose key count changed.
+       child_by_key still holds the pre-batch child, so it is exactly
+       child_old. *)
+    List.iter
+      (fun (k, dc) ->
+        let new_n = cj_count info k in
+        let old_n = new_n - dc in
+        match VH.find_opt info.child_by_key k with
+        | None -> ()
+        | Some old_rows ->
+          Bag.iter
+            (fun row c ->
+              Bag.add ~count:(-c) out (Array.append row [| Value.Int old_n |]);
+              Bag.add ~count:c out (Array.append row [| Value.Int new_n |]))
+            old_rows)
+      changed;
+    (* Finally fold the child delta into the by-key materialization. *)
+    Bag.iter (fun row c -> cj_add_child info row c) dchild;
+    out
+
+let create db alg =
+  let root, bag = build db alg in
+  { db; alg; root; result = Bag.copy bag; vschema = root.schema }
+
+let update v d =
+  if not (Delta.is_empty d) then begin
+    let dq = delta v.db v.root d in
+    Bag.add_bag v.result dq;
+    if not (Bag.all_nonnegative v.result) then
+      failwith "View.update: negative count — delta inconsistent with view state"
+  end
+
+let rec reset_node db node : Bag.t =
+  (* Rebuild node-local state from the current database. *)
+  match node.kind with
+  | K_scan table -> Table.rows (Database.table db table)
+  | K_select (keep, child) -> Bag.filter keep (reset_node db child)
+  | K_project (positions, child) ->
+    Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) (reset_node db child)
+  | K_join { pred; left; right } ->
+    let ba = reset_node db left and bb = reset_node db right in
+    (Eval.join_bags ?pred left.schema right.schema ba bb).Eval.bag
+  | K_distinct { child; counts } ->
+    Bag.clear counts;
+    Bag.add_bag counts (reset_node db child);
+    let out = Bag.create () in
+    Bag.iter (fun r c -> if c > 0 then Bag.add out r) counts;
+    out
+  | K_union (a, b) ->
+    let out = Bag.copy (reset_node db a) in
+    Bag.add_bag out (reset_node db b);
+    out
+  | K_recompute state ->
+    state.current <- Bag.copy (Eval.eval db node.alg).Eval.bag;
+    Bag.copy state.current
+  | K_group info ->
+    let cbag = reset_node db info.g_child in
+    RH.reset info.groups;
+    Bag.iter
+      (fun row c ->
+        let k = Array.map (fun i -> Row.get row i) info.keys_pos in
+        let acc =
+          match RH.find_opt info.groups k with
+          | Some a -> a
+          | None ->
+            let a = Group_acc.create info.spec in
+            RH.replace info.groups k a;
+            a
+        in
+        Group_acc.add info.spec acc row c)
+      cbag;
+    if info.global && RH.length info.groups = 0 then
+      RH.replace info.groups [||] (Group_acc.create info.spec);
+    let out = Bag.create () in
+    RH.iter
+      (fun k acc -> Bag.add out (Array.append k (Group_acc.finalize info.spec acc)))
+      info.groups;
+    out
+  | K_count_join info ->
+    let cbag = reset_node db info.c_child in
+    let sbag = reset_node db info.c_sub in
+    VH.reset info.sub_counts;
+    VH.reset info.child_by_key;
+    Bag.iter
+      (fun row c ->
+        let k = Row.get row info.sub_key_pos in
+        VH.replace info.sub_counts k (c + cj_count info k))
+      sbag;
+    Bag.iter (fun row c -> cj_add_child info row c) cbag;
+    let out = Bag.create () in
+    Bag.iter
+      (fun row c ->
+        Bag.add ~count:c out
+          (Array.append row [| Value.Int (cj_count info (Row.get row info.key_pos)) |]))
+      cbag;
+    out
+
+let refresh v =
+  let bag = reset_node v.db v.root in
+  Bag.clear v.result;
+  Bag.add_bag v.result bag

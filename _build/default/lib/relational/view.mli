@@ -1,0 +1,35 @@
+(** Materialized views maintained incrementally from update deltas.
+
+    This implements Equation 6 of the paper,
+    [Q(w') = Q(w) ⊖ Q'(w,Δ−) ⊕ Q'(w,Δ+)], in its signed-multiset form
+    (Blakeley et al.): the full query runs once at creation, and every
+    subsequent {!update} folds the signed result delta into the stored count
+    map. Projections therefore follow the paper's remark — counters are
+    maintained and answer membership is [count > 0].
+
+    Stateful operators keep auxiliary structures: [Distinct] materializes its
+    child's counts, [Group_by] keeps per-group accumulators, [Count_join]
+    keeps the sub-query's per-key counts plus the child indexed by key, and
+    [Diff] falls back to recomputation. *)
+
+type t
+
+val create : Database.t -> Algebra.t -> t
+(** Runs the full query once against the current database state. *)
+
+val schema : t -> Schema.t
+
+val result : t -> Bag.t
+(** Current answer with multiplicities. Do not mutate. *)
+
+val update : t -> Delta.t -> unit
+(** Folds a batch of base-table changes (already applied to the database)
+    into the materialized answer.
+
+    Raises [Failure] if maintenance drives some count negative — that would
+    mean the delta disagrees with the database state the view believes in. *)
+
+val refresh : t -> unit
+(** Recomputes the view from scratch (used to re-anchor, and by tests). *)
+
+val algebra : t -> Algebra.t

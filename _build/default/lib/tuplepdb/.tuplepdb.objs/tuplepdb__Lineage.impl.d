@@ -1,0 +1,1 @@
+lib/tuplepdb/lineage.ml: Array Format Hashtbl List Random

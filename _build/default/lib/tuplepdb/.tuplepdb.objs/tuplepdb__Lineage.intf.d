@@ -1,0 +1,1 @@
+lib/tuplepdb/lineage.mli: Format Random

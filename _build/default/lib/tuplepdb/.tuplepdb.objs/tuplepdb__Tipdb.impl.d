@@ -1,0 +1,1 @@
+lib/tuplepdb/tipdb.ml: Algebra Array Expr Hashtbl Lineage List Random Relational Row Schema

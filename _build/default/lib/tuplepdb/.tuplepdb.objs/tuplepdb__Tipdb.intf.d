@@ -1,0 +1,1 @@
+lib/tuplepdb/tipdb.mli: Lineage Relational

@@ -1,0 +1,274 @@
+(* Tests for the MCMC library: reproducible RNG, MH correctness against
+   exact marginals, Gibbs proposals, chains with thinning, SampleRank
+   learning, parallel execution, and diagnostics. *)
+
+open Factorgraph
+open Mcmc
+
+let feq ?(eps = 1e-9) msg a b =
+  if abs_float (a -. b) > eps then Alcotest.failf "%s: expected %.12g, got %.12g" msg a b
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 11 and b = Rng.create 11 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (seq a) (seq b)
+
+let test_rng_split_independent () =
+  let r = Rng.create 5 in
+  let a = Rng.split r and b = Rng.split r in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check bool) "split streams differ" true (seq a <> seq b)
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done;
+  Alcotest.(check bool) "log_uniform negative" true (Rng.log_uniform r < 0.)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 2 in
+  let arr = Array.init 30 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 30 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* MH convergence against exact marginals *)
+
+let two_var_graph () =
+  let g = Graph.create () in
+  let d = Domain.boolean in
+  let x = Graph.add_variable g d in
+  let y = Graph.add_variable g d in
+  ignore (Graph.add_table_factor g ~scope:[| x |] [| 0.; 1.0 |]);
+  ignore (Graph.add_table_factor g ~scope:[| y |] [| 0.; 0.5 |]);
+  ignore (Graph.add_table_factor g ~scope:[| x; y |] [| 1.5; 0.; 0.; 1.5 |]);
+  (g, x, y)
+
+let empirical_marginal rng proposal world v ~burn ~samples ~thin =
+  Metropolis.run rng proposal world ~steps:burn;
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    Metropolis.run rng proposal world ~steps:thin;
+    if Assignment.get world.Graph_model.assignment v = 1 then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let test_mh_matches_exact () =
+  let g, x, _ = two_var_graph () in
+  let world = Graph_model.world_of g in
+  let exact = (List.assoc x (Exact.marginals g world.assignment)).(1) in
+  let rng = Rng.create 42 in
+  let est = empirical_marginal rng (Graph_model.flip ()) world x ~burn:2000 ~samples:20_000 ~thin:5 in
+  feq ~eps:0.02 "flip proposal converges" exact est
+
+let test_gibbs_matches_exact () =
+  let g, x, _ = two_var_graph () in
+  let world = Graph_model.world_of g in
+  let exact = (List.assoc x (Exact.marginals g world.assignment)).(1) in
+  let rng = Rng.create 43 in
+  let est = empirical_marginal rng (Graph_model.gibbs ()) world x ~burn:2000 ~samples:20_000 ~thin:5 in
+  feq ~eps:0.02 "gibbs converges" exact est
+
+let test_gibbs_always_accepts () =
+  let g, _, _ = two_var_graph () in
+  let world = Graph_model.world_of g in
+  let rng = Rng.create 44 in
+  let stats = Metropolis.fresh_stats () in
+  Metropolis.run ~stats rng (Graph_model.gibbs ()) world ~steps:2000;
+  feq ~eps:1e-12 "acceptance = 1" 1.0 (Metropolis.acceptance_rate stats)
+
+let test_mix_proposal () =
+  let g, x, _ = two_var_graph () in
+  let world = Graph_model.world_of g in
+  let exact = (List.assoc x (Exact.marginals g world.assignment)).(1) in
+  let rng = Rng.create 45 in
+  let p = Proposal.mix [| (0.5, Graph_model.flip ()); (0.5, Graph_model.gibbs ()) |] in
+  let est = empirical_marginal rng p world x ~burn:2000 ~samples:20_000 ~thin:5 in
+  feq ~eps:0.02 "mixture converges" exact est
+
+let test_restricted_vars_proposal () =
+  let g, x, y = two_var_graph () in
+  let world = Graph_model.world_of g in
+  let rng = Rng.create 46 in
+  (* Only allow flips of x: y must never change. *)
+  Metropolis.run rng (Graph_model.flip ~vars:[| x |] ()) world ~steps:500;
+  Alcotest.(check int) "y untouched" 0 (Assignment.get world.assignment y)
+
+(* ------------------------------------------------------------------ *)
+(* Chain *)
+
+let test_chain_thinning () =
+  let g, _, _ = two_var_graph () in
+  let world = Graph_model.world_of g in
+  let chain = Chain.create ~rng:(Rng.create 7) ~proposal:(Graph_model.flip ()) world in
+  let observed = ref 0 in
+  Chain.sample chain ~thin:10 ~samples:25 (fun _ -> incr observed);
+  Alcotest.(check int) "callback count" 25 !observed;
+  Alcotest.(check int) "total steps" 250 (Chain.steps_taken chain);
+  Alcotest.(check bool) "acceptance tracked" true (Chain.acceptance_rate chain > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* SampleRank: learn to label tokens from a lexicon-free truth signal. *)
+
+let test_samplerank_learns () =
+  let params = Params.create () in
+  let label_domain = Domain.make [ "O"; "B-PER" ] in
+  let tokens = [| "Bill"; "saw"; "Ann"; "run"; "Bill" |] in
+  let truth = [| 1; 0; 1; 0; 1 |] in
+  let { Templates.graph; labels; assignment } =
+    Templates.unroll_chain ~params ~label_domain ~tokens ()
+  in
+  let rng = Rng.create 17 in
+  let propose r =
+    let i = Rng.int r (Array.length labels) in
+    (labels.(i), Rng.int r 2)
+  in
+  let objective_delta (v, value) =
+    (* +1 if the change fixes a label, −1 if it breaks one *)
+    let idx = ref (-1) in
+    Array.iteri (fun i l -> if l = v then idx := i) labels;
+    let target = truth.(!idx) in
+    let old_v = Assignment.get assignment v in
+    let score x = if x = target then 1 else 0 in
+    float_of_int (score value - score old_v)
+  in
+  let spec =
+    { Samplerank.propose;
+      delta_features = (fun (v, value) -> Graph.delta_features graph assignment [ (v, value) ]);
+      delta_objective = objective_delta;
+      apply = (fun (v, value) -> Assignment.set assignment v value) }
+  in
+  let stats = Samplerank.train ~rng ~params ~steps:4000 spec in
+  Alcotest.(check bool) "made updates" true (stats.updates > 0);
+  (* After training, the learned model's MAP should equal the truth. *)
+  let map = Exact.map_assignment graph assignment in
+  Array.iteri
+    (fun i l ->
+      Alcotest.(check int) (Printf.sprintf "token %d labelled correctly" i) truth.(i)
+        (Assignment.get map l))
+    labels
+
+(* ------------------------------------------------------------------ *)
+(* Parallel *)
+
+let test_parallel_map_order () =
+  let results = Parallel.map ~n:10 (fun i -> i * i) in
+  Alcotest.(check (list int)) "ordered" (List.init 10 (fun i -> i * i)) results
+
+let test_parallel_chains_reduce_error () =
+  (* Averaging c independent chains should not increase squared error; with
+     few samples per chain the improvement is large. *)
+  let g, x, _ = two_var_graph () in
+  let truth = (List.assoc x (Exact.marginals g (Graph.new_assignment g))).(1) in
+  let estimate ~chains ~seed =
+    let rngs = Parallel.split_rngs (Rng.create seed) chains in
+    let ests =
+      Parallel.map ~n:chains (fun i ->
+          let world = Graph_model.world_of g in
+          empirical_marginal rngs.(i) (Graph_model.flip ()) world x ~burn:50 ~samples:200 ~thin:2)
+    in
+    List.fold_left ( +. ) 0. ests /. float_of_int chains
+  in
+  let sq x = (x -. truth) ** 2. in
+  let err1 = List.init 8 (fun s -> sq (estimate ~chains:1 ~seed:(100 + s))) in
+  let err8 = List.init 8 (fun s -> sq (estimate ~chains:8 ~seed:(200 + s))) in
+  let avg xs = List.fold_left ( +. ) 0. xs /. 8. in
+  Alcotest.(check bool) "8 chains better than 1" true (avg err8 < avg err1)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics *)
+
+let test_diagnostics_basics () =
+  feq "mean" 2. (Diagnostics.mean [| 1.; 2.; 3. |]);
+  feq "variance" 1. (Diagnostics.variance [| 1.; 2.; 3. |]);
+  feq "autocorr lag0" 1. (Diagnostics.autocorrelation [| 1.; 2.; 3.; 4. |] 0);
+  feq "constant series" 0. (Diagnostics.autocorrelation [| 2.; 2.; 2. |] 1)
+
+let test_diagnostics_ess () =
+  (* A perfectly alternating series has negative lag-1 autocorrelation, so
+     ESS ≥ n; a strongly trending one has ESS ≪ n. *)
+  let alt = Array.init 100 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  let trend = Array.init 100 (fun i -> float_of_int i) in
+  Alcotest.(check bool) "alternating ESS high" true (Diagnostics.effective_sample_size alt >= 99.);
+  Alcotest.(check bool) "trending ESS low" true (Diagnostics.effective_sample_size trend < 20.)
+
+let test_diagnostics_squared_error () =
+  feq "sq err" 5. (Diagnostics.squared_error [| 0.; 1. |] [| 1.; 3. |])
+
+
+(* ------------------------------------------------------------------ *)
+(* Annealing *)
+
+let test_annealing_finds_map () =
+  (* A strongly coupled chain whose MAP is all-true; annealing should land
+     there from the all-false start. *)
+  let g = Graph.create () in
+  let d = Domain.boolean in
+  let vars = Array.init 6 (fun _ -> Graph.add_variable g d) in
+  Array.iter (fun v -> ignore (Graph.add_table_factor g ~scope:[| v |] [| 0.; 0.4 |])) vars;
+  for i = 0 to 4 do
+    ignore (Graph.add_table_factor g ~scope:[| vars.(i); vars.(i + 1) |] [| 1.; 0.; 0.; 1. |])
+  done;
+  let world = Graph_model.world_of g in
+  let rng = Rng.create 77 in
+  Annealing.run ~schedule:(Annealing.geometric_schedule ~t0:2. ~alpha:0.999) rng
+    (Graph_model.flip ()) world ~steps:8_000;
+  Array.iter
+    (fun v -> Alcotest.(check int) "annealed to MAP" 1 (Assignment.get world.assignment v))
+    vars
+
+let test_annealing_schedules () =
+  Alcotest.(check bool) "geometric decreasing" true
+    (Annealing.geometric_schedule ~t0:2. ~alpha:0.9 10
+    < Annealing.geometric_schedule ~t0:2. ~alpha:0.9 1);
+  Alcotest.(check bool) "linear floor" true (Annealing.linear_schedule ~t0:1. ~steps:10 20 > 0.);
+  Alcotest.(check bool) "geometric floor" true
+    (Annealing.geometric_schedule ~t0:1. ~alpha:0.1 1000 > 0.)
+
+
+let test_gelman_rubin () =
+  let rand = Random.State.make [| 12 |] in
+  let noise () = Array.init 500 (fun _ -> Random.State.float rand 1.) in
+  let same = [ noise (); noise (); noise () ] in
+  let rhat_same = Diagnostics.gelman_rubin same in
+  Alcotest.(check bool) (Printf.sprintf "agreeing chains ~1 (%.3f)" rhat_same) true
+    (rhat_same < 1.05);
+  let shifted = [ noise (); Array.map (fun x -> x +. 3.) (noise ()) ] in
+  let rhat_diff = Diagnostics.gelman_rubin shifted in
+  Alcotest.(check bool) (Printf.sprintf "disagreeing chains >1.1 (%.3f)" rhat_diff) true
+    (rhat_diff > 1.1);
+  Alcotest.(check bool) "single chain nan" true (Float.is_nan (Diagnostics.gelman_rubin [ noise () ]))
+
+let () =
+  Alcotest.run "mcmc"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "split" `Quick test_rng_split_independent;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation ]);
+      ("metropolis",
+       [ Alcotest.test_case "matches-exact" `Slow test_mh_matches_exact;
+         Alcotest.test_case "gibbs-matches-exact" `Slow test_gibbs_matches_exact;
+         Alcotest.test_case "gibbs-accepts" `Quick test_gibbs_always_accepts;
+         Alcotest.test_case "mixture" `Slow test_mix_proposal;
+         Alcotest.test_case "restricted-vars" `Quick test_restricted_vars_proposal ]);
+      ("chain", [ Alcotest.test_case "thinning" `Quick test_chain_thinning ]);
+      ("samplerank", [ Alcotest.test_case "learns" `Slow test_samplerank_learns ]);
+      ("parallel",
+       [ Alcotest.test_case "map-order" `Quick test_parallel_map_order;
+         Alcotest.test_case "chains-reduce-error" `Slow test_parallel_chains_reduce_error ]);
+      ("annealing",
+       [ Alcotest.test_case "finds-map" `Quick test_annealing_finds_map;
+         Alcotest.test_case "schedules" `Quick test_annealing_schedules ]);
+      ("diagnostics",
+       [ Alcotest.test_case "basics" `Quick test_diagnostics_basics;
+         Alcotest.test_case "ess" `Quick test_diagnostics_ess;
+         Alcotest.test_case "squared-error" `Quick test_diagnostics_squared_error;
+         Alcotest.test_case "gelman-rubin" `Quick test_gelman_rubin ]) ]

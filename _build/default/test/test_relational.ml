@@ -1,0 +1,931 @@
+(* Tests for the relational substrate: values, schemas, bags, tables,
+   expressions, evaluation, SQL parsing, and — most importantly — the
+   incremental-view-maintenance = full-requery property that the paper's
+   Algorithm 1 relies on. *)
+
+open Relational
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let check_bag msg expected actual =
+  if not (Bag.equal expected actual) then
+    Alcotest.failf "%s:@.expected %s@.got      %s" msg
+      (Format.asprintf "%a" Bag.pp expected)
+      (Format.asprintf "%a" Bag.pp actual)
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_compare () =
+  Alcotest.(check int) "int eq" 0 (Value.compare (Int 3) (Int 3));
+  Alcotest.(check bool) "int/float cross" true (Value.equal (Int 3) (Float 3.));
+  Alcotest.(check bool) "null sorts first" true (Value.compare Null (Int (-100)) < 0);
+  Alcotest.(check bool) "text order" true (Value.compare (Text "a") (Text "b") < 0);
+  Alcotest.(check bool) "bool < int" true (Value.compare (Bool true) (Int 0) < 0)
+
+let test_value_hash_consistent () =
+  Alcotest.(check bool) "Int/Float hash agree" true
+    (Value.hash (Int 7) = Value.hash (Float 7.))
+
+let test_value_arith () =
+  Alcotest.check value "int add" (Int 7) (Value.add (Int 3) (Int 4));
+  Alcotest.check value "mixed mul" (Float 7.5) (Value.mul (Int 3) (Float 2.5));
+  Alcotest.check value "null absorbs" Null (Value.add Null (Int 1))
+
+let prop_value_hash_equal =
+  QCheck.Test.make ~name:"value: equal implies same hash" ~count:500
+    QCheck.(pair (int_range (-20) 20) (int_range (-20) 20))
+    (fun (a, b) ->
+      let va = Value.Int a and vb = Value.Float (float_of_int b) in
+      (not (Value.equal va vb)) || Value.hash va = Value.hash vb)
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let schema_abc () =
+  Schema.make
+    [ { Schema.name = "a"; ty = Value.T_int };
+      { Schema.name = "b"; ty = Value.T_text };
+      { Schema.name = "c"; ty = Value.T_float } ]
+
+let test_schema_lookup () =
+  let s = schema_abc () in
+  Alcotest.(check int) "b at 1" 1 (Schema.index_of s "b");
+  Alcotest.(check bool) "mem" true (Schema.mem s "c");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "z")
+
+let test_schema_qualify () =
+  let s = Schema.qualify "T" (schema_abc ()) in
+  Alcotest.(check int) "qualified exact" 0 (Schema.index_of s "T.a");
+  Alcotest.(check int) "bare resolves" 2 (Schema.index_of s "c")
+
+let test_schema_ambiguous () =
+  let s = Schema.concat (Schema.qualify "T1" (schema_abc ())) (Schema.qualify "T2" (schema_abc ())) in
+  Alcotest.(check int) "qualified ok" 4 (Schema.index_of s "T2.b");
+  Alcotest.check_raises "bare ambiguous" (Failure "Schema.index_of: ambiguous column a")
+    (fun () -> ignore (Schema.index_of s "a"))
+
+let test_schema_project () =
+  let s = Schema.qualify "T" (schema_abc ()) in
+  let p, pos = Schema.project s [ "b"; "T.a" ] in
+  Alcotest.(check (list string)) "names bare" [ "b"; "a" ] (Schema.names p);
+  Alcotest.(check (array int)) "positions" [| 1; 0 |] pos
+
+(* ------------------------------------------------------------------ *)
+(* Bag *)
+
+let r vs = Row.make vs
+
+let test_bag_counts () =
+  let b = Bag.create () in
+  Bag.add b (r [ Int 1 ]);
+  Bag.add ~count:2 b (r [ Int 1 ]);
+  Alcotest.(check int) "count 3" 3 (Bag.count b (r [ Int 1 ]));
+  Bag.remove ~count:3 b (r [ Int 1 ]);
+  Alcotest.(check bool) "empty after cancel" true (Bag.is_empty b)
+
+let test_bag_signed () =
+  let b = Bag.create () in
+  Bag.remove b (r [ Int 5 ]);
+  Alcotest.(check int) "negative count" (-1) (Bag.count b (r [ Int 5 ]));
+  Alcotest.(check bool) "not nonneg" false (Bag.all_nonnegative b);
+  Bag.add b (r [ Int 5 ]);
+  Alcotest.(check bool) "cancelled" true (Bag.is_empty b)
+
+let test_bag_map_rows () =
+  let b = Bag.of_rows [ r [ Int 1; Text "x" ]; r [ Int 2; Text "x" ] ] in
+  let projected = Bag.map_rows (fun row -> [| Row.get row 1 |]) b in
+  Alcotest.(check int) "duplicates summed" 2 (Bag.count projected (r [ Text "x" ]))
+
+let prop_bag_add_bag_assoc =
+  QCheck.Test.make ~name:"bag: add_bag then subtract restores" ~count:200
+    QCheck.(list (pair (int_range 0 5) (int_range (-3) 3)))
+    (fun entries ->
+      let a = Bag.create () and b = Bag.create () in
+      List.iter (fun (v, c) -> Bag.add ~count:c b (r [ Int v ])) entries;
+      let before = Bag.copy a in
+      Bag.add_bag a b;
+      Bag.add_bag ~scale:(-1) a b;
+      Bag.equal before a)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let token_schema () =
+  Schema.make
+    [ { Schema.name = "tok_id"; ty = Value.T_int };
+      { Schema.name = "doc_id"; ty = Value.T_int };
+      { Schema.name = "string"; ty = Value.T_text };
+      { Schema.name = "label"; ty = Value.T_text } ]
+
+let mk_token_table ?(name = "TOKEN") rows =
+  let t = Table.create ~pk:"tok_id" ~name (token_schema ()) in
+  List.iter (fun (id, doc, s, l) -> Table.insert t (r [ Int id; Int doc; Text s; Text l ])) rows;
+  t
+
+let test_table_pk_update () =
+  let t = mk_token_table [ (1, 1, "IBM", "O"); (2, 1, "said", "O") ] in
+  let old_row, new_row = Table.update_field_by_pk t (Int 1) ~column:"label" (Text "B-ORG") in
+  Alcotest.check value "old label" (Text "O") (Row.get old_row 3);
+  Alcotest.check value "new label" (Text "B-ORG") (Row.get new_row 3);
+  Alcotest.(check int) "cardinality stable" 2 (Table.cardinal t);
+  match Table.find_by_pk t (Int 1) with
+  | None -> Alcotest.fail "row vanished"
+  | Some row -> Alcotest.check value "stored" (Text "B-ORG") (Row.get row 3)
+
+let test_table_duplicate_pk () =
+  let t = mk_token_table [ (1, 1, "a", "O") ] in
+  Alcotest.check_raises "duplicate pk"
+    (Invalid_argument "Table.insert(TOKEN): duplicate key 1")
+    (fun () -> Table.insert t (r [ Int 1; Int 2; Text "b"; Text "O" ]))
+
+let test_table_index () =
+  let t = mk_token_table [ (1, 1, "IBM", "O"); (2, 1, "IBM", "O"); (3, 2, "saw", "O") ] in
+  Table.create_index t "string";
+  Alcotest.(check int) "two IBMs" 2 (Bag.total (Table.lookup t ~column:"string" (Text "IBM")));
+  ignore (Table.update_field_by_pk t (Int 2) ~column:"string" (Text "Apple"));
+  Alcotest.(check int) "index follows update" 1
+    (Bag.total (Table.lookup t ~column:"string" (Text "IBM")));
+  Alcotest.(check int) "new entry" 1 (Bag.total (Table.lookup t ~column:"string" (Text "Apple")))
+
+(* ------------------------------------------------------------------ *)
+(* Expr *)
+
+let test_expr_pred () =
+  let s = token_schema () in
+  let p = Expr.(col "label" = text "B-PER" && col "doc_id" > int 1) in
+  let f = Expr.bind_pred s p in
+  Alcotest.(check bool) "match" true (f (r [ Int 1; Int 2; Text "x"; Text "B-PER" ]));
+  Alcotest.(check bool) "label mismatch" false (f (r [ Int 1; Int 2; Text "x"; Text "O" ]));
+  Alcotest.(check bool) "doc mismatch" false (f (r [ Int 1; Int 1; Text "x"; Text "B-PER" ]))
+
+let test_expr_equi_join () =
+  let left = Schema.qualify "T1" (token_schema ()) in
+  let right = Schema.qualify "T2" (token_schema ()) in
+  let p = Expr.(col "T1.doc_id" = col "T2.doc_id" && col "T2.label" = text "B-PER") in
+  match Expr.equi_join_pairs p ~left ~right with
+  | None -> Alcotest.fail "expected equi pairs"
+  | Some (pairs, residual) ->
+    Alcotest.(check (list (pair int int))) "pair" [ (1, 1) ] pairs;
+    Alcotest.(check bool) "has residual" true (residual <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Eval on a hand-built database *)
+
+let sample_db () =
+  let db = Database.create () in
+  let t =
+    mk_token_table
+      [ (1, 1, "Bill", "B-PER"); (2, 1, "saw", "O"); (3, 1, "IBM", "B-ORG");
+        (4, 2, "Boston", "B-ORG"); (5, 2, "Ramirez", "B-PER"); (6, 2, "played", "O");
+        (7, 3, "Boston", "B-LOC"); (8, 3, "rained", "O") ]
+  in
+  Database.add_table db t;
+  db
+
+let test_eval_select_project () =
+  let db = sample_db () in
+  let q = Algebra.(project [ "string" ] (select Expr.(col "label" = text "B-PER") (scan "TOKEN"))) in
+  let res = Eval.eval db q in
+  check_bag "strings of B-PER" (Bag.of_rows [ r [ Text "Bill" ]; r [ Text "Ramirez" ] ]) res.bag
+
+let test_eval_projection_multiset () =
+  let db = sample_db () in
+  let q = Algebra.(project [ "label" ] (scan "TOKEN")) in
+  let res = Eval.eval db q in
+  Alcotest.(check int) "three O rows" 3 (Bag.count res.bag (r [ Text "O" ]));
+  Alcotest.(check int) "total preserved" 8 (Bag.total res.bag)
+
+let test_eval_count () =
+  let db = sample_db () in
+  let q = Algebra.(count_star (select Expr.(col "label" = text "B-PER") (scan "TOKEN"))) in
+  let res = Eval.eval db q in
+  check_bag "count 2" (Bag.of_rows [ r [ Int 2 ] ]) res.bag
+
+let test_eval_count_empty () =
+  let db = sample_db () in
+  let q = Algebra.(count_star (select Expr.(col "label" = text "B-XYZ") (scan "TOKEN"))) in
+  let res = Eval.eval db q in
+  check_bag "count 0 row present" (Bag.of_rows [ r [ Int 0 ] ]) res.bag
+
+let test_eval_group_by () =
+  let db = sample_db () in
+  let q =
+    Algebra.group_by [ "doc_id" ]
+      [ { Algebra.agg = Count_star; as_name = "n" } ]
+      (Algebra.scan "TOKEN")
+  in
+  let res = Eval.eval db q in
+  check_bag "per-doc counts"
+    (Bag.of_rows [ r [ Int 1; Int 3 ]; r [ Int 2; Int 3 ]; r [ Int 3; Int 2 ] ])
+    res.bag
+
+let test_eval_join () =
+  let db = sample_db () in
+  (* Query 4 shape: persons co-occurring with Boston as ORG *)
+  let p =
+    Expr.(
+      col "T1.string" = text "Boston" && col "T1.label" = text "B-ORG"
+      && col "T1.doc_id" = col "T2.doc_id" && col "T2.label" = text "B-PER")
+  in
+  let q =
+    Algebra.(
+      project [ "T2.string" ]
+        (select p (Product (scan ~alias:"T1" "TOKEN", scan ~alias:"T2" "TOKEN"))))
+  in
+  let res = Eval.eval db (Optimizer.optimize q) in
+  check_bag "Ramirez" (Bag.of_rows [ r [ Text "Ramirez" ] ]) res.bag
+
+let test_eval_min_max_avg () =
+  let db = sample_db () in
+  let q =
+    Algebra.group_by [ "doc_id" ]
+      [ { Algebra.agg = Min "tok_id"; as_name = "lo" };
+        { Algebra.agg = Max "tok_id"; as_name = "hi" };
+        { Algebra.agg = Avg "tok_id"; as_name = "mid" } ]
+      (Algebra.scan "TOKEN")
+  in
+  let res = Eval.eval db q in
+  check_bag "min/max/avg"
+    (Bag.of_rows
+       [ r [ Int 1; Int 1; Int 3; Float 2. ];
+         r [ Int 2; Int 4; Int 6; Float 5. ];
+         r [ Int 3; Int 7; Int 8; Float 7.5 ] ])
+    res.bag
+
+let test_eval_count_join () =
+  let db = sample_db () in
+  (* Query 3 shape: docs where #B-PER = #B-ORG *)
+  let sub label =
+    Algebra.(select Expr.(col "label" = text label) (scan "TOKEN"))
+  in
+  let q =
+    Algebra.(
+      project [ "doc_id" ]
+        (select
+           Expr.(col "n_per" = col "n_org")
+           (Count_join
+              { child =
+                  Count_join
+                    { child = scan "TOKEN"; key = "doc_id"; sub = sub "B-PER";
+                      sub_key = "doc_id"; as_name = "n_per" };
+                key = "doc_id"; sub = sub "B-ORG"; sub_key = "doc_id"; as_name = "n_org" })))
+  in
+  let res = Eval.eval db q in
+  (* doc 1: 1 PER, 1 ORG -> qualifies (3 tokens); doc 2: 1 PER 1 ORG (3 tokens);
+     doc 3: 0 PER, 0 ORG -> qualifies (2 tokens). *)
+  let expected = Bag.create () in
+  Bag.add ~count:3 expected (r [ Int 1 ]);
+  Bag.add ~count:3 expected (r [ Int 2 ]);
+  Bag.add ~count:2 expected (r [ Int 3 ]);
+  check_bag "docs with equal counts" expected res.bag
+
+let test_eval_distinct_union_diff () =
+  let db = sample_db () in
+  let labels = Algebra.(project [ "label" ] (scan "TOKEN")) in
+  let d = Eval.eval db (Algebra.Distinct labels) in
+  Alcotest.(check int) "distinct labels" 4 (Bag.total d.bag);
+  let u = Eval.eval db (Algebra.Union (labels, labels)) in
+  Alcotest.(check int) "union doubles" 16 (Bag.total u.bag);
+  let m = Eval.eval db (Algebra.Diff (Algebra.Union (labels, labels), labels)) in
+  Alcotest.(check int) "monus halves" 8 (Bag.total m.bag)
+
+(* ------------------------------------------------------------------ *)
+(* SQL *)
+
+let test_sql_query1 () =
+  let db = sample_db () in
+  let res = Sql.run db "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'" in
+  check_bag "query 1" (Bag.of_rows [ r [ Text "Bill" ]; r [ Text "Ramirez" ] ]) res.bag
+
+let test_sql_query2 () =
+  let db = sample_db () in
+  let res = Sql.run db "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'" in
+  check_bag "query 2" (Bag.of_rows [ r [ Int 2 ] ]) res.bag
+
+let test_sql_query3 () =
+  let db = sample_db () in
+  let res =
+    Sql.run db
+      "SELECT T.doc_id FROM TOKEN T WHERE (SELECT COUNT(*) FROM TOKEN T1 WHERE \
+       T1.label='B-PER' AND T.doc_id=T1.doc_id) = (SELECT COUNT(*) FROM TOKEN T1 WHERE \
+       T1.label='B-ORG' AND T.doc_id=T1.doc_id)"
+  in
+  let expected = Bag.create () in
+  Bag.add ~count:3 expected (r [ Int 1 ]);
+  Bag.add ~count:3 expected (r [ Int 2 ]);
+  Bag.add ~count:2 expected (r [ Int 3 ]);
+  check_bag "query 3" expected res.bag
+
+let test_sql_query4 () =
+  let db = sample_db () in
+  let res =
+    Sql.run db
+      "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 WHERE T1.STRING='Boston' AND \
+       T1.LABEL='B-ORG' AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'"
+  in
+  check_bag "query 4" (Bag.of_rows [ r [ Text "Ramirez" ] ]) res.bag
+
+let test_sql_group_by () =
+  let db = sample_db () in
+  let res = Sql.run db "SELECT doc_id, COUNT(*) AS n FROM TOKEN GROUP BY doc_id" in
+  check_bag "group by"
+    (Bag.of_rows [ r [ Int 1; Int 3 ]; r [ Int 2; Int 3 ]; r [ Int 3; Int 2 ] ])
+    res.bag
+
+let test_sql_join_becomes_hash () =
+  (* The optimizer should turn the Query-4 product into a Join node. *)
+  let q =
+    Sql.parse
+      "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 WHERE T1.STRING='Boston' AND \
+       T1.DOC_ID=T2.DOC_ID"
+  in
+  let rec has_join = function
+    | Algebra.Join _ -> true
+    | Scan _ -> false
+    | Select (_, c) | Project (_, c) | Distinct c -> has_join c
+    | Product (a, b) | Union (a, b) | Diff (a, b) -> has_join a || has_join b
+    | Group_by { child; _ } -> has_join child
+    | Count_join { child; sub; _ } -> has_join child || has_join sub
+    | Order_by { child; _ } -> has_join child
+  in
+  Alcotest.(check bool) "join introduced" true (has_join q)
+
+let test_sql_errors () =
+  List.iter
+    (fun src ->
+      match Sql.parse src with
+      | exception Sql.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %s" src)
+    [ "SELECT"; "SELECT * FROM"; "SELECT * FROM T WHERE"; "FROM T";
+      "SELECT * FROM T WHERE a="; "SELECT * FROM T extra tokens here now" ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance: the central property.  Random updates to a
+   TOKEN table must leave every materialized view identical to a fresh
+   evaluation. *)
+
+let labels_pool = [| "B-PER"; "I-PER"; "B-ORG"; "I-ORG"; "B-LOC"; "O" |]
+let strings_pool = [| "Bill"; "IBM"; "Boston"; "saw"; "the"; "Ramirez"; "corp" |]
+
+let random_db rand n_tokens n_docs =
+  let db = Database.create () in
+  let t = Table.create ~pk:"tok_id" ~name:"TOKEN" (token_schema ()) in
+  for i = 1 to n_tokens do
+    Table.insert t
+      (r
+         [ Int i; Int (1 + Random.State.int rand n_docs);
+           Text strings_pool.(Random.State.int rand (Array.length strings_pool));
+           Text labels_pool.(Random.State.int rand (Array.length labels_pool)) ])
+  done;
+  Database.add_table db t;
+  db
+
+let view_queries () =
+  let sub label = Algebra.(select Expr.(col "label" = text label) (scan "TOKEN")) in
+  [ ("q1-select-project",
+     Algebra.(project [ "string" ] (select Expr.(col "label" = text "B-PER") (scan "TOKEN"))));
+    ("q2-count", Algebra.(count_star (select Expr.(col "label" = text "B-PER") (scan "TOKEN"))));
+    ("q3-countjoin",
+     Algebra.(
+       project [ "doc_id" ]
+         (select
+            Expr.(col "n_per" = col "n_org")
+            (Count_join
+               { child =
+                   Count_join
+                     { child = scan "TOKEN"; key = "doc_id"; sub = sub "B-PER";
+                       sub_key = "doc_id"; as_name = "n_per" };
+                 key = "doc_id"; sub = sub "B-ORG"; sub_key = "doc_id"; as_name = "n_org" }))));
+    ("q4-self-join",
+     Sql.parse
+       "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 WHERE T1.STRING='Boston' AND \
+        T1.LABEL='B-ORG' AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'");
+    ("group-by-doc", Sql.parse "SELECT doc_id, COUNT(*) AS n FROM TOKEN GROUP BY doc_id");
+    ("distinct-strings",
+     Algebra.(Distinct (project [ "string" ] (select Expr.(col "label" = text "B-PER") (scan "TOKEN")))));
+    ("min-max",
+     Algebra.group_by [ "doc_id" ]
+       [ { Algebra.agg = Min "tok_id"; as_name = "lo" };
+         { Algebra.agg = Max "tok_id"; as_name = "hi" } ]
+       (Algebra.select Expr.(Algebra.(ignore scan; col "label" <> text "O")) (Algebra.scan "TOKEN")));
+    ("union",
+     Algebra.(
+       Union
+         ( project [ "string" ] (select Expr.(col "label" = text "B-PER") (scan "TOKEN")),
+           project [ "string" ] (select Expr.(col "label" = text "B-ORG") (scan "TOKEN")) )));
+    ("diff-recompute",
+     Algebra.(
+       Diff
+         ( project [ "string" ] (scan "TOKEN"),
+           project [ "string" ] (select Expr.(col "label" = text "O") (scan "TOKEN")) ))) ]
+
+let apply_random_updates rand db delta n =
+  let t = Database.table db "TOKEN" in
+  let n_tokens = Table.cardinal t in
+  for _ = 1 to n do
+    let id = 1 + Random.State.int rand n_tokens in
+    let label = labels_pool.(Random.State.int rand (Array.length labels_pool)) in
+    let old_row, new_row = Table.update_field_by_pk t (Int id) ~column:"label" (Text label) in
+    Delta.record_update delta ~table:"TOKEN" ~old_row ~new_row
+  done
+
+let test_view_matches_full_eval () =
+  let rand = Random.State.make [| 42 |] in
+  List.iter
+    (fun (name, q) ->
+      let db = random_db rand 120 6 in
+      let view = View.create db q in
+      for batch = 1 to 12 do
+        let delta = Delta.create () in
+        apply_random_updates rand db delta (1 + Random.State.int rand 20);
+        View.update view delta;
+        let fresh = Eval.eval db q in
+        if not (Bag.equal fresh.Eval.bag (View.result view)) then
+          Alcotest.failf "view %s diverged at batch %d:@.fresh %s@.view  %s" name batch
+            (Format.asprintf "%a" Bag.pp fresh.Eval.bag)
+            (Format.asprintf "%a" Bag.pp (View.result view))
+      done)
+    (view_queries ())
+
+let test_view_refresh () =
+  let rand = Random.State.make [| 7 |] in
+  let db = random_db rand 60 4 in
+  let q = Algebra.(count_star (select Expr.(col "label" = text "B-PER") (scan "TOKEN"))) in
+  let view = View.create db q in
+  let delta = Delta.create () in
+  apply_random_updates rand db delta 10;
+  (* Skip the delta entirely: refresh must re-anchor the view. *)
+  View.refresh view;
+  let fresh = Eval.eval db q in
+  check_bag "refresh re-anchors" fresh.Eval.bag (View.result view)
+
+let prop_view_maintenance =
+  QCheck.Test.make ~name:"view: incremental equals full re-evaluation" ~count:25
+    QCheck.(pair small_nat (small_list (pair small_nat small_nat)))
+    (fun (seed, batches) ->
+      let rand = Random.State.make [| seed; 101 |] in
+      let db = random_db rand 40 4 in
+      let q =
+        Algebra.(
+          group_by [ "doc_id" ]
+            [ { Algebra.agg = Count_star; as_name = "n" } ]
+            (select Expr.(col "label" <> text "O") (scan "TOKEN")))
+      in
+      let view = View.create db q in
+      List.for_all
+        (fun (a, b) ->
+          let delta = Delta.create () in
+          apply_random_updates rand db delta (1 + ((a + b) mod 15));
+          View.update view delta;
+          Bag.equal (Eval.eval db q).Eval.bag (View.result view))
+        batches)
+
+(* ------------------------------------------------------------------ *)
+(* Delta bookkeeping *)
+
+let test_delta_coalesce () =
+  let d = Delta.create () in
+  let row1 = r [ Int 1; Text "a" ] and row2 = r [ Int 1; Text "b" ] in
+  Delta.record_update d ~table:"T" ~old_row:row1 ~new_row:row2;
+  Delta.record_update d ~table:"T" ~old_row:row2 ~new_row:row1;
+  Alcotest.(check bool) "round trip cancels" true (Delta.is_empty d)
+
+let test_delta_plus_minus () =
+  let d = Delta.create () in
+  let row1 = r [ Int 1; Text "a" ] and row2 = r [ Int 1; Text "b" ] in
+  Delta.record_update d ~table:"T" ~old_row:row1 ~new_row:row2;
+  Alcotest.(check int) "plus has new" 1 (Bag.count (Delta.plus d ~table:"T") row2);
+  Alcotest.(check int) "minus has old" 1 (Bag.count (Delta.minus d ~table:"T") row1);
+  Alcotest.(check int) "magnitude" 2 (Delta.total_magnitude d)
+
+
+(* ------------------------------------------------------------------ *)
+(* Extended expressions: LIKE, IN, BETWEEN, IS NULL *)
+
+let test_like_matcher () =
+  let cases =
+    [ ("%", "anything", true); ("IBM", "IBM", true); ("IBM", "IBm", false);
+      ("B%", "Boston", true); ("%ton", "Boston", true); ("%os%", "Boston", true);
+      ("B_ston", "Boston", true); ("B_ston", "Bston", false); ("", "", true);
+      ("", "x", false); ("%%", "x", true); ("a%b%c", "a123b456c", true);
+      ("a%b%c", "a123c456b", false) ]
+  in
+  List.iter
+    (fun (pattern, s, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "LIKE %s ~ %s" pattern s)
+        expected
+        (Expr.like_match ~pattern s))
+    cases
+
+let test_expr_in_between_null () =
+  let s =
+    Schema.make
+      [ { Schema.name = "x"; ty = Value.T_int }; { Schema.name = "s"; ty = Value.T_text } ]
+  in
+  let in_pred = Expr.bind_pred s (Expr.in_list (Expr.col "x") [ Value.Int 1; Value.Int 3 ]) in
+  Alcotest.(check bool) "in hit" true (in_pred (r [ Int 3; Text "a" ]));
+  Alcotest.(check bool) "in miss" false (in_pred (r [ Int 2; Text "a" ]));
+  let btw = Expr.bind_pred s (Expr.between (Expr.col "x") (Value.Int 2) (Value.Int 4)) in
+  Alcotest.(check bool) "between hit" true (btw (r [ Int 2; Text "a" ]));
+  Alcotest.(check bool) "between miss" false (btw (r [ Int 5; Text "a" ]));
+  let isnull = Expr.bind_pred s (Expr.Is_null (Expr.col "s")) in
+  Alcotest.(check bool) "null" true (isnull (r [ Int 1; Null ]));
+  Alcotest.(check bool) "not null" false (isnull (r [ Int 1; Text "" ]))
+
+let test_sql_like_in_between () =
+  let db = sample_db () in
+  let like = Sql.run db "SELECT string FROM TOKEN WHERE string LIKE 'B%'" in
+  check_bag "LIKE B%" (Bag.of_rows [ r [ Text "Bill" ]; r [ Text "Boston" ]; r [ Text "Boston" ] ])
+    like.bag;
+  let inq = Sql.run db "SELECT tok_id FROM TOKEN WHERE label IN ('B-PER','B-LOC')" in
+  check_bag "IN list" (Bag.of_rows [ r [ Int 1 ]; r [ Int 5 ]; r [ Int 7 ] ]) inq.bag;
+  let btw = Sql.run db "SELECT tok_id FROM TOKEN WHERE tok_id BETWEEN 2 AND 4" in
+  check_bag "BETWEEN" (Bag.of_rows [ r [ Int 2 ]; r [ Int 3 ]; r [ Int 4 ] ]) btw.bag;
+  let notin = Sql.run db "SELECT COUNT(*) FROM TOKEN WHERE label NOT IN ('O')" in
+  check_bag "NOT IN" (Bag.of_rows [ r [ Int 5 ] ]) notin.bag;
+  let arith = Sql.run db "SELECT tok_id FROM TOKEN WHERE tok_id + 1 = 3" in
+  check_bag "arith" (Bag.of_rows [ r [ Int 2 ] ]) arith.bag
+
+(* ------------------------------------------------------------------ *)
+(* ORDER BY / LIMIT *)
+
+let test_sql_order_limit () =
+  let db = sample_db () in
+  let q = Sql.parse "SELECT tok_id FROM TOKEN WHERE label <> 'O' ORDER BY tok_id DESC LIMIT 2" in
+  let _, ordered = Eval.eval_ordered db q in
+  Alcotest.(check (list (pair int int)))
+    "top 2 descending"
+    [ (7, 1); (5, 1) ]
+    (List.map (fun (row, c) -> (Value.to_int (Row.get row 0), c)) ordered)
+
+let test_order_by_no_limit_is_multiset_noop () =
+  let db = sample_db () in
+  let plain = Sql.run db "SELECT label FROM TOKEN" in
+  let ordered = Sql.run db "SELECT label FROM TOKEN ORDER BY label" in
+  check_bag "same multiset" plain.bag ordered.bag
+
+let test_limit_counts_multiplicity () =
+  let db = sample_db () in
+  let res = Sql.run db "SELECT label FROM TOKEN ORDER BY label LIMIT 4" in
+  (* labels sorted: B-LOC, B-ORG, B-ORG, B-PER, ... *)
+  let expected = Bag.create () in
+  Bag.add expected (r [ Text "B-LOC" ]);
+  Bag.add ~count:2 expected (r [ Text "B-ORG" ]);
+  Bag.add expected (r [ Text "B-PER" ]);
+  check_bag "limit across duplicates" expected res.bag
+
+let test_view_with_limit_recomputes () =
+  let rand = Random.State.make [| 99 |] in
+  let db = random_db rand 80 5 in
+  let q = Sql.parse "SELECT tok_id FROM TOKEN WHERE label='B-PER' ORDER BY tok_id LIMIT 5" in
+  let view = View.create db q in
+  for _ = 1 to 8 do
+    let delta = Delta.create () in
+    apply_random_updates rand db delta 12;
+    View.update view delta;
+    let fresh = Eval.eval db q in
+    if not (Bag.equal fresh.Eval.bag (View.result view)) then
+      Alcotest.fail "limited view diverged"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let test_csv_roundtrip () =
+  let t =
+    mk_token_table
+      [ (1, 1, "says \"hi\", ok", "B-PER"); (2, 1, "plain", "O"); (3, 2, "comma, inside", "O") ]
+  in
+  let path = Filename.temp_file "pdb_csv" ".csv" in
+  Csv_io.write_file path t;
+  let t2 = Csv_io.read_file ~pk:"tok_id" ~name:"TOKEN" (token_schema ()) path in
+  Sys.remove path;
+  Alcotest.(check bool) "roundtrip preserves rows" true (Bag.equal (Table.rows t) (Table.rows t2))
+
+let test_csv_parse_line () =
+  Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ] (Csv_io.parse_line "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "x\"y" ] (Csv_io.parse_line "\"x\"\"y\"");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "z" ] (Csv_io.parse_line ",,z")
+
+let test_csv_null_cells () =
+  let schema =
+    Schema.make [ { Schema.name = "a"; ty = Value.T_int }; { Schema.name = "b"; ty = Value.T_text } ]
+  in
+  let path = Filename.temp_file "pdb_csv" ".csv" in
+  Out_channel.with_open_text path (fun oc -> output_string oc "a,b\n1,\n,x\n");
+  let t = Csv_io.read_file ~name:"T" schema path in
+  Sys.remove path;
+  Alcotest.(check int) "two rows" 2 (Table.cardinal t);
+  Alcotest.(check bool) "null parsed" true (Bag.mem (Table.rows t) (r [ Int 1; Null ]))
+
+
+(* ------------------------------------------------------------------ *)
+(* Storage (directory persistence) *)
+
+let test_storage_roundtrip () =
+  let db = sample_db () in
+  Table.create_index (Database.table db "TOKEN") "doc_id";
+  let dir = Filename.temp_file "pdb_store" "" in
+  Sys.remove dir;
+  Storage.save db ~dir;
+  let db2 = Storage.load ~dir in
+  let t1 = Database.table db "TOKEN" and t2 = Database.table db2 "TOKEN" in
+  Alcotest.(check bool) "rows preserved" true (Bag.equal (Table.rows t1) (Table.rows t2));
+  Alcotest.(check (option string)) "pk preserved" (Some "tok_id") (Table.pk_column t2);
+  Alcotest.(check bool) "index preserved" true (Table.has_index t2 "doc_id");
+  let q = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'" in
+  Alcotest.(check bool) "query agrees" true
+    (Bag.equal (Sql.run db q).Eval.bag (Sql.run db2 q).Eval.bag);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_storage_manifest_format () =
+  let t = mk_token_table [ (1, 1, "a", "O") ] in
+  Alcotest.(check string) "manifest line"
+    "TOKEN|tok_id|tok_id:int,doc_id:int,string:text,label:text|-"
+    (Storage.manifest_line t)
+
+(* ------------------------------------------------------------------ *)
+(* Indexed selection fast path *)
+
+let test_indexed_selection_agrees () =
+  let rand = Random.State.make [| 123 |] in
+  let db = random_db rand 200 8 in
+  let t = Database.table db "TOKEN" in
+  let q = Sql.parse "SELECT tok_id FROM TOKEN WHERE doc_id = 3 AND label = 'B-PER'" in
+  let before = Eval.eval db q in
+  Table.create_index t "doc_id";
+  let after = Eval.eval db q in
+  check_bag "index path = scan path" before.Eval.bag after.Eval.bag
+
+let test_indexed_selection_empty_key () =
+  let db = sample_db () in
+  Table.create_index (Database.table db "TOKEN") "doc_id";
+  let res = Sql.run db "SELECT tok_id FROM TOKEN WHERE doc_id = 99" in
+  Alcotest.(check int) "no rows" 0 (Bag.total res.Eval.bag)
+
+
+(* Property: the optimizer never changes query semantics. Random select/
+   project/product/join trees over the TOKEN table, random databases. *)
+let prop_optimizer_preserves_semantics =
+  QCheck.Test.make ~name:"optimizer: optimized plan is equivalent" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed; 7 |] in
+      let db = random_db rand 60 4 in
+      let pred alias =
+        let col_name = Printf.sprintf "%s.label" alias in
+        let v = labels_pool.(Random.State.int rand (Array.length labels_pool)) in
+        Expr.(col col_name = text v)
+      in
+      let base =
+        Algebra.Product (Algebra.scan ~alias:"T1" "TOKEN", Algebra.scan ~alias:"T2" "TOKEN")
+      in
+      let conj =
+        Expr.conj
+          [ pred "T1"; pred "T2"; Expr.(Expr.col "T1.doc_id" = Expr.col "T2.doc_id") ]
+      in
+      let q =
+        match Random.State.int rand 3 with
+        | 0 -> Algebra.Select (conj, base)
+        | 1 -> Algebra.Project ([ "T1.string" ], Algebra.Select (conj, base))
+        | _ -> Algebra.count_star (Algebra.Select (conj, base))
+      in
+      let plain = Eval.eval db q in
+      let opt = Eval.eval db (Optimizer.optimize q) in
+      Bag.equal plain.Eval.bag opt.Eval.bag)
+
+
+let test_sql_having () =
+  let db = sample_db () in
+  let res =
+    Sql.run db "SELECT doc_id, COUNT(*) AS n FROM TOKEN GROUP BY doc_id HAVING n >= 3"
+  in
+  check_bag "having filters groups"
+    (Bag.of_rows [ r [ Int 1; Int 3 ]; r [ Int 2; Int 3 ] ])
+    res.bag
+
+let test_sql_join_on () =
+  let db = sample_db () in
+  let res =
+    Sql.run db
+      "SELECT T2.STRING FROM TOKEN T1 JOIN TOKEN T2 ON T1.DOC_ID = T2.DOC_ID WHERE \
+       T1.STRING='Boston' AND T1.LABEL='B-ORG' AND T2.LABEL='B-PER'"
+  in
+  check_bag "join..on equals comma join" (Bag.of_rows [ r [ Text "Ramirez" ] ]) res.bag
+
+let test_sql_having_without_group () =
+  match Sql.parse "SELECT string FROM TOKEN HAVING string = 'x'" with
+  | exception Sql.Parse_error _ -> ()
+  | _ -> Alcotest.fail "HAVING without GROUP BY must fail"
+
+
+(* ------------------------------------------------------------------ *)
+(* DML statements and view maintenance under inserts/deletes *)
+
+let test_dml_insert () =
+  let db = sample_db () in
+  let n =
+    Sql.execute db "INSERT INTO TOKEN VALUES (100, 4, 'Pedro', 'B-PER'), (101, 4, 'ran', 'O')"
+  in
+  Alcotest.(check int) "two inserted" 2 n;
+  let res = Sql.run db "SELECT COUNT(*) FROM TOKEN" in
+  check_bag "count grew" (Bag.of_rows [ r [ Int 10 ] ]) res.bag
+
+let test_dml_update () =
+  let db = sample_db () in
+  let n = Sql.execute db "UPDATE TOKEN SET label = 'B-ORG' WHERE string = 'Boston'" in
+  (* one of the two Boston rows is already B-ORG; no-op rows don't count *)
+  Alcotest.(check int) "one actually changed" 1 n;
+  let res = Sql.run db "SELECT COUNT(*) FROM TOKEN WHERE label='B-ORG'" in
+  check_bag "three orgs now" (Bag.of_rows [ r [ Int 3 ] ]) res.bag
+
+let test_dml_update_arith () =
+  let db = sample_db () in
+  let n = Sql.execute db "UPDATE TOKEN SET doc_id = doc_id + 10 WHERE doc_id = 1" in
+  Alcotest.(check int) "three rows shifted" 3 n;
+  let res = Sql.run db "SELECT COUNT(*) FROM TOKEN WHERE doc_id = 11" in
+  check_bag "shifted" (Bag.of_rows [ r [ Int 3 ] ]) res.bag
+
+let test_dml_delete () =
+  let db = sample_db () in
+  let n = Sql.execute db "DELETE FROM TOKEN WHERE label = 'O'" in
+  Alcotest.(check int) "three deleted" 3 n;
+  Alcotest.(check int) "five left" 5 (Table.cardinal (Database.table db "TOKEN"))
+
+let test_dml_rejects_query () =
+  let db = sample_db () in
+  match Sql.execute db "SELECT * FROM TOKEN" with
+  | exception Sql.Parse_error _ -> ()
+  | _ -> Alcotest.fail "execute must reject queries"
+
+let test_views_follow_dml () =
+  let db = sample_db () in
+  let queries =
+    [ Sql.parse "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'";
+      Sql.parse "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'";
+      Sql.parse "SELECT doc_id, COUNT(*) AS n FROM TOKEN GROUP BY doc_id";
+      Sql.parse
+        "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 WHERE T1.STRING='Boston' AND \
+         T1.LABEL='B-ORG' AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'" ]
+  in
+  let views = List.map (View.create db) queries in
+  let statements =
+    [ "INSERT INTO TOKEN VALUES (50, 2, 'Pedro', 'B-PER')";
+      "UPDATE TOKEN SET label = 'B-ORG' WHERE string = 'Boston'";
+      "DELETE FROM TOKEN WHERE label = 'O'";
+      "INSERT INTO TOKEN VALUES (51, 2, 'Boston', 'B-ORG'), (52, 3, 'Eli', 'B-PER')";
+      "UPDATE TOKEN SET doc_id = 2 WHERE doc_id = 3" ]
+  in
+  List.iter
+    (fun stmt ->
+      let delta = Delta.create () in
+      ignore (Sql.execute ~delta db stmt : int);
+      List.iter2
+        (fun view q ->
+          View.update view delta;
+          let fresh = Eval.eval db q in
+          if not (Bag.equal fresh.Eval.bag (View.result view)) then
+            Alcotest.failf "view diverged after %S on %s" stmt
+              (Format.asprintf "%a" Algebra.pp q))
+        views queries)
+    statements
+
+
+(* A few extra edge cases surfaced while writing the benches. *)
+
+let test_bag_equal_with_negative () =
+  let a = Bag.create () and b = Bag.create () in
+  Bag.add ~count:(-2) a (r [ Int 1 ]);
+  Bag.add ~count:(-2) b (r [ Int 1 ]);
+  Alcotest.(check bool) "negative counts compare" true (Bag.equal a b);
+  Bag.add b (r [ Int 1 ]);
+  Alcotest.(check bool) "differ" false (Bag.equal a b)
+
+let test_schema_duplicate_column () =
+  match Schema.make [ { Schema.name = "a"; ty = Value.T_int }; { Schema.name = "a"; ty = Value.T_int } ] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "duplicate columns must be rejected"
+
+let test_order_by_desc_ties_deterministic () =
+  let db = sample_db () in
+  let q1 = Sql.parse "SELECT doc_id FROM TOKEN ORDER BY doc_id DESC LIMIT 3" in
+  let a = Eval.eval db q1 in
+  let b = Eval.eval db q1 in
+  check_bag "stable under re-evaluation" a.Eval.bag b.Eval.bag
+
+let test_dml_parse_errors () =
+  List.iter
+    (fun src ->
+      match Sql.parse_statement src with
+      | exception Sql.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error: %s" src)
+    [ "INSERT TOKEN VALUES (1)"; "INSERT INTO TOKEN (1,2)"; "UPDATE TOKEN label = 'x'";
+      "DELETE TOKEN"; "UPDATE TOKEN SET WHERE a=1" ]
+
+let test_empty_table_queries () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~pk:"tok_id" ~name:"TOKEN" (token_schema ()) in
+  let sel = Sql.run db "SELECT string FROM TOKEN WHERE label='B-PER'" in
+  Alcotest.(check int) "empty selection" 0 (Bag.total sel.Eval.bag);
+  let cnt = Sql.run db "SELECT COUNT(*) FROM TOKEN" in
+  check_bag "count of empty" (Bag.of_rows [ r [ Int 0 ] ]) cnt.bag;
+  let grp = Sql.run db "SELECT doc_id, COUNT(*) AS n FROM TOKEN GROUP BY doc_id" in
+  Alcotest.(check int) "no groups" 0 (Bag.total grp.bag);
+  (* and a view over the empty table updates cleanly *)
+  let view = View.create db (Sql.parse "SELECT COUNT(*) FROM TOKEN WHERE label='B-PER'") in
+  let t = Database.table db "TOKEN" in
+  let delta = Delta.create () in
+  let row = r [ Int 0; Int 0; Text "Bill"; Text "B-PER" ] in
+  Table.insert t row;
+  Delta.record_insert delta ~table:"TOKEN" row;
+  View.update view delta;
+  check_bag "view after first insert" (Bag.of_rows [ r [ Int 1 ] ]) (View.result view)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "relational"
+    [ ("value",
+       [ Alcotest.test_case "compare" `Quick test_value_compare;
+         Alcotest.test_case "hash-consistent" `Quick test_value_hash_consistent;
+         Alcotest.test_case "arith" `Quick test_value_arith;
+         qc prop_value_hash_equal ]);
+      ("schema",
+       [ Alcotest.test_case "lookup" `Quick test_schema_lookup;
+         Alcotest.test_case "qualify" `Quick test_schema_qualify;
+         Alcotest.test_case "ambiguous" `Quick test_schema_ambiguous;
+         Alcotest.test_case "project" `Quick test_schema_project ]);
+      ("bag",
+       [ Alcotest.test_case "counts" `Quick test_bag_counts;
+         Alcotest.test_case "signed" `Quick test_bag_signed;
+         Alcotest.test_case "map-rows" `Quick test_bag_map_rows;
+         qc prop_bag_add_bag_assoc ]);
+      ("table",
+       [ Alcotest.test_case "pk-update" `Quick test_table_pk_update;
+         Alcotest.test_case "duplicate-pk" `Quick test_table_duplicate_pk;
+         Alcotest.test_case "index" `Quick test_table_index ]);
+      ("expr",
+       [ Alcotest.test_case "predicates" `Quick test_expr_pred;
+         Alcotest.test_case "equi-join" `Quick test_expr_equi_join ]);
+      ("eval",
+       [ Alcotest.test_case "select-project" `Quick test_eval_select_project;
+         Alcotest.test_case "projection-multiset" `Quick test_eval_projection_multiset;
+         Alcotest.test_case "count" `Quick test_eval_count;
+         Alcotest.test_case "count-empty" `Quick test_eval_count_empty;
+         Alcotest.test_case "group-by" `Quick test_eval_group_by;
+         Alcotest.test_case "join" `Quick test_eval_join;
+         Alcotest.test_case "min-max-avg" `Quick test_eval_min_max_avg;
+         Alcotest.test_case "count-join" `Quick test_eval_count_join;
+         Alcotest.test_case "distinct-union-diff" `Quick test_eval_distinct_union_diff ]);
+      ("sql",
+       [ Alcotest.test_case "query1" `Quick test_sql_query1;
+         Alcotest.test_case "query2" `Quick test_sql_query2;
+         Alcotest.test_case "query3" `Quick test_sql_query3;
+         Alcotest.test_case "query4" `Quick test_sql_query4;
+         Alcotest.test_case "group-by" `Quick test_sql_group_by;
+         Alcotest.test_case "join-optimized" `Quick test_sql_join_becomes_hash;
+         Alcotest.test_case "errors" `Quick test_sql_errors ]);
+      ("view",
+       [ Alcotest.test_case "matches-full-eval" `Quick test_view_matches_full_eval;
+         Alcotest.test_case "refresh" `Quick test_view_refresh;
+         qc prop_view_maintenance ]);
+      ("delta",
+       [ Alcotest.test_case "coalesce" `Quick test_delta_coalesce;
+         Alcotest.test_case "plus-minus" `Quick test_delta_plus_minus ]);
+      ("extended-sql",
+       [ Alcotest.test_case "like-matcher" `Quick test_like_matcher;
+         Alcotest.test_case "in-between-null" `Quick test_expr_in_between_null;
+         Alcotest.test_case "sql-like-in-between" `Quick test_sql_like_in_between;
+         Alcotest.test_case "order-limit" `Quick test_sql_order_limit;
+         Alcotest.test_case "order-noop" `Quick test_order_by_no_limit_is_multiset_noop;
+         Alcotest.test_case "limit-multiplicity" `Quick test_limit_counts_multiplicity;
+         Alcotest.test_case "view-with-limit" `Quick test_view_with_limit_recomputes;
+         Alcotest.test_case "having" `Quick test_sql_having;
+         Alcotest.test_case "join-on" `Quick test_sql_join_on;
+         Alcotest.test_case "having-without-group" `Quick test_sql_having_without_group ]);
+      ("csv",
+       [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+         Alcotest.test_case "parse-line" `Quick test_csv_parse_line;
+         Alcotest.test_case "null-cells" `Quick test_csv_null_cells ]);
+      ("storage",
+       [ Alcotest.test_case "roundtrip" `Quick test_storage_roundtrip;
+         Alcotest.test_case "manifest" `Quick test_storage_manifest_format ]);
+      ("index-path",
+       [ Alcotest.test_case "agrees-with-scan" `Quick test_indexed_selection_agrees;
+         Alcotest.test_case "empty-key" `Quick test_indexed_selection_empty_key ]);
+      ("optimizer", [ qc prop_optimizer_preserves_semantics ]);
+      ("dml",
+       [ Alcotest.test_case "insert" `Quick test_dml_insert;
+         Alcotest.test_case "update" `Quick test_dml_update;
+         Alcotest.test_case "update-arith" `Quick test_dml_update_arith;
+         Alcotest.test_case "delete" `Quick test_dml_delete;
+         Alcotest.test_case "rejects-query" `Quick test_dml_rejects_query;
+         Alcotest.test_case "views-follow-dml" `Quick test_views_follow_dml ]);
+      ("edge-cases",
+       [ Alcotest.test_case "bag-negative-equal" `Quick test_bag_equal_with_negative;
+         Alcotest.test_case "schema-duplicate" `Quick test_schema_duplicate_column;
+         Alcotest.test_case "order-desc-stable" `Quick test_order_by_desc_ties_deterministic;
+         Alcotest.test_case "dml-parse-errors" `Quick test_dml_parse_errors;
+         Alcotest.test_case "empty-table" `Quick test_empty_table_queries ]) ]
