@@ -4,6 +4,10 @@
      dune exec bench/main.exe                 # every experiment, quick scale
      dune exec bench/main.exe -- e1 e4        # selected experiments
      dune exec bench/main.exe -- all --full   # paper-leaning sizes (slower)
+     dune exec bench/main.exe -- e1 --metrics-out /tmp/m.json
+                                              # + observability snapshot
+     dune exec bench/main.exe -- e1 --trace-out /tmp/t.jsonl
+                                              # + JSON-lines trace events
 
    Experiment ids follow DESIGN.md §4: e1–e7 map to the paper's figures,
    a1/a3 are ablations, micro is the Bechamel suite (A2). *)
@@ -31,13 +35,50 @@ let run ~full = function
     Printf.eprintf "unknown experiment %S (known: %s, all)\n" id (String.concat ", " all_ids);
     exit 2
 
+(* Extract "--flag FILE" from the argument list, returning the value and the
+   remaining arguments. *)
+let take_opt flag args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let metrics_out, args = take_opt "--metrics-out" args in
+  let trace_out, args = take_opt "--trace-out" args in
   let full = List.mem "--full" args in
   let ids = List.filter (fun a -> a <> "--full" && a <> "all") args in
   let ids = if ids = [] then all_ids else ids in
+  if metrics_out <> None then Obs.Metrics.set_enabled true;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.set_enabled true;
+    (try Obs.Trace.sink_to_file path
+     with Sys_error msg ->
+       Printf.eprintf "error: could not open trace file: %s\n" msg;
+       exit 1));
   Printf.printf "factor-graph PDB experiment harness (%s scale)\n"
     (if full then "full" else "quick");
   let t0 = Unix.gettimeofday () in
   List.iter (run ~full) ids;
-  Printf.printf "\nall experiments finished in %.1fs\n" (Unix.gettimeofday () -. t0)
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nall experiments finished in %.1fs\n" elapsed;
+  (match metrics_out with
+  | None -> ()
+  | Some path -> (
+    try
+      Obs.Snapshot.write_file
+        ~meta:
+          [ ("cmd", "bench/main.exe");
+            ("experiments", String.concat "," ids);
+            ("scale", if full then "full" else "quick");
+            ("elapsed_s", Printf.sprintf "%.3f" elapsed) ]
+        ~path Obs.Metrics.global;
+      Printf.printf "metrics snapshot written to %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "warning: could not write metrics snapshot: %s\n" msg));
+  Obs.Trace.close ()

@@ -11,6 +11,56 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* Observability flags, shared by every subcommand: --metrics-out enables
+   collection (lib/obs) and dumps a JSON snapshot of the run when the
+   command finishes; --trace-out additionally streams JSON-lines trace
+   events. See docs/OBSERVABILITY.md for the metric catalogue. *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Collect runtime metrics and write a JSON snapshot to $(docv).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Stream structured trace events to $(docv) as JSON lines.")
+
+(* [with_obs cmd_name metrics_out trace_out run] runs [run ()] under the
+   requested instrumentation and writes the snapshot afterwards. *)
+let with_obs cmd_name metrics_out trace_out run =
+  if metrics_out <> None then Obs.Metrics.set_enabled true;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.set_enabled true;
+    (try Obs.Trace.sink_to_file path
+     with Sys_error msg ->
+       Printf.eprintf "error: could not open trace file: %s\n" msg;
+       exit 1));
+  let t0 = Obs.Timer.start () in
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics_out with
+      | None -> ()
+      | Some path -> (
+        try
+          Obs.Snapshot.write_file
+            ~meta:
+              [ ("cmd", "pdb_cli " ^ cmd_name);
+                ("elapsed_s",
+                 Printf.sprintf "%.3f" (Obs.Timer.seconds (Obs.Timer.elapsed_ns t0))) ]
+            ~path Obs.Metrics.global;
+          Printf.printf "metrics snapshot written to %s\n" path
+        with Sys_error msg ->
+          Printf.eprintf "warning: could not write metrics snapshot: %s\n" msg));
+      Obs.Trace.close ())
+    run
+
 let tokens_arg =
   Arg.(
     value
@@ -20,7 +70,8 @@ let tokens_arg =
 (* ------------------------------------------------------------------ *)
 
 let corpus_cmd =
-  let run seed tokens =
+  let run seed tokens metrics_out trace_out =
+    with_obs "corpus" metrics_out trace_out @@ fun () ->
     let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
     let total = Ie.Corpus.total_tokens docs in
     Printf.printf "documents: %d\ntokens:    %d\n" (List.length docs) total;
@@ -41,7 +92,7 @@ let corpus_cmd =
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Generate the synthetic news corpus and print statistics.")
-    Term.(const run $ seed_arg $ tokens_arg)
+    Term.(const run $ seed_arg $ tokens_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -49,7 +100,8 @@ let steps_arg =
   Arg.(value & opt int 300_000 & info [ "steps" ] ~docv:"K" ~doc:"SampleRank steps.")
 
 let train_cmd =
-  let run seed tokens steps =
+  let run seed tokens steps metrics_out trace_out =
+    with_obs "train" metrics_out trace_out @@ fun () ->
     let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
     let db = Relational.Database.create () in
     ignore (Ie.Token_table.load db docs : Relational.Table.t);
@@ -67,7 +119,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the skip-chain CRF with SampleRank.")
-    Term.(const run $ seed_arg $ tokens_arg $ steps_arg)
+    Term.(const run $ seed_arg $ tokens_arg $ steps_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -96,7 +148,8 @@ let top_arg =
   Arg.(value & opt int 20 & info [ "top" ] ~docv:"T" ~doc:"Answer tuples to print.")
 
 let query_cmd =
-  let run seed tokens sql strategy samples thin top =
+  let run seed tokens sql strategy samples thin top metrics_out trace_out =
+    with_obs "query" metrics_out trace_out @@ fun () ->
     let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
     let db = Relational.Database.create () in
     ignore (Ie.Token_table.load db docs : Relational.Table.t);
@@ -125,7 +178,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a SQL query over the NER probabilistic database.")
-    Term.(const run $ seed_arg $ tokens_arg $ sql_arg $ strategy_arg $ samples_arg $ thin_arg $ top_arg)
+    Term.(
+      const run $ seed_arg $ tokens_arg $ sql_arg $ strategy_arg $ samples_arg $ thin_arg
+      $ top_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -137,7 +192,8 @@ let mentions_arg =
     & info [ "mentions" ] ~docv:"M1,M2,..." ~doc:"Comma-separated mention strings.")
 
 let coref_cmd =
-  let run seed mentions samples =
+  let run seed mentions samples metrics_out trace_out =
+    with_obs "coref" metrics_out trace_out @@ fun () ->
     let strings = Array.of_list mentions in
     let db = Relational.Database.create () in
     let world, coref = Ie.Coref.load db ~strings in
@@ -168,7 +224,7 @@ let coref_cmd =
   in
   Cmd.v
     (Cmd.info "coref" ~doc:"Entity resolution over mention strings.")
-    Term.(const run $ seed_arg $ mentions_arg $ samples_arg)
+    Term.(const run $ seed_arg $ mentions_arg $ samples_arg $ metrics_out_arg $ trace_out_arg)
 
 let () =
   let info =

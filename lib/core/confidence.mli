@@ -1,4 +1,9 @@
-(** Monte Carlo error estimates for tuple marginals.
+(** Monte Carlo error estimates for tuple marginals (§4.1, Eq. 5 estimator).
+
+    Role in the pipeline: consumes the {!Marginals.t} accumulated by either
+    evaluator (Algorithm 1 or Algorithm 3 — the estimator is agnostic to how
+    each world was queried) and turns sample counts into error bars; the
+    any-time stopping rules of {!Topk_eval} are built on these intervals.
 
     Treating the z thinned samples as roughly independent (the paper's
     thinning regime), the estimate p̂ of a tuple marginal has a binomial

@@ -1,5 +1,10 @@
 (** Any-time top-k answers (the MystiQ-style ranking workload [22,5]).
 
+    Role in the pipeline (§4.1–4.2): the consumer that most benefits from
+    Algorithm 1 — it runs the materialized evaluator so each extra sample
+    costs only a delta maintenance step (Eq. 6), and uses {!Confidence}
+    intervals to stop as soon as the ranking is stable.
+
     Samples with the materialized evaluator and stops early once the k-th
     and (k+1)-th ranked tuples' Wilson intervals separate — the ranking is
     then stable at the requested confidence, so further sampling is wasted

@@ -5,8 +5,27 @@ let fresh_stats () = { proposed = 0; accepted = 0 }
 let acceptance_rate s =
   if s.proposed = 0 then 0. else float_of_int s.accepted /. float_of_int s.proposed
 
+(* Observability: the walk-side metrics of docs/OBSERVABILITY.md. The
+   [proposal rng world] call below is where the model scores the jump
+   (delta_log_pi), so its span is the per-proposal "score time". *)
+let m_proposals = Obs.Metrics.counter "mcmc.proposals"
+let m_accepts = Obs.Metrics.counter "mcmc.accepts"
+let m_score_ns = Obs.Metrics.counter "mcmc.score_ns"
+let m_proposal_ns = Obs.Metrics.histogram "mcmc.proposal_ns"
+
 let step ?stats rng (proposal : 'w Proposal.t) world =
-  let candidate = proposal rng world in
+  let obs = Obs.Metrics.enabled () in
+  let candidate =
+    if obs then begin
+      let t0 = Obs.Timer.now_ns () in
+      let c = proposal rng world in
+      let dt = max 0 (Obs.Timer.now_ns () - t0) in
+      Obs.Metrics.add m_score_ns dt;
+      Obs.Metrics.observe m_proposal_ns dt;
+      c
+    end
+    else proposal rng world
+  in
   let log_alpha = candidate.Proposal.delta_log_pi +. candidate.Proposal.log_q_ratio in
   let accept = log_alpha >= 0. || Rng.log_uniform rng < log_alpha in
   (match stats with
@@ -14,6 +33,10 @@ let step ?stats rng (proposal : 'w Proposal.t) world =
   | Some s ->
     s.proposed <- s.proposed + 1;
     if accept then s.accepted <- s.accepted + 1);
+  if obs then begin
+    Obs.Metrics.incr m_proposals;
+    if accept then Obs.Metrics.incr m_accepts
+  end;
   if accept then candidate.Proposal.commit ();
   accept
 

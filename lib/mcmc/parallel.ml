@@ -1,26 +1,55 @@
 let max_domains = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Observability: each worker accumulates locally and folds its totals into
+   the shared (atomic) counters when it finishes, so the global values are
+   exactly the sum of per-domain contributions once every domain is joined.
+   Per-job latencies go straight to the histogram (bucket updates are
+   atomic, so cross-domain interleaving cannot tear them). *)
+let m_jobs = Obs.Metrics.counter "parallel.jobs"
+let m_domains = Obs.Metrics.counter "parallel.domains"
+let m_job_ns = Obs.Metrics.histogram "parallel.job_ns"
+
 let map ~n f =
   let results = Array.make n None in
   let next = Atomic.make 0 in
+  let obs = Obs.Metrics.enabled () in
+  let run_job i =
+    if obs then begin
+      let t0 = Obs.Timer.now_ns () in
+      results.(i) <- Some (f i);
+      Obs.Metrics.observe m_job_ns (max 0 (Obs.Timer.now_ns () - t0))
+    end
+    else results.(i) <- Some (f i)
+  in
   let worker () =
+    let local_jobs = ref 0 in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (f i);
+        run_job i;
+        incr local_jobs;
         loop ()
       end
     in
-    loop ()
+    loop ();
+    (* Merge-on-join: this domain's share of the work. *)
+    if obs then Obs.Metrics.add m_jobs !local_jobs
   in
   let n_workers = min n max_domains in
-  if n_workers <= 1 then
+  if n_workers <= 1 then begin
     for i = 0 to n - 1 do
-      results.(i) <- Some (f i)
-    done
+      run_job i
+    done;
+    if obs then Obs.Metrics.add m_jobs n
+  end
   else begin
+    if obs then Obs.Metrics.add m_domains n_workers;
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit ~args:[ ("domains", string_of_int n_workers); ("jobs", string_of_int n) ]
+        "parallel.spawn";
     let domains = List.init n_workers (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join domains
+    List.iter Domain.join domains;
+    if Obs.Trace.enabled () then Obs.Trace.emit "parallel.join"
   end;
   Array.to_list (Array.map Option.get results)
 

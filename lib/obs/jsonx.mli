@@ -1,0 +1,27 @@
+(** Minimal JSON emission helpers for the observability layer.
+
+    [lib/obs] depends on nothing but [unix], so it carries its own tiny
+    JSON printer instead of pulling in a serialization library. Only
+    emission is supported (snapshots and trace events are write-only);
+    there is deliberately no parser. *)
+
+val escape : string -> string
+(** [escape s] is [s] with the JSON string escapes applied (quotes,
+    backslash, control characters). The result is {e not} quoted. *)
+
+val str : string -> string
+(** [str s] is the quoted, escaped JSON string literal for [s]. *)
+
+val int : int -> string
+(** [int n] is the JSON number literal for [n]. *)
+
+val float : float -> string
+(** [float x] is a JSON number literal for [x]. Non-finite values (which
+    JSON cannot represent) are emitted as [null]. *)
+
+val obj : (string * string) list -> string
+(** [obj fields] is a JSON object [{"k": v, ...}]; the values must already
+    be rendered JSON fragments. *)
+
+val arr : string list -> string
+(** [arr items] is a JSON array of already-rendered fragments. *)

@@ -1,0 +1,25 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+type t = int
+
+let start () = now_ns ()
+let elapsed_ns t = max 0 (now_ns () - t)
+let seconds ns = float_of_int ns /. 1e9
+
+let record c f =
+  if Metrics.enabled () then begin
+    let t0 = now_ns () in
+    let x = f () in
+    Metrics.add c (max 0 (now_ns () - t0));
+    x
+  end
+  else f ()
+
+let observe h f =
+  if Metrics.enabled () then begin
+    let t0 = now_ns () in
+    let x = f () in
+    Metrics.observe h (max 0 (now_ns () - t0));
+    x
+  end
+  else f ()

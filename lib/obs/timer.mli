@@ -1,0 +1,35 @@
+(** Wall-clock timers that feed {!Metrics} counters and histograms.
+
+    Timings separate the two costs the paper's evaluation keeps apart:
+    time spent {e walking} the Markov chain (Metropolis–Hastings
+    proposals, §4.1) versus time spent {e evaluating} queries over
+    sampled worlds (Algorithm 1 vs Algorithm 3, Fig 4a). All spans are
+    reported in integer nanoseconds.
+
+    The clock is [Unix.gettimeofday] (this toolchain's [unix] does not
+    expose [CLOCK_MONOTONIC]); spans are only meaningful for the
+    sub-second to minutes range the experiments live in, and a clock
+    step during a span can distort it. *)
+
+val now_ns : unit -> int
+(** Current wall-clock time in integer nanoseconds since the epoch. *)
+
+type t
+(** A started timer (just the start timestamp; stack-allocatable). *)
+
+val start : unit -> t
+val elapsed_ns : t -> int
+(** Nanoseconds since [start], never negative. *)
+
+val seconds : int -> float
+(** Convert a nanosecond span to seconds. *)
+
+val record : Metrics.counter -> (unit -> 'a) -> 'a
+(** [record c f] runs [f ()]; when collection is enabled the elapsed
+    nanoseconds are added to [c]. When disabled, [f] runs with no
+    clock reads at all. Exceptions from [f] propagate; the span is not
+    recorded in that case. *)
+
+val observe : Metrics.histogram -> (unit -> 'a) -> 'a
+(** [observe h f] — like {!record} but records the span as one
+    histogram sample. *)

@@ -4,7 +4,12 @@
     multiset projections, products/joins, distinct, union/difference,
     grouped aggregation, and {!constructor-Count_join} — the decorrelated
     form of scalar COUNT subqueries with one correlation equality
-    (paper Query 3). *)
+    (paper Query 3).
+
+    Role in the pipeline (§4): a value of {!t} is the shared plan language
+    both evaluators consume — Algorithm 3 re-executes it per sampled world
+    via {!Eval.eval}, Algorithm 1 compiles it once into a stateful
+    {!View.t} and maintains the answer from deltas (Eq. 6). *)
 
 type agg =
   | Count_star

@@ -2,7 +2,12 @@
 
     Counts may be negative, so the same structure represents both relation
     instances (all counts positive) and *signed deltas* used by incremental
-    view maintenance. Entries with count 0 are removed eagerly. *)
+    view maintenance. Entries with count 0 are removed eagerly.
+
+    Role in the pipeline (§4.2): the ⊖/⊕ of Eq. 6 are ordinary signed-bag
+    additions here, which is why Algorithm 1's [update] is a fold rather
+    than a special case — and why Algorithm 3 can reuse the same operators
+    with all-positive counts. *)
 
 type t
 

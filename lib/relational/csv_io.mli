@@ -2,7 +2,12 @@
 
     The first line is a header of column names. On import, cell values are
     parsed according to the target schema's column types; empty cells become
-    [Null]. *)
+    [Null].
+
+    Role in the pipeline: ingestion/egress only — it loads the one stored
+    possible world (§2's deterministic tables plus the current setting of
+    the uncertain columns) before sampling starts; neither Algorithm 1 nor
+    Algorithm 3 touches CSV on the hot path. *)
 
 val write_channel : out_channel -> Table.t -> unit
 val write_file : string -> Table.t -> unit

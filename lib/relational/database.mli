@@ -1,4 +1,10 @@
-(** A database: a namespace of {!Table.t}. *)
+(** A database: a namespace of {!Table.t}.
+
+    Role in the pipeline (§3): this is the "conventional DBMS" slot of the
+    paper's architecture — it stores exactly {e one} possible world at any
+    time. MCMC mutates it in place through [Core.World]; Algorithm 3 queries
+    it directly and Algorithm 1 maintains views over it, so every plan
+    ({!Algebra.t}) resolves its [Scan] nodes here. *)
 
 type t
 

@@ -2,7 +2,13 @@
 
     A delta maps each base table to a signed row multiset: a row updated from
     [a] to [b] contributes [a ↦ −1, b ↦ +1]; opposite changes within one
-    batch cancel automatically. *)
+    batch cancel automatically.
+
+    Role in the pipeline (§4.2): this is the Δ of Eq. 6 — the record of what
+    one accepted MCMC proposal changed in the stored world. Its smallness
+    relative to the full tables (|Δ| ≪ |D|, the paper's central scalability
+    claim, Fig 4a) is what makes Algorithm 1 beat Algorithm 3; the
+    [eval.delta_rows] vs [eval.table_rows] metrics measure exactly this. *)
 
 type t
 

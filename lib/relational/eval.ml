@@ -130,7 +130,41 @@ let limit_rows limit rows =
     in
     take n rows
 
+(* Observability: per-operator output cardinalities and evaluation counts
+   ("relop.<op>.rows" / "relop.<op>.evals", see docs/OBSERVABILITY.md).
+   Recursion goes through the instrumented [eval] wrapper, so every node of
+   a plan is accounted, at O(1) per node ([Bag.distinct_cardinal] is a
+   hashtable length read) and zero cost when collection is disabled. *)
+let op_names =
+  [| "scan"; "select"; "project"; "product"; "join"; "distinct"; "union"; "diff";
+     "group_by"; "count_join"; "order_by" |]
+
+let op_index : Algebra.t -> int = function
+  | Algebra.Scan _ -> 0
+  | Select _ -> 1
+  | Project _ -> 2
+  | Product _ -> 3
+  | Join _ -> 4
+  | Distinct _ -> 5
+  | Union _ -> 6
+  | Diff _ -> 7
+  | Group_by _ -> 8
+  | Count_join _ -> 9
+  | Order_by _ -> 10
+
+let op_rows = Array.map (fun n -> Obs.Metrics.counter ("relop." ^ n ^ ".rows")) op_names
+let op_evals = Array.map (fun n -> Obs.Metrics.counter ("relop." ^ n ^ ".evals")) op_names
+
 let rec eval ?(override = fun _ -> None) db (q : Algebra.t) : rel =
+  let r = eval_node ~override db q in
+  if Obs.Metrics.enabled () then begin
+    let i = op_index q in
+    Obs.Metrics.incr op_evals.(i);
+    Obs.Metrics.add op_rows.(i) (Bag.distinct_cardinal r.bag)
+  end;
+  r
+
+and eval_node ~override db (q : Algebra.t) : rel =
   let eval_child = eval ~override db in
   match q with
   | Scan { table; alias } ->

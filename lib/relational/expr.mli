@@ -1,4 +1,11 @@
-(** Scalar expressions evaluated against a row of a known schema. *)
+(** Scalar expressions evaluated against a row of a known schema.
+
+    Role in the pipeline (§4): predicates of [Select]/[Join] nodes in both
+    evaluators. [bind_pred] compiles an expression once per plan (schema
+    resolution ahead of the loop), which matters because Algorithm 1
+    re-applies the same predicate to every delta batch of every sampled
+    world; [equi_join_pairs] is what lets {!Eval} hash-join instead of
+    nested-looping. *)
 
 type cmp = Eq | Neq | Lt | Le | Gt | Ge
 type arith = Add | Sub | Mul

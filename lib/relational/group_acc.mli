@@ -1,7 +1,14 @@
 (** Per-group aggregate accumulators, shared by full evaluation and by the
     incremental view engine. Accumulation accepts signed multiplicities, so
     the same structure supports both building a result from scratch and
-    maintaining it under deltas. *)
+    maintaining it under deltas.
+
+    Role in the pipeline (§4.2, Fig 6 queries): the paper's aggregate
+    answers are distributions over sampled worlds; this module is the
+    per-world half — Algorithm 3 folds a fresh accumulator per world,
+    Algorithm 1 keeps one alive per group and feeds it signed delta rows
+    (the COUNT/SUM path is exactly invertible, MIN/MAX fall back to
+    re-finalization). *)
 
 type t
 

@@ -4,7 +4,12 @@
     database: selections over products are split by which side their columns
     belong to, single-side conjuncts are pushed down, and cross-side equality
     conjuncts turn the product into a join — the plan shape both the naive
-    evaluator and the view maintainer want. *)
+    evaluator and the view maintainer want.
+
+    Role in the pipeline (§4): runs once between {!Sql.parse} and either
+    evaluator. Getting joins recognized before {!View.create} is what keeps
+    Algorithm 1's per-delta work proportional to |Δ| rather than to a
+    cross product (Eq. 6's Q′ terms). *)
 
 val optimize : Algebra.t -> Algebra.t
 

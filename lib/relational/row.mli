@@ -1,4 +1,10 @@
-(** Rows: fixed-arity arrays of {!Value.t}. Treated as immutable. *)
+(** Rows: fixed-arity arrays of {!Value.t}. Treated as immutable.
+
+    Role in the pipeline: the currency every layer trades in — tuples of
+    the one stored world (§3), elements of the Δ−/Δ+ batches, and keys of
+    the marginal counters (Eq. 5). Immutability is what lets a row sit
+    simultaneously in a table, a delta, and a view's count map without
+    copy-on-read. *)
 
 type t = Value.t array
 

@@ -2,7 +2,12 @@
 
     Column names may be qualified ("T1.STRING") or bare ("STRING"). Lookup by
     a bare name matches a qualified column when the suffix after the dot
-    matches and the match is unambiguous. *)
+    matches and the match is unambiguous.
+
+    Role in the pipeline: schemas are resolved once, at plan-build time
+    ({!Expr.bind}, {!View.create}), never inside the per-sample loop — both
+    Algorithm 1 and Algorithm 3 run over positional rows with name lookup
+    already compiled away. *)
 
 type column = { name : string; ty : Value.ty }
 type t

@@ -1,4 +1,9 @@
-(** SQL front end for the paper's query class.
+(** SQL front end for the paper's query class (§4; Queries 1–3 of §5).
+
+    Role in the pipeline: parses the query text once into {!Algebra.t};
+    after {!Optimizer.optimize}, the same plan serves Algorithm 3 (naive
+    re-evaluation per sample) and Algorithm 1 (compiled to a maintained
+    {!View.t}). Parsing is never on the sampling hot path.
 
     Supported grammar (case-insensitive keywords):
 

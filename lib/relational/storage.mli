@@ -1,7 +1,12 @@
 (** Directory-based persistence: one CSV per table plus a [MANIFEST] listing
     each table's schema, primary key, and secondary indexes. Enough to park
     a corpus on disk and reload it — not a transactional store (the paper's
-    DBMS is a black box; see DESIGN.md non-goals). *)
+    DBMS is a black box; see DESIGN.md non-goals).
+
+    Role in the pipeline: cold start/end only. A saved directory is one
+    possible world (§2); sampling, Algorithm 1 maintenance, and Algorithm 3
+    re-query all operate on the in-memory {!Database.t} between [load] and
+    [save]. *)
 
 val save : Database.t -> dir:string -> unit
 (** Creates [dir] if needed; overwrites existing files. *)

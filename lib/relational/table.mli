@@ -3,7 +3,12 @@
     A table stores a multiset of rows. When a primary key is declared the
     table additionally maintains a key → row map and updates become
     constant-time row replacements — the access pattern MCMC needs when a
-    field variable changes value. *)
+    field variable changes value.
+
+    Role in the pipeline (§3): tables hold the single materialized world the
+    sampler walks over. An accepted proposal becomes a handful of keyed
+    [update] calls, each of which can be captured in a {!Delta.t} for
+    Algorithm 1 (Eq. 6) while Algorithm 3 simply rescans the table. *)
 
 type t
 

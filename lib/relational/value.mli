@@ -3,7 +3,12 @@
     The engine is dynamically typed at the cell level (like SQLite): every
     cell holds a {!t}, and schemas declare the intended {!ty} of each column.
     Comparisons across numeric types coerce; everything else compares by a
-    fixed type order so that sorting is total. *)
+    fixed type order so that sorting is total.
+
+    Role in the pipeline: cells of every row in the stored world (§2) and in
+    the Δ batches of Eq. 6. Total ordering matters because bag/view count
+    maps and ORDER BY both rely on [compare] being a total order across
+    mixed-type columns. *)
 
 type t =
   | Null

@@ -170,7 +170,35 @@ let rec build db (alg : Algebra.t) : node * Bag.t =
    use the post-update database, matching the new-state maintenance rule
    δ(R×S) = δR⋈S' + R'⋈δS − δR⋈δS. *)
 
+(* Observability: signed delta cardinality flowing out of each operator
+   during maintenance ("view.<op>.delta_rows", see docs/OBSERVABILITY.md).
+   These are the |Δ| terms that make Algorithm 1 cheap: compare them with
+   the "relop.<op>.rows" counters a naive re-evaluation accumulates. *)
+let vop_names =
+  [| "scan"; "select"; "project"; "join"; "distinct"; "union"; "recompute";
+     "group_by"; "count_join" |]
+
+let vop_index = function
+  | K_scan _ -> 0
+  | K_select _ -> 1
+  | K_project _ -> 2
+  | K_join _ -> 3
+  | K_distinct _ -> 4
+  | K_union _ -> 5
+  | K_recompute _ -> 6
+  | K_group _ -> 7
+  | K_count_join _ -> 8
+
+let vop_delta_rows =
+  Array.map (fun n -> Obs.Metrics.counter ("view." ^ n ^ ".delta_rows")) vop_names
+
 let rec delta db node (d : Delta.t) : Bag.t =
+  let out = delta_node db node d in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.add vop_delta_rows.(vop_index node.kind) (Bag.distinct_cardinal out);
+  out
+
+and delta_node db node (d : Delta.t) : Bag.t =
   match node.kind with
   | K_scan table -> (
     match Delta.for_table d table with

@@ -1,4 +1,6 @@
-(** Materialized views maintained incrementally from update deltas.
+(** Materialized views maintained incrementally from update deltas — the
+    engine behind Algorithm 1 (§4.2), the paper's answer to Algorithm 3's
+    per-sample re-query cost.
 
     This implements Equation 6 of the paper,
     [Q(w') = Q(w) ⊖ Q'(w,Δ−) ⊕ Q'(w,Δ+)], in its signed-multiset form

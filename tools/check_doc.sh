@@ -1,0 +1,13 @@
+#!/bin/sh
+# Documentation check: build odoc docs with warnings treated as errors
+# for lib/obs (enforced by the (env (_ (odoc (warnings fatal)))) stanza
+# in lib/obs/dune). Skips cleanly when odoc is not installed — the CI
+# container bakes in the compiler toolchain but not odoc.
+set -eu
+cd "$(dirname "$0")/.."
+if ! command -v odoc >/dev/null 2>&1; then
+  echo "check_doc: odoc not installed, skipping doc build"
+  exit 0
+fi
+echo "check_doc: building @doc (odoc warnings fatal for lib/obs)"
+exec dune build @doc
