@@ -9,6 +9,8 @@
 open Bechamel
 open Toolkit
 
+(* Runs a group, prints per-test estimates, and returns them as
+   [(test-name, ns/run)] so callers can persist machine-readable results. *)
 let run_group name tests =
   Printf.printf "\n--- %s ---\n%!" name;
   let grouped = Test.make_grouped ~name tests in
@@ -18,10 +20,14 @@ let run_group name tests =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
   |> List.sort compare
-  |> List.iter (fun (k, v) ->
+  |> List.filter_map (fun (k, v) ->
          match Analyze.OLS.estimates v with
-         | Some (t :: _) -> Printf.printf "  %-44s %14.1f ns/run\n%!" k t
-         | Some [] | None -> Printf.printf "  %-44s (no estimate)\n%!" k)
+         | Some (t :: _) ->
+           Printf.printf "  %-44s %14.1f ns/run\n%!" k t;
+           Some (k, t)
+         | Some [] | None ->
+           Printf.printf "  %-44s (no estimate)\n%!" k;
+           None)
 
 let mh_step_tests () =
   (* One MH step over NER instances of growing size: the per-step cost must
@@ -77,9 +83,75 @@ let index_tests () =
     Test.make ~name:"select/index-probe-50k"
       (Staged.stage (fun () -> Relational.Eval.eval db_probe scan_q)) ]
 
+(* The acceptance benchmark of the indexed-IVM change: maintaining an
+   equi-join view under a single-row label flip must cost the same at 1k and
+   100k tuples (documents are constant-size, so the index probe touches one
+   doc bucket), while re-running the query from scratch grows linearly. *)
+let join_query =
+  "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 WHERE T1.DOC_ID=T2.DOC_ID AND \
+   T1.LABEL='B-ORG' AND T2.LABEL='B-PER'"
+
+let view_update_sizes = [ 1_000; 10_000; 100_000 ]
+
+let size_name prefix n = Printf.sprintf "%s/%dk-tuples" prefix (n / 1000)
+
+(* Flip one token's label back and forth through the real DML path, so every
+   iteration produces a genuine one-row update delta for the view. *)
+let flip_one_and_update view t =
+  let label =
+    match Relational.Table.find_by_pk t (Relational.Value.Int 0) with
+    | Some row when Relational.Value.equal (Relational.Row.get row 4) (Text "B-PER") -> "O"
+    | Some _ -> "B-PER"
+    | None -> invalid_arg "bench: TOKEN has no tok_id 0"
+  in
+  let old_row, new_row =
+    Relational.Table.update_field_by_pk t (Int 0) ~column:"label" (Text label)
+  in
+  let delta = Relational.Delta.create () in
+  Relational.Delta.record_update delta ~table:"TOKEN" ~old_row ~new_row;
+  Relational.View.update view delta;
+  Relational.View.result view
+
+let view_update_tests () =
+  let query = Relational.Sql.parse join_query in
+  List.map
+    (fun n ->
+      let inst = Harness.make_instance ~corpus_seed:303 ~chain_seed:4 ~n_tokens:n () in
+      let db = Core.Pdb.db inst.Harness.pdb in
+      let world = Core.Pdb.world inst.Harness.pdb in
+      let t = Relational.Database.table db "TOKEN" in
+      let view = Relational.View.create db query in
+      ignore (Core.World.drain_delta world : Relational.Delta.t);
+      Test.make
+        ~name:(size_name "view-update" n)
+        (Staged.stage (fun () -> flip_one_and_update view t)))
+    view_update_sizes
+
+let naive_rerun_tests () =
+  let query = Relational.Sql.parse join_query in
+  List.map
+    (fun n ->
+      let inst = Harness.make_instance ~corpus_seed:303 ~chain_seed:4 ~n_tokens:n () in
+      let db = Core.Pdb.db inst.Harness.pdb in
+      Test.make
+        ~name:(size_name "naive-rerun" n)
+        (Staged.stage (fun () -> Relational.Eval.eval db query)))
+    view_update_sizes
+
+let write_view_bench_json path results =
+  let fields = List.map (fun (name, ns) -> (name, Obs.Jsonx.float ns)) results in
+  let oc = open_out path in
+  output_string oc (Obs.Jsonx.obj [ ("ns_per_op", Obs.Jsonx.obj fields) ]);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nview-update bench written to %s\n%!" path
+
 let run () =
   Harness.print_header "A2 / micro-benchmarks (Bechamel)";
-  run_group "mh-step-constant-in-n" (mh_step_tests ());
-  run_group "delta-vs-full-scoring" (scoring_tests ());
-  run_group "view-update-vs-full-query" (view_tests ());
-  run_group "index-probe-vs-scan" (index_tests ())
+  ignore (run_group "mh-step-constant-in-n" (mh_step_tests ()) : (string * float) list);
+  ignore (run_group "delta-vs-full-scoring" (scoring_tests ()) : (string * float) list);
+  ignore (run_group "view-update-vs-full-query" (view_tests ()) : (string * float) list);
+  ignore (run_group "index-probe-vs-scan" (index_tests ()) : (string * float) list);
+  let vu = run_group "view-update-indexed" (view_update_tests ()) in
+  let naive = run_group "naive-rerun" (naive_rerun_tests ()) in
+  write_view_bench_json "BENCH_view.json" (vu @ naive)

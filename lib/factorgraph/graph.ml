@@ -58,10 +58,19 @@ let add_factor ?features g ~scope score =
   let id = g.next_factor in
   g.next_factor <- id + 1;
   Hashtbl.replace g.factors id { scope; score; features };
-  Array.iter
-    (fun v ->
-      let prev = Option.value ~default:[] (Hashtbl.find_opt g.adjacency v) in
-      Hashtbl.replace g.adjacency v (id :: prev))
+  (* Register each variable once even when it repeats in the scope, so
+     adjacency lists stay duplicate-free — the single-change fast path of
+     [touched_factors] returns them without deduplication. *)
+  Array.iteri
+    (fun i v ->
+      let dup = ref false in
+      for j = 0 to i - 1 do
+        if scope.(j) = v then dup := true
+      done;
+      if not !dup then begin
+        let prev = Option.value ~default:[] (Hashtbl.find_opt g.adjacency v) in
+        Hashtbl.replace g.adjacency v (id :: prev)
+      end)
     scope;
   id
 
@@ -105,19 +114,27 @@ let new_assignment g = Assignment.create g.n_vars
 let log_score g a = Hashtbl.fold (fun _ f acc -> acc +. f.score a) g.factors 0.
 
 let touched_factors g changes =
-  let seen = Hashtbl.create 16 in
-  let out = ref [] in
-  List.iter
-    (fun (v, _) ->
-      List.iter
-        (fun id ->
-          if not (Hashtbl.mem seen id) then begin
-            Hashtbl.add seen id ();
-            out := id :: !out
-          end)
-        (factors_of g v))
-    changes;
-  !out
+  match changes with
+  | [] -> []
+  | [ (v, _) ] ->
+    (* Single-change fast path — the common case from flip/Gibbs proposals:
+       adjacency lists carry no duplicates (see [add_factor]), so the list
+       is returned as-is with no dedup hashtable and no allocation. *)
+    factors_of g v
+  | _ ->
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    List.iter
+      (fun (v, _) ->
+        List.iter
+          (fun id ->
+            if not (Hashtbl.mem seen id) then begin
+              Hashtbl.add seen id ();
+              out := id :: !out
+            end)
+          (factors_of g v))
+      changes;
+    !out
 
 let delta_log_score g a changes =
   let ids = touched_factors g changes in

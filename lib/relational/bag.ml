@@ -8,6 +8,7 @@ end)
 type t = int H.t
 
 let create ?(size = 64) () = H.create size
+let empty = H.create 1
 let is_empty b = H.length b = 0
 let count b r = Option.value ~default:0 (H.find_opt b r)
 let mem b r = count b r > 0

@@ -12,6 +12,11 @@
 type t
 
 val create : ?size:int -> unit -> t
+
+val empty : t
+(** A shared, permanently empty bag, returned by index probes that find no
+    entry so misses allocate nothing. Never mutate it. *)
+
 val is_empty : t -> bool
 
 val count : t -> Row.t -> int

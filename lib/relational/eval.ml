@@ -9,9 +9,6 @@ module VH = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-(* Key extractor for a multi-column hash join: the key is itself a row. *)
-let key_of positions row = Array.map (fun i -> Row.get row i) positions
-
 let hash_join ~pairs ~residual sa sb (ba : Bag.t) (bb : Bag.t) =
   let left_pos = Array.of_list (List.map fst pairs) in
   let right_pos = Array.of_list (List.map snd pairs) in
@@ -27,24 +24,16 @@ let hash_join ~pairs ~residual sa sb (ba : Bag.t) (bb : Bag.t) =
   let build_bag, probe_bag, build_pos, probe_pos =
     if build_left then (ba, bb, left_pos, right_pos) else (bb, ba, right_pos, left_pos)
   in
-  let index = Hashtbl.create (max 16 (Bag.distinct_cardinal build_bag)) in
+  let index =
+    Key_index.of_bag ~size:(max 16 (Bag.distinct_cardinal build_bag)) build_pos build_bag
+  in
   Bag.iter
     (fun row c ->
-      let k = key_of build_pos row in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt index k) in
-      Hashtbl.replace index k ((row, c) :: prev))
-    build_bag;
-  Bag.iter
-    (fun row c ->
-      let k = key_of probe_pos row in
-      match Hashtbl.find_opt index k with
-      | None -> ()
-      | Some matches ->
-        List.iter
-          (fun (brow, bc) ->
-            let joined = if build_left then Row.append brow row else Row.append row brow in
-            if keep joined then Bag.add ~count:(bc * c) out joined)
-          matches)
+      Bag.iter
+        (fun brow bc ->
+          let joined = if build_left then Row.append brow row else Row.append row brow in
+          if keep joined then Bag.add ~count:(bc * c) out joined)
+        (Key_index.probe index (Key_index.extract probe_pos row)))
     probe_bag;
   { schema = out_schema; bag = out }
 

@@ -1,0 +1,42 @@
+module H = Hashtbl.Make (struct
+  type t = Row.t
+
+  let equal = Row.equal
+  let hash = Row.hash
+end)
+
+type t = { pos : int array; entries : Bag.t H.t }
+
+let create ?(size = 64) pos = { pos; entries = H.create size }
+let positions t = t.pos
+let extract pos row = Array.map (fun i -> Row.get row i) pos
+let key t row = extract t.pos row
+
+let add ?(count = 1) t row =
+  if count <> 0 then begin
+    let k = extract t.pos row in
+    let bag =
+      match H.find_opt t.entries k with
+      | Some b -> b
+      | None ->
+        let b = Bag.create ~size:4 () in
+        H.replace t.entries k b;
+        b
+    in
+    Bag.add ~count bag row;
+    if Bag.is_empty bag then H.remove t.entries k
+  end
+
+let add_bag ?(scale = 1) t bag = Bag.iter (fun row c -> add ~count:(scale * c) t row) bag
+
+let of_bag ?size pos bag =
+  let t = create ?size pos in
+  add_bag t bag;
+  t
+
+let probe t k = Option.value ~default:Bag.empty (H.find_opt t.entries k)
+let probe_value t v = probe t [| v |]
+let distinct_keys t = H.length t.entries
+let total_rows t = H.fold (fun _ b acc -> acc + Bag.distinct_cardinal b) t.entries 0
+let iter f t = H.iter f t.entries
+let clear t = H.reset t.entries

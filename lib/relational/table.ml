@@ -5,7 +5,7 @@ module VH = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-type index = { col : int; entries : Bag.t VH.t }
+type index = { col : int; entries : Key_index.t }
 
 type t = {
   tname : string;
@@ -16,8 +16,6 @@ type t = {
   mutable indexes : index list;
 }
 
-let empty_bag = Bag.create ~size:1 ()
-
 let create ?pk ~name schema =
   let pk = Option.map (Schema.index_of schema) pk in
   { tname = name; schema; pk; rows = Bag.create (); by_pk = VH.create 64; indexes = [] }
@@ -26,19 +24,7 @@ let name t = t.tname
 let schema t = t.schema
 let pk_column t = Option.map (fun i -> (Schema.column t.schema i).Schema.name) t.pk
 let cardinal t = Bag.total t.rows
-
-let index_add idx row count =
-  let key = Row.get row idx.col in
-  let bag =
-    match VH.find_opt idx.entries key with
-    | Some b -> b
-    | None ->
-      let b = Bag.create ~size:4 () in
-      VH.replace idx.entries key b;
-      b
-  in
-  Bag.add ~count bag row;
-  if Bag.is_empty bag then VH.remove idx.entries key
+let index_add idx row count = Key_index.add ~count idx.entries row
 
 let insert t row =
   if Array.length row <> Schema.arity t.schema then
@@ -95,8 +81,7 @@ let iter f t = Bag.iter f t.rows
 let create_index t column =
   let col = Schema.index_of t.schema column in
   t.indexes <- List.filter (fun idx -> idx.col <> col) t.indexes;
-  let idx = { col; entries = VH.create 256 } in
-  Bag.iter (fun row c -> index_add idx row c) t.rows;
+  let idx = { col; entries = Key_index.of_bag ~size:256 [| col |] t.rows } in
   t.indexes <- idx :: t.indexes
 
 let has_index t column =
@@ -108,9 +93,9 @@ let lookup t ~column v =
   let col = Schema.index_of t.schema column in
   match List.find_opt (fun idx -> idx.col = col) t.indexes with
   | None -> invalid_arg (Printf.sprintf "Table.lookup(%s): no index on %s" t.tname column)
-  | Some idx -> Option.value ~default:empty_bag (VH.find_opt idx.entries v)
+  | Some idx -> Key_index.probe_value idx.entries v
 
 let clear t =
   Bag.clear t.rows;
   VH.reset t.by_pk;
-  List.iter (fun idx -> VH.reset idx.entries) t.indexes
+  List.iter (fun idx -> Key_index.clear idx.entries) t.indexes

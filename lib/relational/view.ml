@@ -12,18 +12,50 @@ module RH = Hashtbl.Make (struct
   let hash = Row.hash
 end)
 
-type node = { alg : Algebra.t; schema : Schema.t; kind : kind }
+(* Every node materializes its full current result in [current], maintained
+   in place as deltas flow through (K_scan aliases the live base-table bag
+   instead of copying it — the table is updated before [update] runs, so the
+   alias is always the post-update state the delta rule needs).
+
+   [footprint] is the set of canonical base-table names under the node; a
+   delta batch touching none of them cannot change the node's result, so
+   propagation short-circuits the whole subtree — this is what keeps
+   K_recompute fallbacks (Diff, Order_by+limit) from re-running on every
+   batch. *)
+type node = {
+  alg : Algebra.t;
+  schema : Schema.t;
+  kind : kind;
+  mutable current : Bag.t;
+  footprint : string list;
+}
 
 and kind =
   | K_scan of string
   | K_select of (Row.t -> bool) * node
   | K_project of int array * node
-  | K_join of { pred : Expr.t option; left : node; right : node }
-  | K_distinct of { child : node; counts : Bag.t }
+  | K_join of join_info
+  | K_distinct of node
   | K_union of node * node
-  | K_recompute of { mutable current : Bag.t } (* Diff: maintained by re-evaluation *)
+  | K_recompute (* Diff, Order_by+limit: state is [current] itself *)
   | K_group of group_info
   | K_count_join of cj_info
+
+and join_info = { pred : Expr.t option; left : node; right : node; strategy : strategy }
+
+(* J_indexed: both children carry hash indexes on the equi-join key columns,
+   so each delta row costs one probe. J_nested (non-equi predicate or plain
+   product): per-delta-row nested loop over the sibling's materialized
+   [current] — still no sibling re-evaluation. *)
+and strategy =
+  | J_indexed of {
+      left_pos : int array;
+      right_pos : int array;
+      left_idx : Key_index.t;
+      right_idx : Key_index.t;
+      keep : (Row.t -> bool) option; (* residual over the concatenated schema *)
+    }
+  | J_nested
 
 and group_info = {
   g_child : node;
@@ -39,80 +71,101 @@ and cj_info = {
   key_pos : int;
   sub_key_pos : int;
   sub_counts : int VH.t;
-  child_by_key : Bag.t VH.t;
+  child_idx : Key_index.t; (* child rows keyed by the [key] column *)
 }
 
-type t = { db : Database.t; alg : Algebra.t; root : node; result : Bag.t; mutable vschema : Schema.t }
+type t = { db : Database.t; alg : Algebra.t; root : node; mutable vschema : Schema.t }
 
 let schema v = v.vschema
-let result v = v.result
+let result v = v.root.current
 let algebra v = v.alg
 
 (* ------------------------------------------------------------------ *)
-(* Construction: build the stateful tree and the initial result in one
-   bottom-up pass.  [build] returns the node plus its current full result
-   (which parents may fold into their own state). *)
-
-let cj_add_child info row count =
-  let k = Row.get row info.key_pos in
-  let bag =
-    match VH.find_opt info.child_by_key k with
-    | Some b -> b
-    | None ->
-      let b = Bag.create ~size:4 () in
-      VH.replace info.child_by_key k b;
-      b
-  in
-  Bag.add ~count bag row;
-  if Bag.is_empty bag then VH.remove info.child_by_key k
+(* Construction: build the stateful tree bottom-up; each node's [current]
+   holds its full initial result, which parents fold into their own state. *)
 
 let cj_count info k = Option.value ~default:0 (VH.find_opt info.sub_counts k)
 
-let rec build db (alg : Algebra.t) : node * Bag.t =
-  let schema = Algebra.output_schema db alg in
+let union_fp a b = List.fold_left (fun acc t -> if List.mem t acc then acc else t :: acc) a b
+
+(* Footprints use canonical table names (the name the world records deltas
+   under), regardless of query-side casing. *)
+let canonical_footprint db alg =
+  List.fold_left
+    (fun acc t -> union_fp acc [ Table.name (Database.table db t) ])
+    [] (Algebra.base_tables alg)
+
+let rec build db (alg : Algebra.t) : node =
   match alg with
   | Scan { table; _ } ->
-    (* Store the canonical table name so delta lookup matches the name the
-       world records updates under, regardless of query-side casing. *)
     let t = Database.table db table in
-    ({ alg; schema; kind = K_scan (Table.name t) }, Table.rows t)
+    let name = Table.name t in
+    { alg; schema = Algebra.output_schema db alg; kind = K_scan name;
+      current = Table.rows t; footprint = [ name ] }
   | Select (p, child_alg) ->
-    let child, cbag = build db child_alg in
+    let schema = Algebra.output_schema db alg in
+    let child = build db child_alg in
     let keep = Expr.bind_pred child.schema p in
-    ({ alg; schema; kind = K_select (keep, child) }, Bag.filter keep cbag)
+    { alg; schema; kind = K_select (keep, child);
+      current = Bag.filter keep child.current; footprint = child.footprint }
   | Project (cols, child_alg) ->
-    let child, cbag = build db child_alg in
+    let schema = Algebra.output_schema db alg in
+    let child = build db child_alg in
     let _, positions = Schema.project child.schema cols in
-    let out = Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) cbag in
-    ({ alg; schema; kind = K_project (positions, child) }, out)
+    { alg; schema; kind = K_project (positions, child);
+      current = Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) child.current;
+      footprint = child.footprint }
   | Product (a, b) ->
-    let left, ba = build db a in
-    let right, bb = build db b in
-    let r = Eval.join_bags left.schema right.schema ba bb in
-    ({ alg; schema; kind = K_join { pred = None; left; right } }, r.Eval.bag)
+    let schema = Algebra.output_schema db alg in
+    let left = build db a in
+    let right = build db b in
+    let r = Eval.join_bags left.schema right.schema left.current right.current in
+    { alg; schema; kind = K_join { pred = None; left; right; strategy = J_nested };
+      current = r.Eval.bag; footprint = union_fp left.footprint right.footprint }
   | Join (p, a, b) ->
-    let left, ba = build db a in
-    let right, bb = build db b in
-    let r = Eval.join_bags ~pred:p left.schema right.schema ba bb in
-    ({ alg; schema; kind = K_join { pred = Some p; left; right } }, r.Eval.bag)
+    let schema = Algebra.output_schema db alg in
+    let left = build db a in
+    let right = build db b in
+    let r = Eval.join_bags ~pred:p left.schema right.schema left.current right.current in
+    let strategy =
+      match Expr.equi_join_pairs p ~left:left.schema ~right:right.schema with
+      | Some (pairs, residual) ->
+        let left_pos = Array.of_list (List.map fst pairs) in
+        let right_pos = Array.of_list (List.map snd pairs) in
+        let keep =
+          Option.map (Expr.bind_pred (Schema.concat left.schema right.schema)) residual
+        in
+        J_indexed
+          { left_pos; right_pos;
+            left_idx = Key_index.of_bag left_pos left.current;
+            right_idx = Key_index.of_bag right_pos right.current;
+            keep }
+      | None -> J_nested
+    in
+    { alg; schema; kind = K_join { pred = Some p; left; right; strategy };
+      current = r.Eval.bag; footprint = union_fp left.footprint right.footprint }
   | Distinct child_alg ->
-    let child, cbag = build db child_alg in
-    let counts = Bag.copy cbag in
+    let schema = Algebra.output_schema db alg in
+    let child = build db child_alg in
     let out = Bag.create () in
-    Bag.iter (fun r c -> if c > 0 then Bag.add out r) counts;
-    ({ alg; schema; kind = K_distinct { child; counts } }, out)
+    Bag.iter (fun r c -> if c > 0 then Bag.add out r) child.current;
+    { alg; schema; kind = K_distinct child; current = out; footprint = child.footprint }
   | Union (a, b) ->
-    let left, ba = build db a in
-    let right, bb = build db b in
-    let out = Bag.copy ba in
-    Bag.add_bag out bb;
-    ({ alg; schema; kind = K_union (left, right) }, out)
+    let schema = Algebra.output_schema db alg in
+    let left = build db a in
+    let right = build db b in
+    let out = Bag.copy left.current in
+    Bag.add_bag out right.current;
+    { alg; schema; kind = K_union (left, right); current = out;
+      footprint = union_fp left.footprint right.footprint }
   | Diff _ ->
+    let schema = Algebra.output_schema db alg in
     let r = Eval.eval db alg in
-    let current = Bag.copy r.Eval.bag in
-    ({ alg; schema; kind = K_recompute { current } }, Bag.copy current)
+    { alg; schema; kind = K_recompute; current = Bag.copy r.Eval.bag;
+      footprint = canonical_footprint db alg }
   | Group_by { keys; aggs; child = child_alg } ->
-    let child, cbag = build db child_alg in
+    let schema = Algebra.output_schema db alg in
+    let child = build db child_alg in
     let keys_pos = Array.of_list (List.map (Schema.index_of child.schema) keys) in
     let spec = Group_acc.spec_of child.schema aggs in
     let groups = RH.create 64 in
@@ -128,52 +181,60 @@ let rec build db (alg : Algebra.t) : node * Bag.t =
             a
         in
         Group_acc.add spec acc row c)
-      cbag;
+      child.current;
     let global = keys = [] in
     if global && RH.length groups = 0 then RH.replace groups [||] (Group_acc.create spec);
     let out = Bag.create () in
     RH.iter (fun k acc -> Bag.add out (Array.append k (Group_acc.finalize spec acc))) groups;
-    ({ alg; schema; kind = K_group { g_child = child; keys_pos; spec; groups; global } }, out)
+    { alg; schema; kind = K_group { g_child = child; keys_pos; spec; groups; global };
+      current = out; footprint = child.footprint }
   | Order_by { limit = None; child = child_alg; _ } ->
-    (* Without a limit, ordering does not change the multiset. *)
-    let child, cbag = build db child_alg in
-    ({ alg; schema; kind = child.kind }, cbag)
+    (* Without a limit, ordering does not change the multiset; validate the
+       sort keys eagerly, then maintain the child directly. *)
+    ignore (Algebra.output_schema db alg : Schema.t);
+    build db child_alg
   | Order_by { limit = Some _; _ } ->
+    let schema = Algebra.output_schema db alg in
     let r = Eval.eval db alg in
-    let current = Bag.copy r.Eval.bag in
-    ({ alg; schema; kind = K_recompute { current } }, Bag.copy current)
+    { alg; schema; kind = K_recompute; current = Bag.copy r.Eval.bag;
+      footprint = canonical_footprint db alg }
   | Count_join { child = child_alg; key; sub = sub_alg; sub_key; _ } ->
-    let child, cbag = build db child_alg in
-    let sub, sbag = build db sub_alg in
+    let schema = Algebra.output_schema db alg in
+    let child = build db child_alg in
+    let sub = build db sub_alg in
     let key_pos = Schema.index_of child.schema key in
     let sub_key_pos = Schema.index_of sub.schema sub_key in
     let info =
       { c_child = child; c_sub = sub; key_pos; sub_key_pos;
-        sub_counts = VH.create 64; child_by_key = VH.create 64 }
+        sub_counts = VH.create 64; child_idx = Key_index.create [| key_pos |] }
     in
     Bag.iter
       (fun row c ->
         let k = Row.get row sub_key_pos in
         VH.replace info.sub_counts k (c + cj_count info k))
-      sbag;
-    Bag.iter (fun row c -> cj_add_child info row c) cbag;
+      sub.current;
+    Key_index.add_bag info.child_idx child.current;
     let out = Bag.create () in
     Bag.iter
       (fun row c ->
         Bag.add ~count:c out (Array.append row [| Value.Int (cj_count info (Row.get row key_pos)) |]))
-      cbag;
-    ({ alg; schema; kind = K_count_join info }, out)
+      child.current;
+    { alg; schema; kind = K_count_join info; current = out;
+      footprint = union_fp child.footprint sub.footprint }
 
 (* ------------------------------------------------------------------ *)
 (* Delta propagation.  [delta db node d] returns the signed change of the
-   node's result and updates any node-local state.  Sibling "current" values
-   use the post-update database, matching the new-state maintenance rule
-   δ(R×S) = δR⋈S' + R'⋈δS − δR⋈δS. *)
+   node's result, folds it into [node.current], and updates node-local
+   state.  Children are processed first, so sibling [current] values and
+   join indexes hold the post-update state, matching the new-state
+   maintenance rule δ(R⋈S) = δR⋈S' + R'⋈δS − δR⋈δS. *)
 
 (* Observability: signed delta cardinality flowing out of each operator
-   during maintenance ("view.<op>.delta_rows", see docs/OBSERVABILITY.md).
-   These are the |Δ| terms that make Algorithm 1 cheap: compare them with
-   the "relop.<op>.rows" counters a naive re-evaluation accumulates. *)
+   during maintenance ("view.<op>.delta_rows", see docs/OBSERVABILITY.md),
+   plus the indexed-join probe volume ("view.join.probe_rows") — the |Δ|
+   terms that make Algorithm 1 cheap.  Compare with the "relop.<op>.*"
+   counters a naive re-evaluation accumulates: an equi-join view performs
+   zero [Eval.eval] calls during maintenance, so those stay flat. *)
 let vop_names =
   [| "scan"; "select"; "project"; "join"; "distinct"; "union"; "recompute";
      "group_by"; "count_join" |]
@@ -185,18 +246,33 @@ let vop_index = function
   | K_join _ -> 3
   | K_distinct _ -> 4
   | K_union _ -> 5
-  | K_recompute _ -> 6
+  | K_recompute -> 6
   | K_group _ -> 7
   | K_count_join _ -> 8
 
 let vop_delta_rows =
   Array.map (fun n -> Obs.Metrics.counter ("view." ^ n ^ ".delta_rows")) vop_names
 
+let m_probe_rows = Obs.Metrics.counter "view.join.probe_rows"
+let g_index_size = Obs.Metrics.gauge "view.join.index_size"
+let g_materialized_rows = Obs.Metrics.gauge "view.node.materialized_rows"
+
+let touches d footprint =
+  List.exists
+    (fun t ->
+      match Delta.for_table d t with Some b -> not (Bag.is_empty b) | None -> false)
+    footprint
+
 let rec delta db node (d : Delta.t) : Bag.t =
-  let out = delta_node db node d in
-  if Obs.Metrics.enabled () then
-    Obs.Metrics.add vop_delta_rows.(vop_index node.kind) (Bag.distinct_cardinal out);
-  out
+  if not (touches d node.footprint) then Bag.create ~size:1 ()
+  else begin
+    let out = delta_node db node d in
+    (* K_scan aliases the live table bag, which already absorbed the batch. *)
+    (match node.kind with K_scan _ -> () | _ -> Bag.add_bag node.current out);
+    if Obs.Metrics.enabled () then
+      Obs.Metrics.add vop_delta_rows.(vop_index node.kind) (Bag.distinct_cardinal out);
+    out
+  end
 
 and delta_node db node (d : Delta.t) : Bag.t =
   match node.kind with
@@ -207,29 +283,65 @@ and delta_node db node (d : Delta.t) : Bag.t =
   | K_select (keep, child) -> Bag.filter keep (delta db child d)
   | K_project (positions, child) ->
     Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) (delta db child d)
-  | K_join { pred; left; right } ->
+  | K_join { pred; left; right; strategy } -> (
     let da = delta db left d in
     let db_ = delta db right d in
     let out = Bag.create () in
-    if not (Bag.is_empty da) then begin
-      let right_now = (Eval.eval db right.alg).Eval.bag in
-      Bag.add_bag out (Eval.join_bags ?pred left.schema right.schema da right_now).Eval.bag
-    end;
-    if not (Bag.is_empty db_) then begin
-      let left_now = (Eval.eval db left.alg).Eval.bag in
-      Bag.add_bag out (Eval.join_bags ?pred left.schema right.schema left_now db_).Eval.bag
-    end;
-    if (not (Bag.is_empty da)) && not (Bag.is_empty db_) then
-      Bag.add_bag ~scale:(-1) out (Eval.join_bags ?pred left.schema right.schema da db_).Eval.bag;
-    out
-  | K_distinct { child; counts } ->
+    match strategy with
+    | J_indexed { left_pos; right_pos; left_idx; right_idx; keep } ->
+      (* Bring the indexes to the post-update state, then every delta row is
+         an index probe — O(|Δ|) and no sibling re-evaluation. *)
+      Key_index.add_bag left_idx da;
+      Key_index.add_bag right_idx db_;
+      let keep = match keep with None -> fun _ -> true | Some f -> f in
+      let probes = ref 0 in
+      Bag.iter
+        (fun row c ->
+          let matches = Key_index.probe right_idx (Key_index.extract left_pos row) in
+          probes := !probes + Bag.distinct_cardinal matches;
+          Bag.iter
+            (fun brow bc ->
+              let joined = Row.append row brow in
+              if keep joined then Bag.add ~count:(c * bc) out joined)
+            matches)
+        da;
+      Bag.iter
+        (fun row c ->
+          let matches = Key_index.probe left_idx (Key_index.extract right_pos row) in
+          probes := !probes + Bag.distinct_cardinal matches;
+          Bag.iter
+            (fun brow bc ->
+              let joined = Row.append brow row in
+              if keep joined then Bag.add ~count:(c * bc) out joined)
+            matches)
+        db_;
+      if (not (Bag.is_empty da)) && not (Bag.is_empty db_) then
+        Bag.add_bag ~scale:(-1) out
+          (Eval.join_bags ?pred left.schema right.schema da db_).Eval.bag;
+      if Obs.Metrics.enabled () then Obs.Metrics.add m_probe_rows !probes;
+      out
+    | J_nested ->
+      (* No equi key: nested loops against the sibling's materialized state
+         (never a subtree re-evaluation). *)
+      if not (Bag.is_empty da) then
+        Bag.add_bag out
+          (Eval.join_bags ?pred left.schema right.schema da right.current).Eval.bag;
+      if not (Bag.is_empty db_) then
+        Bag.add_bag out
+          (Eval.join_bags ?pred left.schema right.schema left.current db_).Eval.bag;
+      if (not (Bag.is_empty da)) && not (Bag.is_empty db_) then
+        Bag.add_bag ~scale:(-1) out
+          (Eval.join_bags ?pred left.schema right.schema da db_).Eval.bag;
+      out)
+  | K_distinct child ->
     let dc = delta db child d in
+    (* [child.current] is already post-update, so the pre-update count of a
+       changed row is its current count minus its delta. *)
     let out = Bag.create () in
     Bag.iter
       (fun row c ->
-        let before = Bag.count counts row in
-        let after = before + c in
-        Bag.add ~count:c counts row;
+        let after = Bag.count child.current row in
+        let before = after - c in
         if before <= 0 && after > 0 then Bag.add out row
         else if before > 0 && after <= 0 then Bag.remove out row)
       dc;
@@ -238,12 +350,10 @@ and delta_node db node (d : Delta.t) : Bag.t =
     let out = delta db a d in
     Bag.add_bag out (delta db b d);
     out
-  | K_recompute state ->
+  | K_recompute ->
     let fresh = Bag.copy (Eval.eval db node.alg).Eval.bag in
-    let out = Bag.copy fresh in
-    Bag.add_bag ~scale:(-1) out state.current;
-    state.current <- fresh;
-    out
+    Bag.add_bag ~scale:(-1) fresh node.current;
+    fresh
   | K_group info ->
     let dc = delta db info.g_child d in
     if Bag.is_empty dc then Bag.create ~size:1 ()
@@ -309,62 +419,93 @@ and delta_node db node (d : Delta.t) : Bag.t =
         Bag.add ~count:c out (Array.append row [| Value.Int n |]))
       dchild;
     (* Part B: unchanged-by-this-batch child rows whose key count changed.
-       child_by_key still holds the pre-batch child, so it is exactly
-       child_old. *)
+       [child_idx] still holds the pre-batch child, so a probe is exactly
+       child_old restricted to the key. *)
     List.iter
       (fun (k, dc) ->
         let new_n = cj_count info k in
         let old_n = new_n - dc in
-        match VH.find_opt info.child_by_key k with
-        | None -> ()
-        | Some old_rows ->
-          Bag.iter
-            (fun row c ->
-              Bag.add ~count:(-c) out (Array.append row [| Value.Int old_n |]);
-              Bag.add ~count:c out (Array.append row [| Value.Int new_n |]))
-            old_rows)
+        Bag.iter
+          (fun row c ->
+            Bag.add ~count:(-c) out (Array.append row [| Value.Int old_n |]);
+            Bag.add ~count:c out (Array.append row [| Value.Int new_n |]))
+          (Key_index.probe_value info.child_idx k))
       changed;
     (* Finally fold the child delta into the by-key materialization. *)
-    Bag.iter (fun row c -> cj_add_child info row c) dchild;
+    Key_index.add_bag info.child_idx dchild;
     out
 
 let create db alg =
-  let root, bag = build db alg in
-  { db; alg; root; result = Bag.copy bag; vschema = root.schema }
+  let root = build db alg in
+  { db; alg; root; vschema = root.schema }
+
+let children node =
+  match node.kind with
+  | K_scan _ | K_recompute -> []
+  | K_select (_, c) | K_project (_, c) | K_distinct c -> [ c ]
+  | K_join { left; right; _ } -> [ left; right ]
+  | K_union (a, b) -> [ a; b ]
+  | K_group g -> [ g.g_child ]
+  | K_count_join cj -> [ cj.c_child; cj.c_sub ]
+
+(* Gauges: total view-owned materialized rows (base-table aliases excluded —
+   they are shared storage, not view memory) and total distinct join-index
+   keys, across the whole tree of the view last updated. *)
+let rec record_sizes node (rows, keys) =
+  let rows = match node.kind with K_scan _ -> rows | _ -> rows + Bag.distinct_cardinal node.current in
+  let keys =
+    match node.kind with
+    | K_join { strategy = J_indexed { left_idx; right_idx; _ }; _ } ->
+      keys + Key_index.distinct_keys left_idx + Key_index.distinct_keys right_idx
+    | K_count_join cj -> keys + Key_index.distinct_keys cj.child_idx
+    | _ -> keys
+  in
+  List.fold_left (fun acc c -> record_sizes c acc) (rows, keys) (children node)
 
 let update v d =
   if not (Delta.is_empty d) then begin
     let dq = delta v.db v.root d in
-    Bag.add_bag v.result dq;
-    if not (Bag.all_nonnegative v.result) then
-      failwith "View.update: negative count — delta inconsistent with view state"
+    (* O(|Δ|) consistency check on just the touched rows. *)
+    Bag.iter
+      (fun row _ ->
+        if Bag.count v.root.current row < 0 then
+          failwith "View.update: negative count — delta inconsistent with view state")
+      dq;
+    if Obs.Metrics.enabled () then begin
+      let rows, keys = record_sizes v.root (0, 0) in
+      Obs.Metrics.set_gauge g_materialized_rows (float_of_int rows);
+      Obs.Metrics.set_gauge g_index_size (float_of_int keys)
+    end
   end
 
-let rec reset_node db node : Bag.t =
-  (* Rebuild node-local state from the current database. *)
+let rec reset_node db node : unit =
+  (* Rebuild [current] and node-local state from the current database. *)
+  List.iter (reset_node db) (children node);
   match node.kind with
-  | K_scan table -> Table.rows (Database.table db table)
-  | K_select (keep, child) -> Bag.filter keep (reset_node db child)
+  | K_scan table -> node.current <- Table.rows (Database.table db table)
+  | K_select (keep, child) -> node.current <- Bag.filter keep child.current
   | K_project (positions, child) ->
-    Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) (reset_node db child)
-  | K_join { pred; left; right } ->
-    let ba = reset_node db left and bb = reset_node db right in
-    (Eval.join_bags ?pred left.schema right.schema ba bb).Eval.bag
-  | K_distinct { child; counts } ->
-    Bag.clear counts;
-    Bag.add_bag counts (reset_node db child);
+    node.current <-
+      Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) child.current
+  | K_join { pred; left; right; strategy } ->
+    (match strategy with
+    | J_indexed { left_idx; right_idx; _ } ->
+      Key_index.clear left_idx;
+      Key_index.add_bag left_idx left.current;
+      Key_index.clear right_idx;
+      Key_index.add_bag right_idx right.current
+    | J_nested -> ());
+    node.current <- (Eval.join_bags ?pred left.schema right.schema left.current right.current).Eval.bag
+  | K_distinct child ->
     let out = Bag.create () in
-    Bag.iter (fun r c -> if c > 0 then Bag.add out r) counts;
-    out
+    Bag.iter (fun r c -> if c > 0 then Bag.add out r) child.current;
+    node.current <- out
   | K_union (a, b) ->
-    let out = Bag.copy (reset_node db a) in
-    Bag.add_bag out (reset_node db b);
-    out
-  | K_recompute state ->
-    state.current <- Bag.copy (Eval.eval db node.alg).Eval.bag;
-    Bag.copy state.current
+    let out = Bag.copy a.current in
+    Bag.add_bag out b.current;
+    node.current <- out
+  | K_recompute -> node.current <- Bag.copy (Eval.eval db node.alg).Eval.bag
   | K_group info ->
-    let cbag = reset_node db info.g_child in
     RH.reset info.groups;
     Bag.iter
       (fun row c ->
@@ -378,34 +519,29 @@ let rec reset_node db node : Bag.t =
             a
         in
         Group_acc.add info.spec acc row c)
-      cbag;
+      info.g_child.current;
     if info.global && RH.length info.groups = 0 then
       RH.replace info.groups [||] (Group_acc.create info.spec);
     let out = Bag.create () in
     RH.iter
       (fun k acc -> Bag.add out (Array.append k (Group_acc.finalize info.spec acc)))
       info.groups;
-    out
+    node.current <- out
   | K_count_join info ->
-    let cbag = reset_node db info.c_child in
-    let sbag = reset_node db info.c_sub in
     VH.reset info.sub_counts;
-    VH.reset info.child_by_key;
+    Key_index.clear info.child_idx;
     Bag.iter
       (fun row c ->
         let k = Row.get row info.sub_key_pos in
         VH.replace info.sub_counts k (c + cj_count info k))
-      sbag;
-    Bag.iter (fun row c -> cj_add_child info row c) cbag;
+      info.c_sub.current;
+    Key_index.add_bag info.child_idx info.c_child.current;
     let out = Bag.create () in
     Bag.iter
       (fun row c ->
         Bag.add ~count:c out
           (Array.append row [| Value.Int (cj_count info (Row.get row info.key_pos)) |]))
-      cbag;
-    out
+      info.c_child.current;
+    node.current <- out
 
-let refresh v =
-  let bag = reset_node v.db v.root in
-  Bag.clear v.result;
-  Bag.add_bag v.result bag
+let refresh v = reset_node v.db v.root

@@ -9,10 +9,26 @@
     map. Projections therefore follow the paper's remark — counters are
     maintained and answer membership is [count > 0].
 
-    Stateful operators keep auxiliary structures: [Distinct] materializes its
-    child's counts, [Group_by] keeps per-group accumulators, [Count_join]
-    keeps the sub-query's per-key counts plus the child indexed by key, and
-    [Diff] falls back to recomputation. *)
+    Every node of the view tree materializes its current result bag,
+    maintained in place as deltas flow through (scans alias the live base
+    table), so delta propagation never re-evaluates a subtree:
+
+    - [Join] nodes keep {!Key_index} hash indexes on their equi-join key
+      columns for both children, turning δR⋈S' and R'⋈δS into per-delta-row
+      index probes — the O(|Δ|) step cost of Algorithm 1. Non-equi
+      predicates and products fall back to nested loops over the sibling's
+      {e materialized} state (still no re-evaluation).
+    - [Group_by] keeps per-group accumulators; [Count_join] keeps the
+      sub-query's per-key counts plus the child indexed by key;
+      [Distinct] reads its child's materialized counts.
+    - [Diff] and [Order_by]+limit fall back to recomputation, but each node
+      records its base-table footprint at build time and a batch touching no
+      table in a subtree short-circuits it to an empty delta.
+
+    Maintenance cost per batch is therefore O(|Δ|) per touched node (probe
+    counts and per-node materialized sizes are exported as
+    [view.join.probe_rows] / [view.join.index_size] /
+    [view.node.materialized_rows]; see docs/OBSERVABILITY.md). *)
 
 type t
 

@@ -97,6 +97,25 @@ let test_graph_remove_factor () =
   Alcotest.(check int) "adjacency updated" 1 (List.length (Graph.factors_of g x));
   Alcotest.(check int) "factor count" 2 (Graph.num_factors g)
 
+(* The single-change fast path of [touched_factors] returns the adjacency
+   list directly; that is only sound if adjacency lists are duplicate-free,
+   including for factors whose scope mentions a variable twice. *)
+let test_graph_touched_factors_fast_path () =
+  let g = Graph.create () in
+  let x = Graph.add_variable g Domain.boolean in
+  let y = Graph.add_variable g Domain.boolean in
+  let self = Graph.add_factor g ~scope:[| x; x |] (fun _ -> 1.) in
+  let pair = Graph.add_factor g ~scope:[| x; y |] (fun _ -> 1.) in
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list int)) "duplicate scope registered once" [ self; pair ]
+    (sorted (Graph.touched_factors g [ (x, 1) ]));
+  Alcotest.(check (list int)) "single-var y" [ pair ] (Graph.touched_factors g [ (y, 1) ]);
+  Alcotest.(check (list int)) "fast path agrees with multi-change path"
+    (sorted (Graph.touched_factors g [ (x, 1) ]))
+    (sorted (Graph.touched_factors g [ (x, 1); (x, 0) ]));
+  Alcotest.(check (list int)) "multi-change dedups across vars" [ self; pair ]
+    (sorted (Graph.touched_factors g [ (x, 1); (y, 0) ]))
+
 let test_graph_observed () =
   let g = Graph.create () in
   let d = Domain.make [ "p"; "q"; "r" ] in
@@ -488,6 +507,7 @@ let () =
          Alcotest.test_case "delta-score" `Quick test_graph_delta_score;
          Alcotest.test_case "remove-factor" `Quick test_graph_remove_factor;
          Alcotest.test_case "observed" `Quick test_graph_observed;
+         Alcotest.test_case "touched-factors-fast-path" `Quick test_graph_touched_factors_fast_path;
          Alcotest.test_case "table-size" `Quick test_table_factor_bad_size;
          qc prop_delta_score ]);
       ("exact",

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full CI pipeline: build, run every test suite, then the documentation
+# check. Mirrors .github/workflows/ci.yml so the same entry point works
+# locally and in CI.
+set -eu
+cd "$(dirname "$0")/.."
+echo "ci: dune build"
+dune build
+echo "ci: dune runtest"
+dune runtest
+echo "ci: doc check"
+sh tools/check_doc.sh
+echo "ci: OK"
