@@ -10,9 +10,11 @@
                                               # + JSON-lines trace events
 
    Experiment ids follow DESIGN.md §4: e1–e7 map to the paper's figures,
-   a1/a3 are ablations, micro is the Bechamel suite (A2). *)
+   a1/a3 are ablations, micro is the Bechamel suite (A2). "serve" is the
+   multi-query shared-chain comparison (BENCH_serve.json); "serve-smoke"
+   is its tiny CI variant. *)
 
-let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro" ]
+let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro"; "serve" ]
 
 let run ~full = function
   | "e1" -> Experiments.e1 ~full ()
@@ -31,6 +33,10 @@ let run ~full = function
   | "a7" -> Experiments.a7 ()
   | "a8" -> Experiments.a8 ~full ()
   | "micro" -> Micro.run ()
+  | "serve" -> Micro.run_serve ()
+  (* Tiny-scale smoke for CI (tools/ci.sh): same code path, still writes
+     BENCH_serve.json, seconds instead of minutes. Not part of "all". *)
+  | "serve-smoke" -> Micro.run_serve ~smoke:true ()
   | id ->
     Printf.eprintf "unknown experiment %S (known: %s, all)\n" id (String.concat ", " all_ids);
     exit 2
@@ -63,9 +69,9 @@ let () =
        exit 1));
   Printf.printf "factor-graph PDB experiment harness (%s scale)\n"
     (if full then "full" else "quick");
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Timer.start () in
   List.iter (run ~full) ids;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Obs.Timer.seconds (Obs.Timer.elapsed_ns t0) in
   Printf.printf "\nall experiments finished in %.1fs\n" elapsed;
   (match metrics_out with
   | None -> ()

@@ -138,6 +138,115 @@ let naive_rerun_tests () =
         (Staged.stage (fun () -> Relational.Eval.eval db query)))
     view_update_sizes
 
+(* ------------------------------------------------------------------ *)
+(* Multi-query serving: N materialized queries off one shared MCMC chain
+   (lib/serve) versus N independent Evaluator.evaluate runs, each walking
+   its own identically seeded chain. The shared chain pays the expensive
+   walk once, so the gap must grow linearly in N; and because every chain
+   (shared or not) visits the identical world sequence, the per-query
+   marginals must agree exactly. *)
+
+let serve_corpus_seed = 310
+let serve_chain_seed = 7
+
+(* One cheap selection per document: distinct compiled views, disjoint
+   footprints — the many-users shape the registry amortizes the walk
+   over. *)
+let serve_queries n =
+  List.init n (fun i ->
+      let label = [| "B-PER"; "B-ORG"; "B-LOC"; "B-MISC" |].(i mod 4) in
+      Printf.sprintf "SELECT STRING FROM TOKEN WHERE LABEL='%s' AND DOC_ID=%d" label i)
+
+let marginals_equal a b =
+  let ea = Core.Marginals.estimates a and eb = Core.Marginals.estimates b in
+  List.length ea = List.length eb
+  && List.for_all2
+       (fun (ra, pa) (rb, pb) ->
+         Relational.Row.equal ra rb && abs_float (pa -. pb) < 1e-12)
+       ea eb
+
+let serve_instance ~n_tokens =
+  (Harness.make_instance ~corpus_seed:serve_corpus_seed ~chain_seed:serve_chain_seed
+     ~n_tokens ())
+    .Harness.pdb
+
+(* Wall-clock of serving [n_queries] off one shared chain vs one
+   materialized Evaluator run per query. Instance construction (corpus +
+   CRF) is excluded from both sides; view construction is included in
+   both (registration bootstraps, Evaluator builds its view). *)
+let serve_compare ~n_tokens ~n_queries ~thin ~samples =
+  let queries =
+    List.map (fun sql -> (sql, Relational.Sql.parse sql)) (serve_queries n_queries)
+  in
+  let shared_pdb = serve_instance ~n_tokens in
+  let t0 = Obs.Timer.start () in
+  let reg = Serve.Registry.create shared_pdb in
+  let ids = List.map (fun (name, q) -> Serve.Registry.register ~name reg q) queries in
+  Serve.Registry.run reg ~thin ~samples;
+  let shared_ns = Obs.Timer.elapsed_ns t0 in
+  let shared = List.map (Serve.Registry.marginals reg) ids in
+  let independent_ns = ref 0 in
+  let independent =
+    List.map
+      (fun (_, q) ->
+        let pdb = serve_instance ~n_tokens in
+        let t0 = Obs.Timer.start () in
+        let m = Core.Evaluator.evaluate Core.Evaluator.Materialized pdb ~query:q ~thin ~samples in
+        independent_ns := !independent_ns + Obs.Timer.elapsed_ns t0;
+        m)
+      queries
+  in
+  let equal = List.for_all2 marginals_equal shared independent in
+  (shared_ns, !independent_ns, equal)
+
+let write_serve_bench_json path ~n_tokens ~thin ~samples rows =
+  let group (n_queries, shared_ns, independent_ns, equal) =
+    Obs.Jsonx.obj
+      [ ("queries", Obs.Jsonx.int n_queries);
+        ("shared_ns", Obs.Jsonx.int shared_ns);
+        ("independent_ns", Obs.Jsonx.int independent_ns);
+        ("speedup", Obs.Jsonx.float (float_of_int independent_ns /. float_of_int shared_ns));
+        ("marginals_equal", if equal then "true" else "false") ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (Obs.Jsonx.obj
+       [ ("config",
+          Obs.Jsonx.obj
+            [ ("n_tokens", Obs.Jsonx.int n_tokens);
+              ("thin", Obs.Jsonx.int thin);
+              ("samples", Obs.Jsonx.int samples) ]);
+         ("multi_query", Obs.Jsonx.arr (List.map group rows)) ]);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nmulti-query bench written to %s\n%!" path
+
+let run_serve ?(smoke = false) () =
+  Harness.print_header
+    (if smoke then "multi-query serving (smoke)" else "multi-query serving (shared chain vs independent)");
+  let n_tokens = if smoke then 2_000 else 10_000 in
+  let thin = if smoke then 50 else 100 in
+  let samples = if smoke then 20 else 50 in
+  let sizes = if smoke then [ 1; 8 ] else [ 1; 8; 64 ] in
+  let rows =
+    List.map
+      (fun n_queries ->
+        let shared_ns, independent_ns, equal =
+          serve_compare ~n_tokens ~n_queries ~thin ~samples
+        in
+        Printf.printf
+          "  %3d queries: shared %8.1f ms, independent %10.1f ms, speedup %6.2fx, marginals %s\n%!"
+          n_queries
+          (float_of_int shared_ns /. 1e6)
+          (float_of_int independent_ns /. 1e6)
+          (float_of_int independent_ns /. float_of_int shared_ns)
+          (if equal then "equal" else "DIVERGED");
+        if not equal then failwith "multi-query bench: shared-chain marginals diverged";
+        (n_queries, shared_ns, independent_ns, equal))
+      sizes
+  in
+  write_serve_bench_json "BENCH_serve.json" ~n_tokens ~thin ~samples rows
+
 let write_view_bench_json path results =
   let fields = List.map (fun (name, ns) -> (name, Obs.Jsonx.float ns)) results in
   let oc = open_out path in

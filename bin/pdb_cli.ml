@@ -4,6 +4,7 @@
      corpus  — generate a synthetic news corpus and print its statistics
      train   — train the skip-chain CRF with SampleRank and report accuracy
      query   — evaluate SQL over the probabilistic database by MCMC
+     serve   — answer a whole file of SQL queries off one shared chain
      coref   — run entity resolution over a list of mention strings *)
 
 open Cmdliner
@@ -108,13 +109,13 @@ let train_cmd =
     let world = Core.World.create db in
     let params = Factorgraph.Params.create () in
     let crf = Ie.Crf.create ~params world in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Timer.start () in
     let report = Ie.Training.train ~steps ~rng:(Mcmc.Rng.create (seed + 1)) crf in
     Printf.printf
       "steps:            %d\nweight updates:   %d\nfeatures:         %d\ntime:             %.1fs\n"
       report.Ie.Training.steps report.updates
       (Factorgraph.Params.cardinal params)
-      (Unix.gettimeofday () -. t0);
+      (Obs.Timer.seconds (Obs.Timer.elapsed_ns t0));
     Printf.printf "token accuracy:   %.3f -> %.3f\n" report.accuracy_before report.accuracy_after
   in
   Cmd.v
@@ -147,40 +148,117 @@ let thin_arg =
 let top_arg =
   Arg.(value & opt int 20 & info [ "top" ] ~docv:"T" ~doc:"Answer tuples to print.")
 
+(* Build the NER probabilistic database every query-answering subcommand
+   samples from. [chain] offsets the RNG seed so parallel chains get
+   distinct streams over the identical initial world. *)
+let make_ner_pdb ~seed ~tokens ~chain =
+  let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
+  let db = Relational.Database.create () in
+  ignore (Ie.Token_table.load db docs : Relational.Table.t);
+  let world = Core.World.create db in
+  let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
+  let rng = Mcmc.Rng.create (seed + 2 + (31 * chain)) in
+  let proposal = Ie.Proposals.batched_flip ~rng crf in
+  Core.Pdb.create ~world ~proposal ~rng
+
+let print_top ~top answers =
+  let answers = List.sort (fun (_, a) (_, b) -> compare b a) answers in
+  List.iteri
+    (fun i (row, p) ->
+      if i < top then Printf.printf "  %-24s %.4f\n" (Relational.Row.to_string row) p)
+    answers
+
 let query_cmd =
   let run seed tokens sql strategy samples thin top metrics_out trace_out =
     with_obs "query" metrics_out trace_out @@ fun () ->
-    let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
-    let db = Relational.Database.create () in
-    ignore (Ie.Token_table.load db docs : Relational.Table.t);
-    let world = Core.World.create db in
-    let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
-    let rng = Mcmc.Rng.create (seed + 2) in
-    let proposal = Ie.Proposals.batched_flip ~rng crf in
-    let pdb = Core.Pdb.create ~world ~proposal ~rng in
-    let t0 = Unix.gettimeofday () in
+    let pdb = make_ner_pdb ~seed ~tokens ~chain:0 in
+    let t0 = Obs.Timer.start () in
     let m =
       Core.Evaluator.evaluate_sql ~burn_in:(4 * tokens) strategy pdb ~sql ~thin ~samples
     in
     Printf.printf "evaluated %d sampled worlds in %.2fs (%s; acceptance %.2f)\n\n"
       (Core.Marginals.samples m)
-      (Unix.gettimeofday () -. t0)
+      (Obs.Timer.seconds (Obs.Timer.elapsed_ns t0))
       (Core.Evaluator.strategy_name strategy)
       (Core.Pdb.acceptance_rate pdb);
-    let answers =
-      Core.Marginals.estimates m |> List.sort (fun (_, a) (_, b) -> compare b a)
-    in
+    let answers = Core.Marginals.estimates m in
     Printf.printf "%d answer tuples; top %d:\n" (List.length answers) top;
-    List.iteri
-      (fun i (row, p) ->
-        if i < top then Printf.printf "  %-24s %.4f\n" (Relational.Row.to_string row) p)
-      answers
+    print_top ~top answers
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a SQL query over the NER probabilistic database.")
     Term.(
       const run $ seed_arg $ tokens_arg $ sql_arg $ strategy_arg $ samples_arg $ thin_arg
       $ top_arg $ metrics_out_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let queries_file_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "queries" ] ~docv:"FILE"
+        ~doc:"File of SQL queries, one per line (blank lines and # comments skipped).")
+
+let chains_arg =
+  Arg.(value & opt int 1 & info [ "chains" ] ~docv:"C" ~doc:"Parallel MCMC chains to pool.")
+
+let read_query_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+      in
+      go [])
+
+let serve_cmd =
+  let run seed tokens queries_file chains samples thin top metrics_out trace_out =
+    with_obs "serve" metrics_out trace_out @@ fun () ->
+    let sqls = read_query_file queries_file in
+    if sqls = [] then begin
+      Printf.eprintf "error: %s contains no queries\n" queries_file;
+      exit 1
+    end;
+    let queries =
+      List.map
+        (fun sql ->
+          try (sql, Relational.Sql.parse sql)
+          with Relational.Sql.Parse_error msg ->
+            Printf.eprintf "error: cannot parse %S: %s\n" sql msg;
+            exit 1)
+        sqls
+    in
+    let t0 = Obs.Timer.start () in
+    let results =
+      Serve.Pool.evaluate ~burn_in:(4 * tokens) ~chains
+        ~make:(fun ~chain -> make_ner_pdb ~seed ~tokens ~chain)
+        ~queries ~thin ~samples ()
+    in
+    Printf.printf "served %d queries off %d shared chain(s) in %.2fs (%d worlds/query)\n"
+      (List.length results) chains
+      (Obs.Timer.seconds (Obs.Timer.elapsed_ns t0))
+      (chains * (samples + 1));
+    List.iter
+      (fun (name, m) ->
+        let answers = Core.Marginals.estimates m in
+        Printf.printf "\n%s\n%d answer tuples; top %d:\n" name (List.length answers) top;
+        print_top ~top answers)
+      results
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Answer a file of SQL queries concurrently, all maintained off the same MCMC \
+          delta stream.")
+    Term.(
+      const run $ seed_arg $ tokens_arg $ queries_file_arg $ chains_arg $ samples_arg
+      $ thin_arg $ top_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -231,4 +309,4 @@ let () =
     Cmd.info "pdb_cli" ~version:"1.0"
       ~doc:"Scalable probabilistic databases with factor graphs and MCMC."
   in
-  exit (Cmd.eval (Cmd.group info [ corpus_cmd; train_cmd; query_cmd; coref_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ corpus_cmd; train_cmd; query_cmd; serve_cmd; coref_cmd ]))

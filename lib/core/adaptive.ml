@@ -14,10 +14,13 @@ let evaluate ?(strategy = Evaluator.Materialized) ?(k_min = 50) ?(k_max = 50_000
   let db = Pdb.db pdb in
   let marginals = Marginals.create () in
   let walk_s = ref 0. and query_s = ref 0. in
+  (* Spans come from Obs.Timer's never-decreasing clock: a backwards wall
+     clock step can no longer produce negative walk_s/query_s and mis-tune
+     the thinning controller below. *)
   let timed acc f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Timer.start () in
     let x = f () in
-    acc := !acc +. (Unix.gettimeofday () -. t0);
+    acc := !acc +. Obs.Timer.seconds (Obs.Timer.elapsed_ns t0);
     x
   in
   ignore (World.drain_delta world : Delta.t);

@@ -10,7 +10,7 @@ let evaluate ?on_sample ~rng ~crf ~query ~samples () =
     Array.init (Crf.n_docs crf) (fun doc -> (doc, Chain_inference.model_of_doc crf ~doc))
   in
   let raw = Mcmc.Rng.raw_state rng in
-  let started = Unix.gettimeofday () in
+  let started = Obs.Timer.start () in
   for i = 1 to samples do
     Array.iter
       (fun (doc, model) ->
@@ -22,6 +22,6 @@ let evaluate ?on_sample ~rng ~crf ~query ~samples () =
     Core.Marginals.observe marginals (Relational.Eval.eval db query).Relational.Eval.bag;
     match on_sample with
     | None -> ()
-    | Some f -> f i (Unix.gettimeofday () -. started) marginals
+    | Some f -> f i (Obs.Timer.seconds (Obs.Timer.elapsed_ns started)) marginals
   done;
   marginals

@@ -1,5 +1,7 @@
 let max_domains = max 1 (Domain.recommended_domain_count () - 1)
 
+exception Job_failed of { index : int; exn : exn }
+
 (* Observability: each worker accumulates locally and folds its totals into
    the shared (atomic) counters when it finishes, so the global values are
    exactly the sum of per-domain contributions once every domain is joined.
@@ -12,23 +14,34 @@ let m_job_ns = Obs.Metrics.histogram "parallel.job_ns"
 let map ~n f =
   let results = Array.make n None in
   let next = Atomic.make 0 in
+  (* First failure wins; once set, workers stop claiming jobs so sibling
+     domains don't burn through the rest of the queue. *)
+  let failure = Atomic.make None in
   let obs = Obs.Metrics.enabled () in
   let run_job i =
-    if obs then begin
-      let t0 = Obs.Timer.now_ns () in
-      results.(i) <- Some (f i);
-      Obs.Metrics.observe m_job_ns (max 0 (Obs.Timer.now_ns () - t0))
-    end
-    else results.(i) <- Some (f i)
+    match
+      if obs then begin
+        let t0 = Obs.Timer.now_ns () in
+        let x = f i in
+        Obs.Metrics.observe m_job_ns (Obs.Timer.now_ns () - t0);
+        x
+      end
+      else f i
+    with
+    | x -> results.(i) <- Some x
+    | exception e -> ignore (Atomic.compare_and_set failure None (Some (i, e)) : bool)
   in
+  let stopped () = match Atomic.get failure with Some _ -> true | None -> false in
   let worker () =
     let local_jobs = ref 0 in
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        run_job i;
-        incr local_jobs;
-        loop ()
+      if not (stopped ()) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_job i;
+          incr local_jobs;
+          loop ()
+        end
       end
     in
     loop ();
@@ -37,10 +50,12 @@ let map ~n f =
   in
   let n_workers = min n max_domains in
   if n_workers <= 1 then begin
-    for i = 0 to n - 1 do
-      run_job i
+    let i = ref 0 in
+    while !i < n && not (stopped ()) do
+      run_job !i;
+      incr i
     done;
-    if obs then Obs.Metrics.add m_jobs n
+    if obs then Obs.Metrics.add m_jobs !i
   end
   else begin
     if obs then Obs.Metrics.add m_domains n_workers;
@@ -51,6 +66,9 @@ let map ~n f =
     List.iter Domain.join domains;
     if Obs.Trace.enabled () then Obs.Trace.emit "parallel.join"
   end;
+  (match Atomic.get failure with
+  | Some (index, exn) -> raise (Job_failed { index; exn })
+  | None -> ());
   Array.to_list (Array.map Option.get results)
 
 let split_rngs rng n = Array.init n (fun _ -> Rng.split rng)

@@ -4,9 +4,18 @@
     collected in index order. The number of simultaneously running domains
     is capped to the machine's recommended domain count. *)
 
+exception Job_failed of { index : int; exn : exn }
+(** A job raised [exn]; [index] is its position in [0 .. n-1]. *)
+
 val map : n:int -> (int -> 'a) -> 'a list
 (** [map ~n f] evaluates [f 0 .. f (n-1)] on separate domains (batched when
-    [n] exceeds the hardware parallelism) and returns results in order. *)
+    [n] exceeds the hardware parallelism) and returns results in order.
+
+    If a job raises, the first exception (in claim order) is captured,
+    the remaining workers stop claiming new jobs, every spawned domain is
+    joined, and {!Job_failed} carrying the failing job's index and
+    exception is raised — rather than surfacing a bare worker exception
+    or dying on an unfilled result slot. *)
 
 val split_rngs : Rng.t -> int -> Rng.t array
 (** Independent generators for n workers, derived deterministically. *)

@@ -1,7 +1,16 @@
 type t = Random.State.t
 
 let create seed = Random.State.make [| seed; 0x9e3779b9 |]
-let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+(* Seed children from four 30-bit draws (120 bits of parent entropy), not
+   two: with only 60 bits, batches of sibling streams were close enough in
+   seed space for early draws to collide. Draw order is pinned by the lets
+   (array literal element order is unspecified). *)
+let split t =
+  let a = Random.State.bits t in
+  let b = Random.State.bits t in
+  let c = Random.State.bits t in
+  let d = Random.State.bits t in
+  Random.State.make [| a; b; c; d |]
 let int t n = Random.State.int t n
 let float t x = Random.State.float t x
 let uniform t = Random.State.float t 1.

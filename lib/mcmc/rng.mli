@@ -5,7 +5,9 @@ type t
 
 val create : int -> t
 val split : t -> t
-(** A new generator seeded from (but independent of) this one. *)
+(** A new generator seeded from (but independent of) this one — four
+    30-bit draws of parent entropy, so sibling streams (e.g. from
+    {!Parallel.split_rngs}) do not collide on their early draws. *)
 
 val int : t -> int -> int
 (** [int t n] is uniform in [0, n). *)

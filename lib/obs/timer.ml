@@ -1,16 +1,30 @@
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* The only clock this toolchain's [unix] exposes is [Unix.gettimeofday]
+   (no CLOCK_MONOTONIC), which can step backwards under NTP adjustment. A
+   process-wide atomic records the largest timestamp ever returned and
+   every reading is clamped to it, so the published clock never decreases
+   and spans never come out negative — call sites need no [max 0]
+   defensive arithmetic. *)
+let last_ns = Atomic.make 0
+
+let rec clamp t =
+  let prev = Atomic.get last_ns in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last_ns prev t then t
+  else clamp t
+
+let now_ns () = clamp (int_of_float (Unix.gettimeofday () *. 1e9))
 
 type t = int
 
 let start () = now_ns ()
-let elapsed_ns t = max 0 (now_ns () - t)
+let elapsed_ns t = now_ns () - t
 let seconds ns = float_of_int ns /. 1e9
 
 let record c f =
   if Metrics.enabled () then begin
     let t0 = now_ns () in
     let x = f () in
-    Metrics.add c (max 0 (now_ns () - t0));
+    Metrics.add c (now_ns () - t0);
     x
   end
   else f ()
@@ -19,7 +33,7 @@ let observe h f =
   if Metrics.enabled () then begin
     let t0 = now_ns () in
     let x = f () in
-    Metrics.observe h (max 0 (now_ns () - t0));
+    Metrics.observe h (now_ns () - t0);
     x
   end
   else f ()

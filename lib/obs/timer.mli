@@ -6,20 +6,34 @@
     sampled worlds (Algorithm 1 vs Algorithm 3, Fig 4a). All spans are
     reported in integer nanoseconds.
 
-    The clock is [Unix.gettimeofday] (this toolchain's [unix] does not
-    expose [CLOCK_MONOTONIC]); spans are only meaningful for the
-    sub-second to minutes range the experiments live in, and a clock
-    step during a span can distort it. *)
+    The underlying clock is [Unix.gettimeofday] (this toolchain's [unix]
+    does not expose [CLOCK_MONOTONIC]), which an NTP step can move
+    backwards mid-run. Readings are therefore clamped against a
+    process-wide atomic high-water mark: {!now_ns} never decreases, so
+    every span computed from it is non-negative by construction. A
+    backwards clock step freezes the published time until the wall clock
+    catches up again — spans crossing such a step are distorted (too
+    short), but never negative and never able to corrupt histograms or
+    adaptive controllers that divide by them. *)
 
 val now_ns : unit -> int
-(** Current wall-clock time in integer nanoseconds since the epoch. *)
+(** Current wall-clock time in integer nanoseconds since the epoch,
+    clamped to be non-decreasing across the whole process (all domains
+    share the high-water mark). *)
+
+val clamp : int -> int
+(** [clamp raw] folds one raw clock reading (ns) into the high-water
+    mark and returns the never-decreasing result — the monotonization
+    step of {!now_ns}, exposed so tests can exercise a backwards step
+    without depending on the real clock misbehaving. *)
 
 type t
 (** A started timer (just the start timestamp; stack-allocatable). *)
 
 val start : unit -> t
 val elapsed_ns : t -> int
-(** Nanoseconds since [start], never negative. *)
+(** Nanoseconds since [start]; never negative because {!now_ns} is
+    never-decreasing. *)
 
 val seconds : int -> float
 (** Convert a nanosecond span to seconds. *)

@@ -1,0 +1,16 @@
+let evaluate ?(burn_in = 0) ~chains ~make ~queries ~thin ~samples () =
+  let per_chain =
+    Mcmc.Parallel.map ~n:chains (fun i ->
+        let pdb = make ~chain:i in
+        if burn_in > 0 then Core.Pdb.walk pdb ~steps:burn_in;
+        (* Registry.create discards the burn-in delta — those updates are
+           already part of the state the views bootstrap from. *)
+        let reg = Registry.create pdb in
+        let ids = List.map (fun (name, q) -> Registry.register ~name reg q) queries in
+        Registry.run reg ~thin ~samples;
+        List.map (fun id -> Registry.marginals reg id) ids)
+  in
+  List.mapi
+    (fun qi (name, _) ->
+      (name, Core.Marginals.merge (List.map (fun ms -> List.nth ms qi) per_chain)))
+    queries

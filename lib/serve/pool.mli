@@ -1,0 +1,25 @@
+(** Pooled multi-query serving: c chains, each driving the same set of
+    registered queries, merged per query (§5.4 chain averaging applied to
+    a whole query registry at once).
+
+    The {!Core.Parallel_eval} pattern lifted to N queries: every chain
+    builds an independent PDB instance, registers the full query list in
+    one {!Serve.Registry}, samples, and the per-query marginals are
+    pooled across chains with {!Core.Marginals.merge}. Chains may stop at
+    different times in a live deployment, so the merge must (and does)
+    pool unequal sample counts — the normalizers add. *)
+
+val evaluate :
+  ?burn_in:int ->
+  chains:int ->
+  make:(chain:int -> Core.Pdb.t) ->
+  queries:(string * Relational.Algebra.t) list ->
+  thin:int ->
+  samples:int ->
+  unit ->
+  (string * Core.Marginals.t) list
+(** [make ~chain] must build an independent instance (own database copy
+    and RNG) per chain index; chains run on separate domains
+    ({!Mcmc.Parallel.map}). Returns the input queries in order, each with
+    marginals pooled over all [chains] ([chains × (samples + 1)]
+    observations per query). *)

@@ -1,0 +1,112 @@
+open Relational
+
+(* Observability (docs/OBSERVABILITY.md): the serving layer's cost split.
+   One walked world costs one "serve.fanout_ns" span covering every
+   registered view's maintenance + observation; "serve.bootstrap_evals"
+   counts the full evaluations paid by late registrations — the only
+   non-incremental query work this layer ever does. *)
+let m_queries = Obs.Metrics.gauge "serve.queries"
+let m_fanout_ns = Obs.Metrics.counter "serve.fanout_ns"
+let m_bootstrap_evals = Obs.Metrics.counter "serve.bootstrap_evals"
+let m_samples = Obs.Metrics.counter "serve.samples"
+
+type query_id = int
+
+type entry = {
+  id : query_id;
+  name : string;
+  view : View.t;
+  marginals : Core.Marginals.t;
+}
+
+type t = {
+  pdb : Core.Pdb.t;
+  mutable entries : entry list;  (* registration order *)
+  mutable next_id : int;
+  mutable samples : int;
+}
+
+let record_queries t =
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.set_gauge m_queries (float_of_int (List.length t.entries))
+
+let create pdb =
+  ignore (Core.World.drain_delta (Core.Pdb.world pdb) : Delta.t);
+  let t = { pdb; entries = []; next_id = 0; samples = 0 } in
+  record_queries t;
+  t
+
+let pdb t = t.pdb
+
+(* Fold the world's pending delta into every registered view without
+   observing marginals. Called before the registered set changes mid-run:
+   updates recorded since the last sample point are already applied to the
+   database, so a view built now would double-count them if they later
+   arrived through the stream — absorbing them first keeps every view's
+   believed state equal to the database's. Deltas compose, so splitting a
+   sample interval's batch in two leaves each view's answer at the next
+   sample point unchanged. *)
+let absorb_pending t =
+  let delta = Core.World.drain_delta (Core.Pdb.world t.pdb) in
+  if not (Delta.is_empty delta) then
+    List.iter (fun e -> View.update e.view delta) t.entries
+
+let register ?name t algebra =
+  absorb_pending t;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let name = match name with Some n -> n | None -> Printf.sprintf "q%d" id in
+  let view = View.create (Core.Pdb.db t.pdb) algebra in
+  Obs.Metrics.incr m_bootstrap_evals;
+  let marginals = Core.Marginals.create () in
+  (* The world the query was registered under is its first sample, matching
+     Core.Evaluator's sample-0 observation. *)
+  Core.Marginals.observe marginals (View.result view);
+  t.entries <- t.entries @ [ { id; name; view; marginals } ];
+  record_queries t;
+  id
+
+let register_sql ?name t sql =
+  let name = match name with Some n -> n | None -> sql in
+  register ~name t (Sql.parse sql)
+
+let find t id =
+  match List.find_opt (fun e -> e.id = id) t.entries with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Serve.Registry: unknown query id %d" id)
+
+let unregister t id =
+  let e = find t id in
+  t.entries <- List.filter (fun e -> e.id <> id) t.entries;
+  record_queries t;
+  e.marginals
+
+let query_count t = List.length t.entries
+let queries t = List.map (fun e -> (e.id, e.name)) t.entries
+let marginals t id = (find t id).marginals
+let samples t = t.samples
+
+let step t ~thin =
+  Core.Pdb.walk t.pdb ~steps:thin;
+  let delta = Core.World.drain_delta (Core.Pdb.world t.pdb) in
+  Obs.Timer.record m_fanout_ns (fun () ->
+      List.iter
+        (fun e ->
+          View.update e.view delta;
+          Core.Marginals.observe e.marginals (View.result e.view))
+        t.entries);
+  t.samples <- t.samples + 1;
+  Obs.Metrics.incr m_samples;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit
+      ~args:
+        [ ("queries", string_of_int (List.length t.entries));
+          ("sample", string_of_int t.samples);
+          ("delta_rows", string_of_int (Delta.total_magnitude delta)) ]
+      "serve.sample"
+
+let run ?on_sample t ~thin ~samples =
+  for i = 1 to samples do
+    step t ~thin;
+    match on_sample with None -> () | Some f -> f i
+  done

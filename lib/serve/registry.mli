@@ -1,0 +1,76 @@
+(** Shared-chain multi-query serving: N materialized views maintained off
+    one MCMC delta stream.
+
+    Algorithm 1 (§4.2) maintains {e one} query as a materialized view over
+    the Metropolis–Hastings delta stream. A database serving many
+    concurrent users must answer {e many} queries — and the same walk can
+    drive all of them, the way MarkoViews amortizes view definitions over
+    a shared distribution (Jha & Suciu, VLDB 2012) and BLOG-style engines
+    amortize one relational MCMC chain over many ground queries (Milch &
+    Russell, UAI 2006). A registry attaches any number of compiled
+    {!Relational.View} trees to a single {!Core.Pdb} chain; each sampled
+    world costs one walk of [thin] MH steps plus one delta fan-out of
+    O(Σ|probe|) across the registered views, instead of N full walks.
+
+    Queries may be registered and unregistered mid-run. A late-registered
+    query bootstraps with one full evaluation ({!Relational.View.create}
+    against the current world, counted by the [serve.bootstrap_evals]
+    metric) and then joins the incremental stream; its marginals count
+    only the worlds sampled while it was registered. Registration drains
+    the pending world delta into the already-registered views first, so
+    every view always believes in the same database state.
+
+    Estimates are sample-path identical to running {!Core.Evaluator} per
+    query on an identically seeded chain: both observe the initial world
+    once and then each of the [samples] walked worlds (the test suite
+    pins this equality down). Metrics: [serve.queries],
+    [serve.fanout_ns], [serve.bootstrap_evals], [serve.samples]
+    (docs/OBSERVABILITY.md). *)
+
+type t
+
+type query_id
+(** Stable handle for one registered query (never reused within a
+    registry). *)
+
+val create : Core.Pdb.t -> t
+(** A registry serving [pdb]'s chain, with no queries yet. Any update
+    delta still pending on the world is discarded — it is already
+    reflected in the database state future views will be built from. *)
+
+val pdb : t -> Core.Pdb.t
+
+val register : ?name:string -> t -> Relational.Algebra.t -> query_id
+(** Attach a compiled query. Runs it once in full against the current
+    world (the bootstrap evaluation, which also becomes the query's first
+    observed sample) and maintains it incrementally from then on. [name]
+    defaults to ["q<id>"]. Allowed mid-run. *)
+
+val register_sql : ?name:string -> t -> string -> query_id
+(** {!register} of {!Relational.Sql.parse}; [name] defaults to the SQL
+    text. Raises {!Relational.Sql.Parse_error} on bad input. *)
+
+val unregister : t -> query_id -> Core.Marginals.t
+(** Detach a query, returning its final marginals. Later deltas no longer
+    touch it. Raises [Invalid_argument] on an unknown or already
+    unregistered id. *)
+
+val query_count : t -> int
+val queries : t -> (query_id * string) list
+(** Registered queries in registration order. *)
+
+val marginals : t -> query_id -> Core.Marginals.t
+(** Live estimates for one query (updated in place by {!step}). Raises
+    [Invalid_argument] on an unknown id. *)
+
+val samples : t -> int
+(** Worlds sampled (i.e. {!step} calls) since the registry was created. *)
+
+val step : t -> thin:int -> unit
+(** Walk the chain [thin] MH steps, drain the world's delta, fan it out
+    to every registered view, and fold each view's answer into its
+    query's marginals. *)
+
+val run : ?on_sample:(int -> unit) -> t -> thin:int -> samples:int -> unit
+(** [samples] consecutive {!step}s; [on_sample] (called with 1-based
+    index after each step) may register/unregister queries. *)

@@ -92,6 +92,27 @@ let test_marginals_merge () =
   feq "pooled" 0.5 (Marginals.probability m (r [ Value.Int 1 ]));
   Alcotest.(check int) "pooled z" 2 (Marginals.samples m)
 
+(* Pooling chains of unequal sample counts (the serve layer produces these
+   when chains stop at different times): counts and normalizers both add,
+   so the pooled rate is count-weighted — not the mean of per-chain
+   rates. *)
+let test_marginals_merge_unequal_counts () =
+  let a = Marginals.create () and b = Marginals.create () in
+  Marginals.observe a (Bag.of_rows [ r [ Value.Int 1 ] ]);
+  Marginals.observe a (Bag.of_rows [ r [ Value.Int 1 ]; r [ Value.Int 2 ] ]);
+  Marginals.observe a (Bag.of_rows []);
+  Marginals.observe b (Bag.of_rows [ r [ Value.Int 1 ] ]);
+  let m = Marginals.merge [ a; b ] in
+  Alcotest.(check int) "pooled z = 3 + 1" 4 (Marginals.samples m);
+  feq "p(1) = 3/4 (count-weighted, not (2/3 + 1)/2)" 0.75
+    (Marginals.probability m (r [ Value.Int 1 ]));
+  feq "p(2) = 1/4" 0.25 (Marginals.probability m (r [ Value.Int 2 ]));
+  (* Merging with an empty chain (a stopped worker that never sampled)
+     changes nothing. *)
+  let m' = Marginals.merge [ m; Marginals.create () ] in
+  Alcotest.(check int) "empty chain adds no z" 4 (Marginals.samples m');
+  feq "empty chain leaves rates" 0.75 (Marginals.probability m' (r [ Value.Int 1 ]))
+
 let test_marginals_squared_error () =
   let a = Marginals.create () in
   Marginals.observe a (Bag.of_rows [ r [ Value.Int 1 ] ]);
@@ -362,6 +383,7 @@ let () =
        [ Alcotest.test_case "basic" `Quick test_marginals_basic;
          Alcotest.test_case "multiset-membership" `Quick test_marginals_multiset_membership;
          Alcotest.test_case "merge" `Quick test_marginals_merge;
+         Alcotest.test_case "merge-unequal-counts" `Quick test_marginals_merge_unequal_counts;
          Alcotest.test_case "squared-error" `Quick test_marginals_squared_error ]);
       ("graph-pdb",
        [ Alcotest.test_case "write-through" `Quick test_graph_pdb_write_through;

@@ -38,6 +38,28 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "still a permutation" (Array.init 30 Fun.id) sorted
 
+(* Regression for the narrow 2×30-bit split seeding: batches of sibling
+   streams must not collide on their first draws, for several parent
+   seeds. *)
+let test_split_siblings_no_first_draw_collision () =
+  List.iter
+    (fun seed ->
+      let rngs = Parallel.split_rngs (Rng.create seed) 32 in
+      let firsts = Array.to_list (Array.map (fun r -> Rng.int r 1_000_000_000) rngs) in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: 32 distinct first draws" seed)
+        32
+        (List.length (List.sort_uniq compare firsts));
+      let prefixes =
+        Array.to_list
+          (Array.map (fun r -> List.init 4 (fun _ -> Rng.int r 1_000_000_000)) rngs)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: distinct 4-draw prefixes" seed)
+        32
+        (List.length (List.sort_uniq compare prefixes)))
+    [ 1; 5; 42 ]
+
 (* ------------------------------------------------------------------ *)
 (* MH convergence against exact marginals *)
 
@@ -162,6 +184,38 @@ let test_parallel_map_order () =
   let results = Parallel.map ~n:10 (fun i -> i * i) in
   Alcotest.(check (list int)) "ordered" (List.init 10 (fun i -> i * i)) results
 
+(* A raising job must surface as Job_failed carrying the job's index and
+   original exception — not as a bare worker exception or an Option.get
+   crash on the unfilled result slot. *)
+let test_parallel_map_raising_job () =
+  match Parallel.map ~n:20 (fun i -> if i = 3 then failwith "boom" else i) with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Parallel.Job_failed { index = 3; exn } -> (
+    match exn with
+    | Failure msg when msg = "boom" -> ()
+    | e -> Alcotest.failf "wrong payload exception: %s" (Printexc.to_string e))
+  | exception Parallel.Job_failed { index; _ } ->
+    Alcotest.failf "failure attributed to job %d, expected 3" index
+
+(* Sibling domains must stop claiming jobs once a failure is recorded
+   instead of burning the rest of the queue. Job 0 fails immediately; every
+   other job sleeps long enough for the flag to be visible before any
+   worker claims a second round, so the 200-job queue cannot drain. *)
+let test_parallel_map_stops_siblings () =
+  let executed = Atomic.make 0 in
+  (match
+     Parallel.map ~n:200 (fun i ->
+         if i = 0 then failwith "die";
+         ignore (Atomic.fetch_and_add executed 1 : int);
+         Unix.sleepf 0.0005)
+   with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Parallel.Job_failed { index = 0; _ } -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "queue not drained (%d executed)" (Atomic.get executed))
+    true
+    (Atomic.get executed < 199)
+
 let test_parallel_chains_reduce_error () =
   (* Averaging c independent chains should not increase squared error; with
      few samples per chain the improvement is large. *)
@@ -252,7 +306,8 @@ let () =
        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
          Alcotest.test_case "split" `Quick test_rng_split_independent;
          Alcotest.test_case "bounds" `Quick test_rng_bounds;
-         Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation ]);
+         Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+         Alcotest.test_case "split-no-collision" `Quick test_split_siblings_no_first_draw_collision ]);
       ("metropolis",
        [ Alcotest.test_case "matches-exact" `Slow test_mh_matches_exact;
          Alcotest.test_case "gibbs-matches-exact" `Slow test_gibbs_matches_exact;
@@ -263,6 +318,8 @@ let () =
       ("samplerank", [ Alcotest.test_case "learns" `Slow test_samplerank_learns ]);
       ("parallel",
        [ Alcotest.test_case "map-order" `Quick test_parallel_map_order;
+         Alcotest.test_case "raising-job" `Quick test_parallel_map_raising_job;
+         Alcotest.test_case "failure-stops-siblings" `Quick test_parallel_map_stops_siblings;
          Alcotest.test_case "chains-reduce-error" `Slow test_parallel_chains_reduce_error ]);
       ("annealing",
        [ Alcotest.test_case "finds-map" `Quick test_annealing_finds_map;

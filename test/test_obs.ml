@@ -257,6 +257,41 @@ let test_delta_rows_much_smaller_than_table () =
     (avg_delta < table_rows /. 10.)
 
 (* ------------------------------------------------------------------ *)
+(* Timer: the published clock never decreases, even when the raw wall
+   clock (gettimeofday, the only clock this toolchain exposes) steps
+   backwards under it — Timer.clamp is the monotonization step of now_ns,
+   exposed so the backwards step can be simulated deterministically. *)
+
+let test_timer_monotonic_clamp () =
+  let a = Obs.Timer.now_ns () in
+  Alcotest.(check bool) "backwards raw reading is clamped" true
+    (Obs.Timer.clamp (a - 1_000_000_000) >= a);
+  let b = Obs.Timer.now_ns () in
+  Alcotest.(check bool) "now_ns non-decreasing after the step" true (b >= a);
+  let c = Obs.Timer.clamp (b + 10) in
+  Alcotest.(check bool) "forward raw reading advances" true (c >= b + 10);
+  Alcotest.(check bool) "now_ns reflects the advance" true (Obs.Timer.now_ns () >= c);
+  (* Spans measured across a simulated backwards step are zero, never
+     negative. *)
+  let t0 = Obs.Timer.start () in
+  ignore (Obs.Timer.clamp (a - 5_000_000_000) : int);
+  Alcotest.(check bool) "elapsed never negative" true (Obs.Timer.elapsed_ns t0 >= 0)
+
+let test_timer_monotonic_across_domains () =
+  (* All domains share the high-water mark: each domain's local sequence of
+     now_ns readings must be non-decreasing. *)
+  let ok =
+    Mcmc.Parallel.map ~n:4 (fun _ ->
+        let prev = ref 0 in
+        let ok = ref true in
+        for _ = 1 to 10_000 do
+          let t = Obs.Timer.now_ns () in
+          if t < !prev then ok := false;
+          prev := t
+        done;
+        !ok)
+  in
+  Alcotest.(check (list bool)) "monotone in every domain" [ true; true; true; true ] ok
 
 let () =
   Alcotest.run "obs"
@@ -274,6 +309,10 @@ let () =
         [ Alcotest.test_case "counters deterministic across domains" `Quick
             test_parallel_counter_determinism;
           Alcotest.test_case "metropolis counters" `Quick test_metropolis_counters ] );
+      ( "timer",
+        [ Alcotest.test_case "monotonic clamp" `Quick test_timer_monotonic_clamp;
+          Alcotest.test_case "monotonic across domains" `Quick
+            test_timer_monotonic_across_domains ] );
       ("trace", [ Alcotest.test_case "ring and sinks" `Quick test_trace_ring ]);
       ("snapshot", [ Alcotest.test_case "json shape" `Quick test_snapshot_json ]);
       ( "regression",

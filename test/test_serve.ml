@@ -1,0 +1,198 @@
+(* Tests for the shared-chain serving layer: a registry of N materialized
+   queries fed by one MCMC delta stream must produce, for every query, the
+   estimates an identically seeded single-query Evaluator run produces;
+   registration and unregistration mid-run must neither disturb the other
+   queries nor let the newcomer double-count pending updates. *)
+
+open Relational
+open Core
+
+let r vs = Row.make vs
+
+(* The 4-item pairwise-coupled color model of test_core, rebuilt fresh per
+   call so identical seeds give identical chains. *)
+let color_domain = Factorgraph.Domain.make [ "red"; "blue" ]
+
+let color_field i = Field.make ~table:"ITEM" ~key:(Value.Int i) ~column:"color"
+
+let small_db () =
+  let db = Database.create () in
+  let schema =
+    Schema.make
+      [ { Schema.name = "id"; ty = Value.T_int };
+        { Schema.name = "color"; ty = Value.T_text } ]
+  in
+  let t = Database.create_table db ~pk:"id" ~name:"ITEM" schema in
+  for i = 0 to 3 do
+    Table.insert t (r [ Value.Int i; Value.Text "red" ])
+  done;
+  db
+
+let build_pdb ~seed () =
+  let db = small_db () in
+  let world = World.create db in
+  let gp = Graph_pdb.create world in
+  let vars = Array.init 4 (fun i -> Graph_pdb.bind gp (color_field i) color_domain) in
+  let g = Graph_pdb.graph gp in
+  Array.iter (fun v -> ignore (Factorgraph.Graph.add_table_factor g ~scope:[| v |] [| 0.; 0.7 |])) vars;
+  for i = 0 to 2 do
+    ignore
+      (Factorgraph.Graph.add_table_factor g ~scope:[| vars.(i); vars.(i + 1) |]
+         [| 1.0; 0.; 0.; 1.0 |])
+  done;
+  Pdb.create ~world ~proposal:(Graph_pdb.flip_proposal gp) ~rng:(Mcmc.Rng.create seed)
+
+let test_queries =
+  [ "SELECT id FROM ITEM WHERE color='blue'";
+    "SELECT COUNT(*) FROM ITEM WHERE color='blue'";
+    "SELECT color, COUNT(*) AS n FROM ITEM GROUP BY color";
+    "SELECT T1.id FROM ITEM T1, ITEM T2 WHERE T1.color=T2.color AND T1.id=0" ]
+
+let check_estimates_equal msg a b =
+  if
+    List.length a <> List.length b
+    || not
+         (List.for_all2
+            (fun (ra, pa) (rb, pb) -> Row.equal ra rb && abs_float (pa -. pb) < 1e-12)
+            a b)
+  then Alcotest.failf "%s: estimates diverge" msg
+
+(* The headline contract: every query served off the shared chain matches a
+   dedicated Evaluator run on an identically seeded chain, exactly. *)
+let test_registry_matches_evaluator () =
+  let pdb = build_pdb ~seed:77 () in
+  let reg = Serve.Registry.create pdb in
+  let ids = List.map (fun sql -> Serve.Registry.register_sql reg sql) test_queries in
+  Serve.Registry.run reg ~thin:7 ~samples:120;
+  Alcotest.(check int) "samples counted" 120 (Serve.Registry.samples reg);
+  List.iter2
+    (fun sql id ->
+      let shared = Marginals.estimates (Serve.Registry.marginals reg id) in
+      let solo =
+        Marginals.estimates
+          (Evaluator.evaluate_sql Evaluator.Materialized (build_pdb ~seed:77 ()) ~sql
+             ~thin:7 ~samples:120)
+      in
+      check_estimates_equal sql shared solo)
+    test_queries ids
+
+(* A query registered mid-run — with MH updates still pending on the world —
+   must bootstrap from the current state and then track the stream exactly.
+   The oracle is a manual Algorithm-3 loop observing a fresh full evaluation
+   of the same worlds. *)
+let test_late_registration () =
+  let pdb = build_pdb ~seed:21 () in
+  let db = Pdb.db pdb in
+  let reg = Serve.Registry.create pdb in
+  let blue_sql = List.nth test_queries 0 in
+  let early = Serve.Registry.register_sql reg blue_sql in
+  Serve.Registry.run reg ~thin:3 ~samples:10;
+  (* Walk outside the registry so the world carries a pending delta the
+     newcomer must not double-count. *)
+  Pdb.walk pdb ~steps:2;
+  let late_q = Sql.parse "SELECT COUNT(*) FROM ITEM WHERE color='red'" in
+  let late = Serve.Registry.register ~name:"late" reg late_q in
+  let naive = Marginals.create () in
+  Marginals.observe naive (Eval.eval db late_q).Eval.bag;
+  Serve.Registry.run reg
+    ~on_sample:(fun _ -> Marginals.observe naive (Eval.eval db late_q).Eval.bag)
+    ~thin:3 ~samples:12;
+  Alcotest.(check int) "late z counts post-registration worlds only" 13
+    (Marginals.samples (Serve.Registry.marginals reg late));
+  Alcotest.(check int) "early z counts everything" 23
+    (Marginals.samples (Serve.Registry.marginals reg early));
+  check_estimates_equal "late query tracks naive recomputation"
+    (Marginals.estimates (Serve.Registry.marginals reg late))
+    (Marginals.estimates naive)
+
+let test_unregister () =
+  let pdb = build_pdb ~seed:31 () in
+  let reg = Serve.Registry.create pdb in
+  let a = Serve.Registry.register_sql ~name:"a" reg (List.nth test_queries 0) in
+  let b = Serve.Registry.register_sql ~name:"b" reg (List.nth test_queries 1) in
+  Alcotest.(check int) "two registered" 2 (Serve.Registry.query_count reg);
+  Serve.Registry.run reg ~thin:5 ~samples:5;
+  let mb = Serve.Registry.unregister reg b in
+  Alcotest.(check int) "departing marginals frozen at z=6" 6 (Marginals.samples mb);
+  Serve.Registry.run reg ~thin:5 ~samples:5;
+  Alcotest.(check int) "departed stream no longer observed" 6 (Marginals.samples mb);
+  Alcotest.(check int) "survivor keeps sampling" 11
+    (Marginals.samples (Serve.Registry.marginals reg a));
+  Alcotest.(check (list string)) "one query left" [ "a" ]
+    (List.map snd (Serve.Registry.queries reg));
+  Alcotest.(check bool) "surviving id is a" true
+    (List.map fst (Serve.Registry.queries reg) = [ a ]);
+  (match Serve.Registry.marginals reg b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unregistered id must be unknown");
+  (* The survivor's estimates are untouched by the churn: same chain, same
+     answer as a dedicated run. *)
+  check_estimates_equal "survivor unaffected"
+    (Marginals.estimates (Serve.Registry.marginals reg a))
+    (Marginals.estimates
+       (Evaluator.evaluate_sql Evaluator.Materialized (build_pdb ~seed:31 ())
+          ~sql:(List.nth test_queries 0) ~thin:5 ~samples:10))
+
+(* Pooling: Pool.evaluate over c chains must equal Parallel_eval.evaluate
+   per query (same per-chain seeds), since registered views are passive
+   observers of the chain. *)
+let test_pool_matches_parallel_eval () =
+  let make ~chain = build_pdb ~seed:(500 + chain) () in
+  let queries =
+    List.map (fun sql -> (sql, Sql.parse sql)) [ List.nth test_queries 0; List.nth test_queries 3 ]
+  in
+  let results = Serve.Pool.evaluate ~chains:3 ~make ~queries ~thin:5 ~samples:40 () in
+  Alcotest.(check int) "one result per query" 2 (List.length results);
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check int) "pooled z" (3 * 41) (Marginals.samples m);
+      let solo =
+        Parallel_eval.evaluate ~chains:3 ~make ~strategy:Evaluator.Materialized
+          ~query:(List.assoc name queries) ~thin:5 ~samples:40 ()
+      in
+      check_estimates_equal name (Marginals.estimates m) (Marginals.estimates solo))
+    results
+
+(* serve.* metrics (docs/OBSERVABILITY.md): queries gauge follows the
+   registered set, bootstrap_evals counts registrations, samples counts
+   steps. *)
+let test_serve_metrics () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) @@ fun () ->
+  let reg_before =
+    match Obs.Metrics.find Obs.Metrics.global "serve.bootstrap_evals" with
+    | Some (Obs.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let samples_before =
+    match Obs.Metrics.find Obs.Metrics.global "serve.samples" with
+    | Some (Obs.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let pdb = build_pdb ~seed:41 () in
+  let reg = Serve.Registry.create pdb in
+  let a = Serve.Registry.register_sql reg (List.nth test_queries 0) in
+  let _b = Serve.Registry.register_sql reg (List.nth test_queries 1) in
+  Serve.Registry.run reg ~thin:3 ~samples:7;
+  (match Obs.Metrics.find Obs.Metrics.global "serve.queries" with
+  | Some (Obs.Metrics.Gauge g) -> Alcotest.(check (float 1e-9)) "queries gauge" 2. g
+  | _ -> Alcotest.fail "serve.queries missing");
+  (match Obs.Metrics.find Obs.Metrics.global "serve.bootstrap_evals" with
+  | Some (Obs.Metrics.Counter n) -> Alcotest.(check int) "bootstraps" (reg_before + 2) n
+  | _ -> Alcotest.fail "serve.bootstrap_evals missing");
+  (match Obs.Metrics.find Obs.Metrics.global "serve.samples" with
+  | Some (Obs.Metrics.Counter n) -> Alcotest.(check int) "samples" (samples_before + 7) n
+  | _ -> Alcotest.fail "serve.samples missing");
+  ignore (Serve.Registry.unregister reg a : Marginals.t);
+  match Obs.Metrics.find Obs.Metrics.global "serve.queries" with
+  | Some (Obs.Metrics.Gauge g) -> Alcotest.(check (float 1e-9)) "gauge follows unregister" 1. g
+  | _ -> Alcotest.fail "serve.queries missing"
+
+let () =
+  Alcotest.run "serve"
+    [ ("registry",
+       [ Alcotest.test_case "matches-evaluator" `Quick test_registry_matches_evaluator;
+         Alcotest.test_case "late-registration" `Quick test_late_registration;
+         Alcotest.test_case "unregister" `Quick test_unregister ]);
+      ("pool", [ Alcotest.test_case "matches-parallel-eval" `Quick test_pool_matches_parallel_eval ]);
+      ("metrics", [ Alcotest.test_case "serve-metrics" `Quick test_serve_metrics ]) ]

@@ -8,6 +8,12 @@ echo "ci: dune build"
 dune build
 echo "ci: dune runtest"
 dune runtest
+echo "ci: multi-query serve bench (smoke)"
+# Smallest-size run of the multi-query group: exercises the shared-chain
+# serving path end to end and regenerates BENCH_serve.json, so the bench
+# (and its marginal-equality assertion) can never silently rot.
+dune exec bench/main.exe -- serve-smoke
+test -s BENCH_serve.json
 echo "ci: doc check"
 sh tools/check_doc.sh
 echo "ci: OK"
