@@ -112,7 +112,7 @@ let flip_one_and_update view t =
   Relational.View.update view delta;
   Relational.View.result view
 
-let view_update_tests () =
+let view_update_tests ?(sizes = view_update_sizes) () =
   let query = Relational.Sql.parse join_query in
   List.map
     (fun n ->
@@ -125,9 +125,9 @@ let view_update_tests () =
       Test.make
         ~name:(size_name "view-update" n)
         (Staged.stage (fun () -> flip_one_and_update view t)))
-    view_update_sizes
+    sizes
 
-let naive_rerun_tests () =
+let naive_rerun_tests ?(sizes = view_update_sizes) () =
   let query = Relational.Sql.parse join_query in
   List.map
     (fun n ->
@@ -136,7 +136,7 @@ let naive_rerun_tests () =
       Test.make
         ~name:(size_name "naive-rerun" n)
         (Staged.stage (fun () -> Relational.Eval.eval db query)))
-    view_update_sizes
+    sizes
 
 (* ------------------------------------------------------------------ *)
 (* Multi-query serving: N materialized queries off one shared MCMC chain
@@ -254,6 +254,120 @@ let write_view_bench_json path results =
   output_string oc "\n";
   close_out oc;
   Printf.printf "\nview-update bench written to %s\n%!" path
+
+(* Standalone view-maintenance group (same tests the full micro suite
+   runs), so CI can regenerate BENCH_view.json without paying for the
+   whole Bechamel suite. Smoke restricts to the smallest size. *)
+let run_view ?(smoke = false) () =
+  Harness.print_header
+    (if smoke then "view maintenance (smoke)" else "view maintenance (indexed IVM vs naive)");
+  let sizes = if smoke then [ 1_000 ] else view_update_sizes in
+  let vu = run_group "view-update-indexed" (view_update_tests ~sizes ()) in
+  let naive = run_group "naive-rerun" (naive_rerun_tests ~sizes ()) in
+  write_view_bench_json "BENCH_view.json" (vu @ naive)
+
+(* ------------------------------------------------------------------ *)
+(* Durability: full-registry snapshot/restore cost versus sampling
+   throughput, at growing database sizes. A chain checkpointing every N
+   samples pays snapshot_ns / (N * sample_ns) relative overhead — the
+   JSON reports the raw terms plus that ratio's numerator expressed in
+   samples, leaving the policy choice of N to the reader. *)
+
+let checkpoint_queries =
+  [ "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"; join_query ]
+
+(* The restore-side constructor: rebuild the NER chain over a restored
+   database (mirrors Harness.make_instance minus corpus generation). *)
+let ner_chain_of_db ~chain_seed db =
+  let world = Core.World.create db in
+  let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
+  let rng = Mcmc.Rng.create chain_seed in
+  let proposal = Ie.Proposals.batched_flip ~rng crf in
+  Core.Pdb.create ~world ~proposal ~rng
+
+let checkpoint_compare ~n_tokens ~thin ~samples =
+  let inst = Harness.make_instance ~corpus_seed:320 ~chain_seed:11 ~n_tokens () in
+  let reg = Serve.Registry.create inst.Harness.pdb in
+  List.iter
+    (fun sql ->
+      ignore
+        (Serve.Registry.register ~name:sql reg (Relational.Sql.parse sql)
+          : Serve.Registry.query_id))
+    checkpoint_queries;
+  let t0 = Obs.Timer.start () in
+  Serve.Registry.run reg ~thin ~samples;
+  let sample_ns = Obs.Timer.elapsed_ns t0 / samples in
+  let path = Filename.temp_file "pdb_bench" ".ckpt" in
+  (* Minimum over repetitions: the steady-state cost the checkpoint loop
+     pays, without warm-up noise. *)
+  let reps = 5 in
+  let bytes = ref 0 and snapshot_ns = ref max_int and restore_ns = ref max_int in
+  for _ = 1 to reps do
+    let t0 = Obs.Timer.start () in
+    bytes := Checkpoint.State.save ~path (Serve.Registry.snapshot reg);
+    snapshot_ns := min !snapshot_ns (Obs.Timer.elapsed_ns t0)
+  done;
+  for _ = 1 to reps do
+    let t0 = Obs.Timer.start () in
+    let reg' =
+      Serve.Registry.restore
+        ~make_pdb:(fun db -> ner_chain_of_db ~chain_seed:11 db)
+        (Checkpoint.State.load ~path)
+    in
+    restore_ns := min !restore_ns (Obs.Timer.elapsed_ns t0);
+    ignore (Serve.Registry.samples reg' : int)
+  done;
+  Sys.remove path;
+  (sample_ns, !snapshot_ns, !bytes, !restore_ns)
+
+let write_checkpoint_bench_json path ~thin ~samples rows =
+  let group (n_tokens, sample_ns, snapshot_ns, bytes, restore_ns) =
+    Obs.Jsonx.obj
+      [ ("n_tokens", Obs.Jsonx.int n_tokens);
+        ("sample_ns", Obs.Jsonx.int sample_ns);
+        ("snapshot_ns", Obs.Jsonx.int snapshot_ns);
+        ("snapshot_bytes", Obs.Jsonx.int bytes);
+        ("restore_ns", Obs.Jsonx.int restore_ns);
+        ("snapshot_cost_samples",
+         Obs.Jsonx.float (float_of_int snapshot_ns /. float_of_int sample_ns)) ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (Obs.Jsonx.obj
+       [ ("config",
+          Obs.Jsonx.obj
+            [ ("thin", Obs.Jsonx.int thin);
+              ("samples", Obs.Jsonx.int samples);
+              ("queries", Obs.Jsonx.int (List.length checkpoint_queries)) ]);
+         ("checkpoint", Obs.Jsonx.arr (List.map group rows)) ]);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\ncheckpoint bench written to %s\n%!" path
+
+let run_checkpoint ?(smoke = false) () =
+  Harness.print_header
+    (if smoke then "checkpoint cost (smoke)" else "checkpoint cost vs sampling throughput");
+  let sizes = if smoke then [ 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let thin = 100 in
+  let samples = if smoke then 10 else 30 in
+  let rows =
+    List.map
+      (fun n_tokens ->
+        let sample_ns, snapshot_ns, bytes, restore_ns =
+          checkpoint_compare ~n_tokens ~thin ~samples
+        in
+        Printf.printf
+          "  %4dk tuples: sample %8.2f µs, snapshot %8.2f µs (%7d B, %5.2f samples), restore %8.2f µs\n%!"
+          (n_tokens / 1000)
+          (float_of_int sample_ns /. 1e3)
+          (float_of_int snapshot_ns /. 1e3)
+          bytes
+          (float_of_int snapshot_ns /. float_of_int sample_ns)
+          (float_of_int restore_ns /. 1e3);
+        (n_tokens, sample_ns, snapshot_ns, bytes, restore_ns))
+      sizes
+  in
+  write_checkpoint_bench_json "BENCH_checkpoint.json" ~thin ~samples rows
 
 let run () =
   Harness.print_header "A2 / micro-benchmarks (Bechamel)";

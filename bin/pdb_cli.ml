@@ -148,18 +148,26 @@ let thin_arg =
 let top_arg =
   Arg.(value & opt int 20 & info [ "top" ] ~docv:"T" ~doc:"Answer tuples to print.")
 
-(* Build the NER probabilistic database every query-answering subcommand
-   samples from. [chain] offsets the RNG seed so parallel chains get
-   distinct streams over the identical initial world. *)
-let make_ner_pdb ~seed ~tokens ~chain =
-  let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
-  let db = Relational.Database.create () in
-  ignore (Ie.Token_table.load db docs : Relational.Table.t);
+(* Build the NER chain (world, CRF model, proposal, RNG) over an existing
+   TOKEN database. [chain] offsets the RNG seed so parallel chains get
+   distinct streams over the identical initial world. This is also the
+   [remake] constructor checkpoint restoration needs: the CRF reads the
+   current labels out of [db] at creation, so building over a restored
+   database leaves model and world consistent. *)
+let ner_pdb_of_db ~seed ~chain db =
   let world = Core.World.create db in
   let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
   let rng = Mcmc.Rng.create (seed + 2 + (31 * chain)) in
   let proposal = Ie.Proposals.batched_flip ~rng crf in
   Core.Pdb.create ~world ~proposal ~rng
+
+(* Build the NER probabilistic database every query-answering subcommand
+   samples from: synthesize the corpus, load it, build the chain over it. *)
+let make_ner_pdb ~seed ~tokens ~chain =
+  let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
+  let db = Relational.Database.create () in
+  ignore (Ie.Token_table.load db docs : Relational.Table.t);
+  ner_pdb_of_db ~seed ~chain db
 
 let print_top ~top answers =
   let answers = List.sort (fun (_, a) (_, b) -> compare b a) answers in
@@ -217,9 +225,49 @@ let read_query_file path =
       in
       go [])
 
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint each chain's full serving state to $(docv)/chain-<i>.ckpt and \
+           supervise crashed chains (bounded retry, resuming from the last snapshot).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int 100
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Samples between checkpoints (0 = only at completion).")
+
+let checkpoint_retries_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "checkpoint-retries" ] ~docv:"R"
+        ~doc:"Crash retries per chain before giving up.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:"Resume from checkpoints left in --checkpoint-dir by a previous run.")
+
 let serve_cmd =
-  let run seed tokens queries_file chains samples thin top metrics_out trace_out =
+  let run seed tokens queries_file chains samples thin top ckpt_dir ckpt_every
+      ckpt_retries resume metrics_out trace_out =
     with_obs "serve" metrics_out trace_out @@ fun () ->
+    (* PDB_FAILPOINT="pool.sample@K" injects a crash at sample K — the
+       supervision path exercised end-to-end. *)
+    (try Checkpoint.Failpoint.arm_from_env ()
+     with Invalid_argument msg ->
+       Printf.eprintf "error: %s\n" msg;
+       exit 1);
+    if resume && ckpt_dir = None then begin
+      Printf.eprintf "error: --resume requires --checkpoint-dir\n";
+      exit 1
+    end;
     let sqls = read_query_file queries_file in
     if sqls = [] then begin
       Printf.eprintf "error: %s contains no queries\n" queries_file;
@@ -234,9 +282,24 @@ let serve_cmd =
             exit 1)
         sqls
     in
+    let durability =
+      match ckpt_dir with
+      | None -> None
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Some
+          {
+            Serve.Pool.dir;
+            every = ckpt_every;
+            resume;
+            retries = ckpt_retries;
+            backoff_s = 0.05;
+            remake = (fun ~chain db -> ner_pdb_of_db ~seed ~chain db);
+          }
+    in
     let t0 = Obs.Timer.start () in
     let results =
-      Serve.Pool.evaluate ~burn_in:(4 * tokens) ~chains
+      Serve.Pool.evaluate ~burn_in:(4 * tokens) ?durability ~chains
         ~make:(fun ~chain -> make_ner_pdb ~seed ~tokens ~chain)
         ~queries ~thin ~samples ()
     in
@@ -258,7 +321,8 @@ let serve_cmd =
           delta stream.")
     Term.(
       const run $ seed_arg $ tokens_arg $ queries_file_arg $ chains_arg $ samples_arg
-      $ thin_arg $ top_arg $ metrics_out_arg $ trace_out_arg)
+      $ thin_arg $ top_arg $ checkpoint_dir_arg $ checkpoint_every_arg
+      $ checkpoint_retries_arg $ resume_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 

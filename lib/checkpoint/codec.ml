@@ -1,0 +1,201 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ---------- writer ---------- *)
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+
+  (* LEB128 over the full word treated as unsigned: [lsr] is a logical
+     shift, so a negative word (the zigzag image of a large magnitude)
+     terminates after at most ceil(word/7) groups. *)
+  let unsigned_leb b n =
+    let rec go n =
+      if n >= 0 && n < 0x80 then u8 b n
+      else begin
+        u8 b (0x80 lor (n land 0x7f));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let uvarint b n =
+    if n < 0 then invalid_arg "Codec.W.uvarint: negative";
+    unsigned_leb b n
+
+  let varint b n =
+    (* zigzag: sign bit moves to bit 0 so small magnitudes stay short *)
+    unsigned_leb b ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+  let float b x =
+    let bits = Int64.bits_of_float x in
+    for i = 0 to 7 do
+      u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+    done
+
+  let string b s =
+    uvarint b (String.length s);
+    Buffer.add_string b s
+
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let option b enc = function
+    | None -> u8 b 0
+    | Some x ->
+        u8 b 1;
+        enc b x
+
+  let list b enc xs =
+    uvarint b (List.length xs);
+    List.iter (enc b) xs
+
+  let contents b = Buffer.contents b
+end
+
+(* ---------- reader ---------- *)
+
+module R = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+
+  let u8 r =
+    if r.pos >= String.length r.src then corrupt "truncated at byte %d" r.pos;
+    let c = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let uvarint r =
+    let rec go shift acc =
+      if shift > Sys.int_size then corrupt "varint overflow at byte %d" r.pos;
+      let c = u8 r in
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let varint r =
+    let n = uvarint r in
+    (n lsr 1) lxor (- (n land 1))
+
+  let float r =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (u8 r)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let string r =
+    let n = uvarint r in
+    if n < 0 || r.pos + n > String.length r.src then
+      corrupt "truncated string (%d bytes) at byte %d" n r.pos;
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let bool r =
+    match u8 r with
+    | 0 -> false
+    | 1 -> true
+    | n -> corrupt "bad bool tag %d at byte %d" n (r.pos - 1)
+
+  let option r dec =
+    match u8 r with
+    | 0 -> None
+    | 1 -> Some (dec r)
+    | n -> corrupt "bad option tag %d at byte %d" n (r.pos - 1)
+
+  let list r dec = List.init (uvarint r) (fun _ -> dec r)
+  let at_end r = r.pos = String.length r.src
+end
+
+(* ---------- CRC-32 (IEEE / zlib polynomial, reflected) ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand !c 0xFFl) lxor Char.code ch in
+      c := Int32.logxor table.(idx land 0xff) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ---------- frame ---------- *)
+
+let magic = "PDBCKPT"
+
+let frame ~version payload =
+  let b = W.create () in
+  Buffer.add_string b magic;
+  W.u8 b version;
+  W.uvarint b (String.length payload);
+  Buffer.add_string b payload;
+  let crc = crc32 (Buffer.contents b) in
+  for i = 0 to 3 do
+    W.u8 b (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)
+  done;
+  Buffer.contents b
+
+let unframe ~expect_version s =
+  let n = String.length s in
+  if n < String.length magic + 1 + 1 + 4 then corrupt "frame too short (%d bytes)" n;
+  if String.sub s 0 (String.length magic) <> magic then
+    corrupt "bad magic %S" (String.sub s 0 (min n (String.length magic)));
+  (* CRC covers everything before the 4 trailing CRC bytes *)
+  let body = String.sub s 0 (n - 4) in
+  let stored = ref 0l in
+  for i = 0 to 3 do
+    stored :=
+      Int32.logor !stored
+        (Int32.shift_left (Int32.of_int (Char.code s.[n - 4 + i])) (8 * i))
+  done;
+  let computed = crc32 body in
+  if computed <> !stored then
+    corrupt "CRC mismatch (stored %08lx, computed %08lx)" !stored computed;
+  let r = R.of_string body in
+  r.R.pos <- String.length magic;
+  let version = R.u8 r in
+  if version <> expect_version then
+    corrupt "unsupported version %d (expected %d)" version expect_version;
+  let len = R.uvarint r in
+  if r.R.pos + len <> String.length body then
+    corrupt "payload length %d disagrees with frame size" len;
+  String.sub body r.R.pos len
+
+(* ---------- files ---------- *)
+
+let write_file ~path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  String.length data
+
+let read_file ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

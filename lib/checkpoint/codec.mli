@@ -1,0 +1,83 @@
+(** Binary framing for checkpoint files: a versioned, CRC-checked envelope
+    around a canonical little-endian payload, written atomically.
+
+    The payload grammar is the caller's ({!State} defines the chain
+    snapshot); this module owns the primitives — unsigned/zigzag varints,
+    IEEE-754 bit-pattern floats, length-prefixed strings — and the file
+    envelope [magic ∥ version ∥ payload-length ∥ payload ∥ CRC-32].
+    Everything is byte-deterministic: encoding the same value twice yields
+    the same bytes, which is what lets tests assert snapshot → restore →
+    snapshot byte-identity and lets the CRC mean something.
+
+    Durability discipline: {!write_file} writes to a temporary sibling and
+    [rename]s it over the target, so readers never observe a torn file —
+    a crash mid-write leaves either the old checkpoint or the new one,
+    never a hybrid. *)
+
+exception Corrupt of string
+(** A frame or payload failed validation: bad magic, unsupported version,
+    CRC mismatch, or truncated data. *)
+
+(** Append-only payload writer. *)
+module W : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  (** One byte; the low 8 bits of the argument. *)
+
+  val uvarint : t -> int -> unit
+  (** LEB128 varint; raises [Invalid_argument] on negative input. *)
+
+  val varint : t -> int -> unit
+  (** Zigzag-mapped LEB128 varint (signed, e.g. delta counts). *)
+
+  val float : t -> float -> unit
+  (** Exact IEEE-754 bit pattern, 8 bytes little-endian. *)
+
+  val string : t -> string -> unit
+  (** Length-prefixed bytes. *)
+
+  val bool : t -> bool -> unit
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** Length-prefixed sequence, encoded in list order — callers sort
+      anything whose source order is nondeterministic. *)
+
+  val contents : t -> string
+end
+
+(** Payload reader; every primitive raises {!Corrupt} on truncation. *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val uvarint : t -> int
+  val varint : t -> int
+  val float : t -> float
+  val string : t -> string
+  val bool : t -> bool
+  val option : t -> (t -> 'a) -> 'a option
+  val list : t -> (t -> 'a) -> 'a list
+  val at_end : t -> bool
+end
+
+val crc32 : string -> int32
+(** IEEE CRC-32 (the zlib polynomial) of the whole string. *)
+
+val frame : version:int -> string -> string
+(** Wrap a payload in the checkpoint envelope. *)
+
+val unframe : expect_version:int -> string -> string
+(** Validate magic, version, length, and CRC; return the payload. Raises
+    {!Corrupt} with a diagnostic on any mismatch. *)
+
+val write_file : path:string -> string -> int
+(** Atomically replace [path] with the given bytes (temp file + rename in
+    the same directory) and return the byte count written. Raises
+    [Sys_error] on I/O failure. *)
+
+val read_file : path:string -> string
+(** The file's bytes. Raises [Sys_error]. *)

@@ -1,0 +1,66 @@
+exception Injected of { name : string; index : int }
+
+type armed_state = { name : string; at : int; mutable remaining : int }
+
+(* The armed state is read on every hit from whatever domain is sampling,
+   so the fast path is one atomic load; the mutex only serializes the
+   arm/fire transitions. *)
+let state : armed_state option Atomic.t = Atomic.make None
+let lock = Mutex.create ()
+
+let arm ?(times = 1) ~name ~at () =
+  if times < 1 then invalid_arg "Failpoint.arm: times < 1";
+  if at < 0 then invalid_arg "Failpoint.arm: negative index";
+  Mutex.protect lock (fun () ->
+      Atomic.set state (Some { name; at; remaining = times }))
+
+let disarm () = Mutex.protect lock (fun () -> Atomic.set state None)
+
+let armed () =
+  match Atomic.get state with Some a -> Some (a.name, a.at) | None -> None
+
+let hit name ~index =
+  match Atomic.get state with
+  | None -> ()
+  | Some a when a.name <> name || a.at <> index -> ()
+  | Some a ->
+      let fire =
+        Mutex.protect lock (fun () ->
+            (* Re-check under the lock: a concurrent hit may have consumed
+               the last shot between the load and here. *)
+            match Atomic.get state with
+            | Some a' when a' == a && a'.remaining > 0 ->
+                a'.remaining <- a'.remaining - 1;
+                if a'.remaining = 0 then Atomic.set state None;
+                true
+            | _ -> false)
+      in
+      if fire then raise (Injected { name; index })
+
+let arm_from_env () =
+  match Sys.getenv_opt "PDB_FAILPOINT" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      let bad () =
+        invalid_arg
+          (Printf.sprintf
+             "PDB_FAILPOINT=%S: expected \"name@index\" or \"name@indexxN\"" spec)
+      in
+      match String.index_opt spec '@' with
+      | None -> bad ()
+      | Some i -> (
+          let name = String.sub spec 0 i in
+          let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+          if name = "" || rest = "" then bad ();
+          let at_str, times =
+            match String.index_opt rest 'x' with
+            | None -> (rest, 1)
+            | Some j -> (
+                let n = String.sub rest (j + 1) (String.length rest - j - 1) in
+                match int_of_string_opt n with
+                | Some times when times >= 1 -> (String.sub rest 0 j, times)
+                | _ -> bad ())
+          in
+          match int_of_string_opt at_str with
+          | Some at when at >= 0 -> arm ~times ~name ~at ()
+          | _ -> bad ()))

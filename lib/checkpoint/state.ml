@@ -1,0 +1,223 @@
+open Relational
+
+let version = 1
+
+let m_write_ns = Obs.Metrics.histogram "checkpoint.write_ns"
+let m_bytes = Obs.Metrics.gauge "checkpoint.bytes"
+let m_restores = Obs.Metrics.counter "checkpoint.restore.count"
+
+type table_state = {
+  t_name : string;
+  t_pk : string option;
+  t_schema : (string * Value.ty) list;
+  t_indexed : string list;
+  t_rows : (Row.t * int) list;
+}
+
+type query_state = {
+  q_id : int;
+  q_name : string;
+  q_algebra : Algebra.t;
+  q_counts : (Row.t * int) list;
+  q_z : int;
+  q_nodes : (Row.t * int) list list;
+}
+
+type t = {
+  samples : int;
+  steps : int;
+  proposed : int;
+  accepted : int;
+  next_id : int;
+  rng : string;
+  tables : table_state list;
+  queries : query_state list;
+}
+
+(* ---------- payload grammar ---------- *)
+
+let enc_value b = function
+  | Value.Null -> Codec.W.u8 b 0
+  | Value.Int n ->
+      Codec.W.u8 b 1;
+      Codec.W.varint b n
+  | Value.Float x ->
+      Codec.W.u8 b 2;
+      Codec.W.float b x
+  | Value.Bool v ->
+      Codec.W.u8 b 3;
+      Codec.W.bool b v
+  | Value.Text s ->
+      Codec.W.u8 b 4;
+      Codec.W.string b s
+
+let dec_value r =
+  match Codec.R.u8 r with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (Codec.R.varint r)
+  | 2 -> Value.Float (Codec.R.float r)
+  | 3 -> Value.Bool (Codec.R.bool r)
+  | 4 -> Value.Text (Codec.R.string r)
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad value tag %d" n))
+
+let enc_ty b ty =
+  Codec.W.u8 b
+    (match ty with Value.T_int -> 0 | T_float -> 1 | T_bool -> 2 | T_text -> 3)
+
+let dec_ty r =
+  match Codec.R.u8 r with
+  | 0 -> Value.T_int
+  | 1 -> Value.T_float
+  | 2 -> Value.T_bool
+  | 3 -> Value.T_text
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad type tag %d" n))
+
+let enc_row b row =
+  Codec.W.uvarint b (Array.length row);
+  Array.iter (enc_value b) row
+
+let dec_row r =
+  let n = Codec.R.uvarint r in
+  Array.init n (fun _ -> dec_value r)
+
+let enc_entry b (row, count) =
+  enc_row b row;
+  Codec.W.varint b count
+
+let dec_entry r =
+  let row = dec_row r in
+  let count = Codec.R.varint r in
+  (row, count)
+
+let enc_column b (name, ty) =
+  Codec.W.string b name;
+  enc_ty b ty
+
+let dec_column r =
+  let name = Codec.R.string r in
+  (name, dec_ty r)
+
+let enc_table b ts =
+  Codec.W.string b ts.t_name;
+  Codec.W.option b Codec.W.string ts.t_pk;
+  Codec.W.list b enc_column ts.t_schema;
+  Codec.W.list b Codec.W.string ts.t_indexed;
+  Codec.W.list b enc_entry ts.t_rows
+
+let dec_table r =
+  let t_name = Codec.R.string r in
+  let t_pk = Codec.R.option r Codec.R.string in
+  let t_schema = Codec.R.list r dec_column in
+  let t_indexed = Codec.R.list r Codec.R.string in
+  let t_rows = Codec.R.list r dec_entry in
+  { t_name; t_pk; t_schema; t_indexed; t_rows }
+
+(* Algebra.t is a pure, closure-free ADT (Algebra + Expr constructors over
+   strings and Values), so Marshal gives deterministic bytes for equal
+   plans — the blob is itself inside the frame's CRC. *)
+let enc_algebra b (alg : Algebra.t) = Codec.W.string b (Marshal.to_string alg [])
+
+let dec_algebra r : Algebra.t =
+  let blob = Codec.R.string r in
+  match (Marshal.from_string blob 0 : Algebra.t) with
+  | alg -> alg
+  | exception _ -> raise (Codec.Corrupt "undecodable query plan")
+
+let enc_query b q =
+  Codec.W.uvarint b q.q_id;
+  Codec.W.string b q.q_name;
+  enc_algebra b q.q_algebra;
+  Codec.W.list b enc_entry q.q_counts;
+  Codec.W.uvarint b q.q_z;
+  Codec.W.list b (fun b entries -> Codec.W.list b enc_entry entries) q.q_nodes
+
+let dec_query r =
+  let q_id = Codec.R.uvarint r in
+  let q_name = Codec.R.string r in
+  let q_algebra = dec_algebra r in
+  let q_counts = Codec.R.list r dec_entry in
+  let q_z = Codec.R.uvarint r in
+  let q_nodes = Codec.R.list r (fun r -> Codec.R.list r dec_entry) in
+  { q_id; q_name; q_algebra; q_counts; q_z; q_nodes }
+
+let encode t =
+  let b = Codec.W.create () in
+  Codec.W.uvarint b t.samples;
+  Codec.W.uvarint b t.steps;
+  Codec.W.uvarint b t.proposed;
+  Codec.W.uvarint b t.accepted;
+  Codec.W.uvarint b t.next_id;
+  Codec.W.string b t.rng;
+  Codec.W.list b enc_table t.tables;
+  Codec.W.list b enc_query t.queries;
+  Codec.frame ~version (Codec.W.contents b)
+
+let decode s =
+  let r = Codec.R.of_string (Codec.unframe ~expect_version:version s) in
+  let samples = Codec.R.uvarint r in
+  let steps = Codec.R.uvarint r in
+  let proposed = Codec.R.uvarint r in
+  let accepted = Codec.R.uvarint r in
+  let next_id = Codec.R.uvarint r in
+  let rng = Codec.R.string r in
+  let tables = Codec.R.list r dec_table in
+  let queries = Codec.R.list r dec_query in
+  if not (Codec.R.at_end r) then
+    raise (Codec.Corrupt "trailing bytes after snapshot payload");
+  { samples; steps; proposed; accepted; next_id; rng; tables; queries }
+
+(* ---------- database image ---------- *)
+
+let capture_tables db =
+  Database.tables db
+  |> List.map (fun tbl ->
+         let schema = Table.schema tbl in
+         let columns =
+           List.map (fun c -> (c.Schema.name, c.Schema.ty)) (Schema.columns schema)
+         in
+         {
+           t_name = Table.name tbl;
+           t_pk = Table.pk_column tbl;
+           t_schema = columns;
+           t_indexed =
+             List.filter (Table.has_index tbl) (Schema.names schema)
+             |> List.sort String.compare;
+           t_rows = Bag.to_list (Table.rows tbl);
+         })
+  |> List.sort (fun a b -> String.compare a.t_name b.t_name)
+
+let restore_db tables =
+  let db = Database.create () in
+  List.iter
+    (fun ts ->
+      let schema =
+        Schema.make
+          (List.map (fun (name, ty) -> { Schema.name; ty }) ts.t_schema)
+      in
+      let tbl = Database.create_table db ?pk:ts.t_pk ~name:ts.t_name schema in
+      List.iter
+        (fun (row, count) ->
+          if count < 0 then
+            raise (Codec.Corrupt (Printf.sprintf "negative row count in %S" ts.t_name));
+          for _ = 1 to count do
+            Table.insert tbl row
+          done)
+        ts.t_rows;
+      List.iter (Table.create_index tbl) ts.t_indexed)
+    tables;
+  db
+
+(* ---------- files ---------- *)
+
+let save ~path t =
+  let data = encode t in
+  let bytes =
+    Obs.Timer.observe m_write_ns (fun () -> Codec.write_file ~path data)
+  in
+  Obs.Metrics.set_gauge m_bytes (float_of_int bytes);
+  bytes
+
+let load ~path =
+  let t = decode (Codec.read_file ~path) in
+  Obs.Metrics.incr m_restores;
+  t

@@ -28,6 +28,22 @@ let estimates m =
   RH.fold (fun row c acc -> (row, float_of_int c /. float_of_int (max 1 m.z)) :: acc) m.counts []
   |> List.sort (fun (a, _) (b, _) -> Row.compare a b)
 
+let counts m =
+  RH.fold (fun row c acc -> (row, c) :: acc) m.counts []
+  |> List.sort (fun (a, _) (b, _) -> Row.compare a b)
+
+let of_counts ~samples entries =
+  if samples < 0 then invalid_arg "Marginals.of_counts: negative sample count";
+  let m = create () in
+  List.iter
+    (fun (row, c) ->
+      if c < 0 || c > samples then
+        invalid_arg "Marginals.of_counts: count outside [0, samples]";
+      if c > 0 then RH.replace m.counts row c)
+    entries;
+  m.z <- samples;
+  m
+
 let merge ms =
   let out = create () in
   List.iter

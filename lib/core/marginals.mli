@@ -21,6 +21,15 @@ val probability : t -> Relational.Row.t -> float
 val estimates : t -> (Relational.Row.t * float) list
 (** All observed tuples with probabilities, sorted by row. *)
 
+val counts : t -> (Relational.Row.t * int) list
+(** The raw per-tuple hit counts, sorted by row — the canonical image a
+    checkpoint stores (probabilities are derived, counts are exact). *)
+
+val of_counts : samples:int -> (Relational.Row.t * int) list -> t
+(** Rebuild an estimator from checkpointed {!counts} and its normalizer.
+    Inverse of [counts]/{!samples}. Raises [Invalid_argument] on a negative
+    normalizer or a count outside [0, samples]. *)
+
 val merge : t list -> t
 (** Pools counts and normalizers across independent chains (§5.4). *)
 

@@ -20,3 +20,10 @@ let walk t ~steps =
 let steps_taken t = t.steps
 let stats t = t.stats
 let acceptance_rate t = Mcmc.Metropolis.acceptance_rate t.stats
+
+let restore_counters t ~steps ~proposed ~accepted =
+  if steps < 0 || proposed < 0 || accepted < 0 || accepted > proposed then
+    invalid_arg "Pdb.restore_counters: inconsistent counters";
+  t.steps <- steps;
+  t.stats.Mcmc.Metropolis.proposed <- proposed;
+  t.stats.Mcmc.Metropolis.accepted <- accepted

@@ -20,3 +20,9 @@ val walk : t -> steps:int -> unit
 val steps_taken : t -> int
 val stats : t -> Mcmc.Metropolis.stats
 val acceptance_rate : t -> float
+
+val restore_counters : t -> steps:int -> proposed:int -> accepted:int -> unit
+(** Overwrite the walk accounting with checkpointed values, so a resumed
+    chain reports the same {!steps_taken} and {!acceptance_rate} it would
+    have uninterrupted. Raises [Invalid_argument] on negative counts or
+    [accepted > proposed]. *)

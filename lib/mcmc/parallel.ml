@@ -1,6 +1,6 @@
 let max_domains = max 1 (Domain.recommended_domain_count () - 1)
 
-exception Job_failed of { index : int; exn : exn }
+exception Job_failed of { index : int; attempts : int; exn : exn }
 
 (* Observability: each worker accumulates locally and folds its totals into
    the shared (atomic) counters when it finishes, so the global values are
@@ -10,26 +10,48 @@ exception Job_failed of { index : int; exn : exn }
 let m_jobs = Obs.Metrics.counter "parallel.jobs"
 let m_domains = Obs.Metrics.counter "parallel.domains"
 let m_job_ns = Obs.Metrics.histogram "parallel.job_ns"
+let m_retries = Obs.Metrics.counter "parallel.retries"
 
-let map ~n f =
+let map ?(retries = 0) ?(backoff_s = 0.) ?on_retry ~n f =
   let results = Array.make n None in
   let next = Atomic.make 0 in
   (* First failure wins; once set, workers stop claiming jobs so sibling
      domains don't burn through the rest of the queue. *)
   let failure = Atomic.make None in
   let obs = Obs.Metrics.enabled () in
+  let call i =
+    if obs then begin
+      let t0 = Obs.Timer.now_ns () in
+      let x = f i in
+      Obs.Metrics.observe m_job_ns (Obs.Timer.now_ns () - t0);
+      x
+    end
+    else f i
+  in
+  (* A job is retried in place, on the domain that claimed it, so resume
+     state a retry reads (e.g. a checkpoint the failed attempt wrote) is
+     never raced by a sibling. [attempt] counts completed failures; the
+     exponential backoff doubles from [backoff_s] on each one. A job still
+     failing after [retries] retries is poison: its last exception is
+     surfaced as {!Job_failed} with the full attempt count, which is how a
+     supervisor tells a deterministic fault from a transient one. *)
   let run_job i =
-    match
-      if obs then begin
-        let t0 = Obs.Timer.now_ns () in
-        let x = f i in
-        Obs.Metrics.observe m_job_ns (Obs.Timer.now_ns () - t0);
-        x
-      end
-      else f i
-    with
-    | x -> results.(i) <- Some x
-    | exception e -> ignore (Atomic.compare_and_set failure None (Some (i, e)) : bool)
+    let rec attempt k =
+      match call i with
+      | x -> results.(i) <- Some x
+      | exception e ->
+        if k >= retries then
+          ignore (Atomic.compare_and_set failure None (Some (i, k + 1, e)) : bool)
+        else begin
+          Obs.Metrics.incr m_retries;
+          (match on_retry with
+          | Some g -> g ~index:i ~attempt:(k + 1) e
+          | None -> ());
+          if backoff_s > 0. then Unix.sleepf (backoff_s *. (2. ** float_of_int k));
+          attempt (k + 1)
+        end
+    in
+    attempt 0
   in
   let stopped () = match Atomic.get failure with Some _ -> true | None -> false in
   let worker () =
@@ -67,7 +89,7 @@ let map ~n f =
     if Obs.Trace.enabled () then Obs.Trace.emit "parallel.join"
   end;
   (match Atomic.get failure with
-  | Some (index, exn) -> raise (Job_failed { index; exn })
+  | Some (index, attempts, exn) -> raise (Job_failed { index; attempts; exn })
   | None -> ());
   Array.to_list (Array.map Option.get results)
 

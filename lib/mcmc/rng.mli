@@ -28,8 +28,19 @@ val shuffle : t -> 'a array -> unit
 
 val raw_state : t -> Random.State.t
 (** The underlying generator, for interop with code that consumes
-    [Random.State.t] directly. *)
+    [Random.State.t] directly. The alias is live only until the next
+    {!import}, so use it within one evaluation, not across checkpoints. *)
 
 val log_uniform : t -> float
 (** log of a uniform draw, never [-inf]; compare against log acceptance
     ratios without exponentiating. *)
+
+val export : t -> string
+(** Opaque binary image of the current stream position, for checkpointing.
+    Exporting the same state always yields the same bytes. *)
+
+val import : t -> string -> unit
+(** Replace this generator's state in place with a previously {!export}ed
+    image — every closure holding the generator continues on the restored
+    stream, which is what lets a resumed MCMC chain replay bit-identically.
+    Raises [Invalid_argument] on an undecodable blob. *)

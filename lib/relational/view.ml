@@ -81,8 +81,13 @@ let result v = v.root.current
 let algebra v = v.alg
 
 (* ------------------------------------------------------------------ *)
-(* Construction: build the stateful tree bottom-up; each node's [current]
-   holds its full initial result, which parents fold into their own state. *)
+(* Construction in two phases. [build_shell] decides pure structure only —
+   operator kinds, join strategies, schemas, footprints — leaving every
+   [current], index, and accumulator empty; [reset_node] then initializes
+   all of that state bottom-up from the database. Splitting them is what
+   lets a checkpoint restore ([of_states]) reuse the identical structural
+   decisions while filling [current] from snapshot bags instead of
+   re-evaluating anything. *)
 
 let cj_count info k = Option.value ~default:0 (VH.find_opt info.sub_counts k)
 
@@ -95,38 +100,37 @@ let canonical_footprint db alg =
     (fun acc t -> union_fp acc [ Table.name (Database.table db t) ])
     [] (Algebra.base_tables alg)
 
-let rec build db (alg : Algebra.t) : node =
+let empty_bag () = Bag.create ~size:1 ()
+
+let rec build_shell db (alg : Algebra.t) : node =
   match alg with
   | Scan { table; _ } ->
     let t = Database.table db table in
     let name = Table.name t in
     { alg; schema = Algebra.output_schema db alg; kind = K_scan name;
-      current = Table.rows t; footprint = [ name ] }
+      current = empty_bag (); footprint = [ name ] }
   | Select (p, child_alg) ->
     let schema = Algebra.output_schema db alg in
-    let child = build db child_alg in
+    let child = build_shell db child_alg in
     let keep = Expr.bind_pred child.schema p in
-    { alg; schema; kind = K_select (keep, child);
-      current = Bag.filter keep child.current; footprint = child.footprint }
+    { alg; schema; kind = K_select (keep, child); current = empty_bag ();
+      footprint = child.footprint }
   | Project (cols, child_alg) ->
     let schema = Algebra.output_schema db alg in
-    let child = build db child_alg in
+    let child = build_shell db child_alg in
     let _, positions = Schema.project child.schema cols in
-    { alg; schema; kind = K_project (positions, child);
-      current = Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) child.current;
+    { alg; schema; kind = K_project (positions, child); current = empty_bag ();
       footprint = child.footprint }
   | Product (a, b) ->
     let schema = Algebra.output_schema db alg in
-    let left = build db a in
-    let right = build db b in
-    let r = Eval.join_bags left.schema right.schema left.current right.current in
+    let left = build_shell db a in
+    let right = build_shell db b in
     { alg; schema; kind = K_join { pred = None; left; right; strategy = J_nested };
-      current = r.Eval.bag; footprint = union_fp left.footprint right.footprint }
+      current = empty_bag (); footprint = union_fp left.footprint right.footprint }
   | Join (p, a, b) ->
     let schema = Algebra.output_schema db alg in
-    let left = build db a in
-    let right = build db b in
-    let r = Eval.join_bags ~pred:p left.schema right.schema left.current right.current in
+    let left = build_shell db a in
+    let right = build_shell db b in
     let strategy =
       match Expr.equi_join_pairs p ~left:left.schema ~right:right.schema with
       | Some (pairs, residual) ->
@@ -137,90 +141,59 @@ let rec build db (alg : Algebra.t) : node =
         in
         J_indexed
           { left_pos; right_pos;
-            left_idx = Key_index.of_bag left_pos left.current;
-            right_idx = Key_index.of_bag right_pos right.current;
+            left_idx = Key_index.create left_pos;
+            right_idx = Key_index.create right_pos;
             keep }
       | None -> J_nested
     in
     { alg; schema; kind = K_join { pred = Some p; left; right; strategy };
-      current = r.Eval.bag; footprint = union_fp left.footprint right.footprint }
+      current = empty_bag (); footprint = union_fp left.footprint right.footprint }
   | Distinct child_alg ->
     let schema = Algebra.output_schema db alg in
-    let child = build db child_alg in
-    let out = Bag.create () in
-    Bag.iter (fun r c -> if c > 0 then Bag.add out r) child.current;
-    { alg; schema; kind = K_distinct child; current = out; footprint = child.footprint }
+    let child = build_shell db child_alg in
+    { alg; schema; kind = K_distinct child; current = empty_bag ();
+      footprint = child.footprint }
   | Union (a, b) ->
     let schema = Algebra.output_schema db alg in
-    let left = build db a in
-    let right = build db b in
-    let out = Bag.copy left.current in
-    Bag.add_bag out right.current;
-    { alg; schema; kind = K_union (left, right); current = out;
+    let left = build_shell db a in
+    let right = build_shell db b in
+    { alg; schema; kind = K_union (left, right); current = empty_bag ();
       footprint = union_fp left.footprint right.footprint }
   | Diff _ ->
     let schema = Algebra.output_schema db alg in
-    let r = Eval.eval db alg in
-    { alg; schema; kind = K_recompute; current = Bag.copy r.Eval.bag;
+    { alg; schema; kind = K_recompute; current = empty_bag ();
       footprint = canonical_footprint db alg }
   | Group_by { keys; aggs; child = child_alg } ->
     let schema = Algebra.output_schema db alg in
-    let child = build db child_alg in
+    let child = build_shell db child_alg in
     let keys_pos = Array.of_list (List.map (Schema.index_of child.schema) keys) in
     let spec = Group_acc.spec_of child.schema aggs in
-    let groups = RH.create 64 in
-    Bag.iter
-      (fun row c ->
-        let k = Array.map (fun i -> Row.get row i) keys_pos in
-        let acc =
-          match RH.find_opt groups k with
-          | Some a -> a
-          | None ->
-            let a = Group_acc.create spec in
-            RH.replace groups k a;
-            a
-        in
-        Group_acc.add spec acc row c)
-      child.current;
-    let global = keys = [] in
-    if global && RH.length groups = 0 then RH.replace groups [||] (Group_acc.create spec);
-    let out = Bag.create () in
-    RH.iter (fun k acc -> Bag.add out (Array.append k (Group_acc.finalize spec acc))) groups;
-    { alg; schema; kind = K_group { g_child = child; keys_pos; spec; groups; global };
-      current = out; footprint = child.footprint }
+    { alg; schema;
+      kind =
+        K_group
+          { g_child = child; keys_pos; spec; groups = RH.create 64; global = keys = [] };
+      current = empty_bag (); footprint = child.footprint }
   | Order_by { limit = None; child = child_alg; _ } ->
     (* Without a limit, ordering does not change the multiset; validate the
        sort keys eagerly, then maintain the child directly. *)
     ignore (Algebra.output_schema db alg : Schema.t);
-    build db child_alg
+    build_shell db child_alg
   | Order_by { limit = Some _; _ } ->
     let schema = Algebra.output_schema db alg in
-    let r = Eval.eval db alg in
-    { alg; schema; kind = K_recompute; current = Bag.copy r.Eval.bag;
+    { alg; schema; kind = K_recompute; current = empty_bag ();
       footprint = canonical_footprint db alg }
   | Count_join { child = child_alg; key; sub = sub_alg; sub_key; _ } ->
     let schema = Algebra.output_schema db alg in
-    let child = build db child_alg in
-    let sub = build db sub_alg in
+    let child = build_shell db child_alg in
+    let sub = build_shell db sub_alg in
     let key_pos = Schema.index_of child.schema key in
     let sub_key_pos = Schema.index_of sub.schema sub_key in
-    let info =
-      { c_child = child; c_sub = sub; key_pos; sub_key_pos;
-        sub_counts = VH.create 64; child_idx = Key_index.create [| key_pos |] }
-    in
-    Bag.iter
-      (fun row c ->
-        let k = Row.get row sub_key_pos in
-        VH.replace info.sub_counts k (c + cj_count info k))
-      sub.current;
-    Key_index.add_bag info.child_idx child.current;
-    let out = Bag.create () in
-    Bag.iter
-      (fun row c ->
-        Bag.add ~count:c out (Array.append row [| Value.Int (cj_count info (Row.get row key_pos)) |]))
-      child.current;
-    { alg; schema; kind = K_count_join info; current = out;
-      footprint = union_fp child.footprint sub.footprint }
+    { alg; schema;
+      kind =
+        K_count_join
+          { c_child = child; c_sub = sub; key_pos; sub_key_pos;
+            sub_counts = VH.create 64; child_idx = Key_index.create [| key_pos |] };
+      current = empty_bag (); footprint = union_fp child.footprint sub.footprint }
 
 (* ------------------------------------------------------------------ *)
 (* Delta propagation.  [delta db node d] returns the signed change of the
@@ -435,10 +408,6 @@ and delta_node db node (d : Delta.t) : Bag.t =
     Key_index.add_bag info.child_idx dchild;
     out
 
-let create db alg =
-  let root = build db alg in
-  { db; alg; root; vschema = root.schema }
-
 let children node =
   match node.kind with
   | K_scan _ | K_recompute -> []
@@ -545,3 +514,87 @@ let rec reset_node db node : unit =
     node.current <- out
 
 let refresh v = reset_node v.db v.root
+
+let create db alg =
+  let root = build_shell db alg in
+  reset_node db root;
+  { db; alg; root; vschema = root.schema }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing. A view's restorable state is exactly the materialized
+   bags of its non-scan nodes (scan nodes alias live base tables, which the
+   checkpoint stores once, database-side); join indexes, group
+   accumulators, and COUNT-subquery maps are all derivable from those bags
+   without evaluating anything. Both directions traverse the tree in
+   pre-order, so the state list is positional against [build_shell] of the
+   same algebra. *)
+
+let rec fold_nodes f acc node = List.fold_left (fold_nodes f) (f acc node) (children node)
+
+let node_states v =
+  List.rev
+    (fold_nodes
+       (fun acc node ->
+         match node.kind with K_scan _ -> acc | _ -> Bag.copy node.current :: acc)
+       [] v.root)
+
+let rec fill_states db node states =
+  let states =
+    match node.kind with
+    | K_scan table ->
+      node.current <- Table.rows (Database.table db table);
+      states
+    | _ -> (
+      match states with
+      | bag :: rest ->
+        node.current <- Bag.copy bag;
+        rest
+      | [] -> failwith "View.of_states: too few node states for this plan")
+  in
+  List.fold_left (fun sts c -> fill_states db c sts) states (children node)
+
+(* Children first, so parent auxiliaries read fully restored child bags. *)
+let rec rebuild_aux node =
+  List.iter rebuild_aux (children node);
+  match node.kind with
+  | K_scan _ | K_select _ | K_project _ | K_distinct _ | K_union _ | K_recompute -> ()
+  | K_join { strategy = J_nested; _ } -> ()
+  | K_join { strategy = J_indexed { left_idx; right_idx; _ }; left; right; _ } ->
+    Key_index.clear left_idx;
+    Key_index.add_bag left_idx left.current;
+    Key_index.clear right_idx;
+    Key_index.add_bag right_idx right.current
+  | K_group info ->
+    RH.reset info.groups;
+    Bag.iter
+      (fun row c ->
+        let k = Array.map (fun i -> Row.get row i) info.keys_pos in
+        let acc =
+          match RH.find_opt info.groups k with
+          | Some a -> a
+          | None ->
+            let a = Group_acc.create info.spec in
+            RH.replace info.groups k a;
+            a
+        in
+        Group_acc.add info.spec acc row c)
+      info.g_child.current;
+    if info.global && RH.length info.groups = 0 then
+      RH.replace info.groups [||] (Group_acc.create info.spec)
+  | K_count_join info ->
+    VH.reset info.sub_counts;
+    Bag.iter
+      (fun row c ->
+        let k = Row.get row info.sub_key_pos in
+        VH.replace info.sub_counts k (c + cj_count info k))
+      info.c_sub.current;
+    Key_index.clear info.child_idx;
+    Key_index.add_bag info.child_idx info.c_child.current
+
+let of_states db alg states =
+  let root = build_shell db alg in
+  (match fill_states db root states with
+  | [] -> ()
+  | _ :: _ -> failwith "View.of_states: too many node states for this plan");
+  rebuild_aux root;
+  { db; alg; root; vschema = root.schema }

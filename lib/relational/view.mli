@@ -51,3 +51,18 @@ val refresh : t -> unit
 (** Recomputes the view from scratch (used to re-anchor, and by tests). *)
 
 val algebra : t -> Algebra.t
+
+val node_states : t -> Bag.t list
+(** The complete restorable state of the view: one materialized bag per
+    non-scan node, in pre-order (scan nodes alias live base tables and are
+    the database's to checkpoint). Join indexes and aggregation
+    accumulators are derivable and deliberately excluded. The returned
+    bags are copies — safe to serialize while the view keeps updating. *)
+
+val of_states : Database.t -> Algebra.t -> Bag.t list -> t
+(** Rebuild a view over [db] from {!node_states} of an identical plan
+    captured when [db] was in its current state — {e without} evaluating
+    the query: structure comes from the algebra, materialized results from
+    the state list, and auxiliary indexes are reconstructed from those
+    bags. Raises [Failure] when the state list does not match the plan
+    shape. *)

@@ -1,15 +1,76 @@
-let evaluate ?(burn_in = 0) ~chains ~make ~queries ~thin ~samples () =
-  let per_chain =
-    Mcmc.Parallel.map ~n:chains (fun i ->
-        let pdb = make ~chain:i in
-        if burn_in > 0 then Core.Pdb.walk pdb ~steps:burn_in;
-        (* Registry.create discards the burn-in delta — those updates are
-           already part of the state the views bootstrap from. *)
-        let reg = Registry.create pdb in
-        let ids = List.map (fun (name, q) -> Registry.register ~name reg q) queries in
-        Registry.run reg ~thin ~samples;
-        List.map (fun id -> Registry.marginals reg id) ids)
+(* Supervision metric (docs/OBSERVABILITY.md): "checkpoint.retry.count"
+   counts chain restarts granted by the durability config — distinct from
+   "parallel.retries", which counts every retried job across all users of
+   Mcmc.Parallel. *)
+let m_retry = Obs.Metrics.counter "checkpoint.retry.count"
+
+type durability = {
+  dir : string;
+  every : int;
+  resume : bool;
+  retries : int;
+  backoff_s : float;
+  remake : chain:int -> Relational.Database.t -> Core.Pdb.t;
+}
+
+let chain_path d chain = Filename.concat d.dir (Printf.sprintf "chain-%d.ckpt" chain)
+
+let evaluate ?(burn_in = 0) ?durability ~chains ~make ~queries ~thin ~samples () =
+  (* Fresh-start path for one chain: build, burn in, register everything. *)
+  let fresh i =
+    let pdb = make ~chain:i in
+    if burn_in > 0 then Core.Pdb.walk pdb ~steps:burn_in;
+    (* Registry.create discards the burn-in delta — those updates are
+       already part of the state the views bootstrap from. *)
+    let reg = Registry.create pdb in
+    List.iter (fun (name, q) -> ignore (Registry.register ~name reg q : Registry.query_id)) queries;
+    reg
   in
+  let run_plain i =
+    let reg = fresh i in
+    Registry.run reg ~thin ~samples;
+    reg
+  in
+  let per_chain =
+    match durability with
+    | None -> Mcmc.Parallel.map ~n:chains run_plain
+    | Some d ->
+        if d.every < 0 then invalid_arg "Serve.Pool: negative checkpoint interval";
+        (* attempts.(i) > 0 marks a supervised restart: the retried job must
+           resume from the checkpoint its crashed predecessor left behind even
+           when the caller did not ask to resume a previous process's run.
+           Written by on_retry and read by the retried job on the same domain
+           (Parallel.map retries in place), so no synchronization is needed. *)
+        let attempts = Array.make chains 0 in
+        let on_retry ~index ~attempt _exn =
+          attempts.(index) <- attempt;
+          Obs.Metrics.incr m_retry
+        in
+        let run_durable i =
+          let path = chain_path d i in
+          let reg =
+            if Sys.file_exists path && (d.resume || attempts.(i) > 0) then
+              Registry.restore
+                ~make_pdb:(fun db -> d.remake ~chain:i db)
+                (Checkpoint.State.load ~path)
+            else fresh i
+          in
+          for s = Registry.samples reg + 1 to samples do
+            Checkpoint.Failpoint.hit "pool.sample" ~index:s;
+            Registry.step reg ~thin;
+            if d.every > 0 && s mod d.every = 0 then
+              ignore (Checkpoint.State.save ~path (Registry.snapshot reg) : int)
+          done;
+          ignore (Checkpoint.State.save ~path (Registry.snapshot reg) : int);
+          reg
+        in
+        Mcmc.Parallel.map ~retries:d.retries ~backoff_s:d.backoff_s ~on_retry
+          ~n:chains run_durable
+  in
+  let marginals_of reg =
+    List.map (fun (id, _) -> Registry.marginals reg id) (Registry.queries reg)
+  in
+  let per_chain = List.map marginals_of per_chain in
   List.mapi
     (fun qi (name, _) ->
       (name, Core.Marginals.merge (List.map (fun ms -> List.nth ms qi) per_chain)))

@@ -7,10 +7,46 @@
     one {!Serve.Registry}, samples, and the per-query marginals are
     pooled across chains with {!Core.Marginals.merge}. Chains may stop at
     different times in a live deployment, so the merge must (and does)
-    pool unequal sample counts — the normalizers add. *)
+    pool unequal sample counts — the normalizers add.
+
+    {2 Durability}
+
+    With a {!durability} config the pool becomes a supervisor: each chain
+    checkpoints its full serving state ({!Registry.snapshot}) to
+    [dir/chain-<i>.ckpt] every [every] samples and once at completion,
+    and a chain that raises mid-run is retried in place up to [retries]
+    times with exponential backoff ([backoff_s], doubling per attempt) —
+    each retry resumes from the chain's last on-disk snapshot, so at most
+    [every] samples of work are repeated and the resumed trajectory is
+    the checkpointed chain's own. [resume = true] additionally picks up
+    checkpoints left by a {e previous} process (warm restart); otherwise
+    a pre-existing file is ignored until a crash makes it the recovery
+    point. A chain that keeps failing past its retry budget surfaces as
+    [Mcmc.Parallel.Job_failed], whose [attempts] count distinguishes a
+    poison chain from exhausted transient faults.
+
+    Each sample index passes the ["pool.sample"] failpoint
+    ({!Checkpoint.Failpoint}), which is how the fault-injection tests
+    kill a chain at an exact point in the stream.
+
+    Metrics: [checkpoint.retry.count] (restarts granted here) on top of
+    the [checkpoint.*] write/restore metrics recorded by
+    {!Checkpoint.State} (docs/OBSERVABILITY.md). *)
+
+type durability = {
+  dir : string;  (** directory for [chain-<i>.ckpt] files; must exist *)
+  every : int;  (** checkpoint period in samples; 0 = only at completion *)
+  resume : bool;  (** adopt checkpoints from a previous process at startup *)
+  retries : int;  (** crash retries per chain beyond the first attempt *)
+  backoff_s : float;  (** initial retry backoff, doubling per attempt *)
+  remake : chain:int -> Relational.Database.t -> Core.Pdb.t;
+      (** rebuild chain [i]'s PDB {e over} a restored database — the
+          constructor behind {!Registry.restore}'s [make_pdb] *)
+}
 
 val evaluate :
   ?burn_in:int ->
+  ?durability:durability ->
   chains:int ->
   make:(chain:int -> Core.Pdb.t) ->
   queries:(string * Relational.Algebra.t) list ->
@@ -22,4 +58,4 @@ val evaluate :
     and RNG) per chain index; chains run on separate domains
     ({!Mcmc.Parallel.map}). Returns the input queries in order, each with
     marginals pooled over all [chains] ([chains × (samples + 1)]
-    observations per query). *)
+    observations per query when uninterrupted). *)

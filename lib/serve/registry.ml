@@ -110,3 +110,79 @@ let run ?on_sample t ~thin ~samples =
     step t ~thin;
     match on_sample with None -> () | Some f -> f i
   done
+
+(* ---------- durability (lib/checkpoint) ---------- *)
+
+let snapshot t =
+  (* Bring every view up to the database's believed state first, so the
+     captured node bags and the captured tables describe the same world. *)
+  absorb_pending t;
+  let stats = Core.Pdb.stats t.pdb in
+  {
+    Checkpoint.State.samples = t.samples;
+    steps = Core.Pdb.steps_taken t.pdb;
+    proposed = stats.Mcmc.Metropolis.proposed;
+    accepted = stats.Mcmc.Metropolis.accepted;
+    next_id = t.next_id;
+    rng = Mcmc.Rng.export (Core.Pdb.rng t.pdb);
+    tables = Checkpoint.State.capture_tables (Core.Pdb.db t.pdb);
+    queries =
+      List.map
+        (fun e ->
+          {
+            Checkpoint.State.q_id = e.id;
+            q_name = e.name;
+            q_algebra = View.algebra e.view;
+            q_counts = Core.Marginals.counts e.marginals;
+            q_z = Core.Marginals.samples e.marginals;
+            q_nodes = List.map Bag.to_list (View.node_states e.view);
+          })
+        t.entries;
+  }
+
+let bag_of_entries entries =
+  let b = Bag.create () in
+  List.iter (fun (row, count) -> Bag.add ~count b row) entries;
+  b
+
+let restore ~make_pdb snap =
+  let db = Checkpoint.State.restore_db snap.Checkpoint.State.tables in
+  (* The model and proposal read current field values at construction time
+     (label mirrors, variable assignments), so building them over the
+     restored database leaves them consistent with it; importing the
+     generator afterwards makes the resumed walk draw the checkpointed
+     chain's exact trajectory. *)
+  let pdb = make_pdb db in
+  if Core.Pdb.db pdb != db then
+    invalid_arg "Serve.Registry.restore: make_pdb must build over the restored database";
+  Mcmc.Rng.import (Core.Pdb.rng pdb) snap.Checkpoint.State.rng;
+  Core.Pdb.restore_counters pdb ~steps:snap.Checkpoint.State.steps
+    ~proposed:snap.Checkpoint.State.proposed
+    ~accepted:snap.Checkpoint.State.accepted;
+  ignore (Core.World.drain_delta (Core.Pdb.world pdb) : Delta.t);
+  let entries =
+    List.map
+      (fun q ->
+        (* View.of_states: structure from the plan, materialized results
+           from the snapshot — no bootstrap evaluation. *)
+        let view =
+          View.of_states db q.Checkpoint.State.q_algebra
+            (List.map bag_of_entries q.Checkpoint.State.q_nodes)
+        in
+        let marginals =
+          Core.Marginals.of_counts ~samples:q.Checkpoint.State.q_z
+            q.Checkpoint.State.q_counts
+        in
+        { id = q.Checkpoint.State.q_id; name = q.Checkpoint.State.q_name; view; marginals })
+      snap.Checkpoint.State.queries
+  in
+  let t =
+    {
+      pdb;
+      entries;
+      next_id = snap.Checkpoint.State.next_id;
+      samples = snap.Checkpoint.State.samples;
+    }
+  in
+  record_queries t;
+  t

@@ -74,3 +74,28 @@ val step : t -> thin:int -> unit
 val run : ?on_sample:(int -> unit) -> t -> thin:int -> samples:int -> unit
 (** [samples] consecutive {!step}s; [on_sample] (called with 1-based
     index after each step) may register/unregister queries. *)
+
+(** {1 Durability}
+
+    A registry checkpoints into a {!Checkpoint.State.t} and resumes from
+    one with {e zero} bootstrap evaluations: views are rebuilt from their
+    materialized node bags ([Relational.View.of_states]), marginals from
+    their raw counts, and the chain's generator state is imported so the
+    resumed walk is sample-path identical to an uninterrupted one. *)
+
+val snapshot : t -> Checkpoint.State.t
+(** Capture the full serving state: the database image, MH accounting,
+    generator state, and every query's plan, marginal counts, and
+    materialized view state. Any pending world delta is absorbed into the
+    views first so tables and node bags describe the same world. Call
+    between {!step}s (not from inside [on_sample] mid-walk). *)
+
+val restore : make_pdb:(Relational.Database.t -> Core.Pdb.t) -> Checkpoint.State.t -> t
+(** Rebuild a registry from a snapshot. [make_pdb db] must construct the
+    chain (world, model, proposal, rng) {e over} the restored database
+    [db] it is given — the same constructor used for a fresh chain, minus
+    the synthetic data generation; the generator it creates is then
+    overwritten with the snapshot's. Performs no query evaluation
+    ([serve.bootstrap_evals] does not move). Raises [Invalid_argument] if
+    [make_pdb] ignores its database argument, and [Checkpoint.Codec.Corrupt]
+    if the snapshot is internally inconsistent. *)

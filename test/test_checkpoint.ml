@@ -1,0 +1,465 @@
+(* Tests for the durability layer (lib/checkpoint + Serve durability):
+   the codec round-trips and detects corruption; snapshot -> restore ->
+   snapshot is byte-identical for random worlds and views; a chain killed
+   at an exact sample index by the failpoint and resumed from its last
+   checkpoint produces bit-identical marginals to an uninterrupted run,
+   with zero bootstrap evaluations paid on restore. *)
+
+open Relational
+open Core
+open Checkpoint
+
+let r vs = Row.make vs
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives and framing *)
+
+let test_codec_roundtrip () =
+  let b = Codec.W.create () in
+  Codec.W.u8 b 0xAB;
+  List.iter (Codec.W.uvarint b) [ 0; 1; 127; 128; 300; 1 lsl 40 ];
+  List.iter (Codec.W.varint b) [ 0; -1; 1; -64; 64; min_int + 1; max_int ];
+  List.iter (Codec.W.float b) [ 0.; -0.; 1.5; infinity; neg_infinity; nan; 1e-300 ];
+  Codec.W.string b "";
+  Codec.W.string b "hello \x00 world";
+  Codec.W.bool b true;
+  Codec.W.option b Codec.W.string None;
+  Codec.W.option b Codec.W.string (Some "x");
+  Codec.W.list b Codec.W.uvarint [ 3; 1; 4; 1; 5 ];
+  let r = Codec.R.of_string (Codec.W.contents b) in
+  Alcotest.(check int) "u8" 0xAB (Codec.R.u8 r);
+  List.iter
+    (fun n -> Alcotest.(check int) "uvarint" n (Codec.R.uvarint r))
+    [ 0; 1; 127; 128; 300; 1 lsl 40 ];
+  List.iter
+    (fun n -> Alcotest.(check int) "varint" n (Codec.R.varint r))
+    [ 0; -1; 1; -64; 64; min_int + 1; max_int ];
+  List.iter
+    (fun x ->
+      let y = Codec.R.float r in
+      Alcotest.(check int64) "float bits" (Int64.bits_of_float x) (Int64.bits_of_float y))
+    [ 0.; -0.; 1.5; infinity; neg_infinity; nan; 1e-300 ];
+  Alcotest.(check string) "empty string" "" (Codec.R.string r);
+  Alcotest.(check string) "string" "hello \x00 world" (Codec.R.string r);
+  Alcotest.(check bool) "bool" true (Codec.R.bool r);
+  Alcotest.(check (option string)) "none" None (Codec.R.option r Codec.R.string);
+  Alcotest.(check (option string)) "some" (Some "x") (Codec.R.option r Codec.R.string);
+  Alcotest.(check (list int)) "list" [ 3; 1; 4; 1; 5 ] (Codec.R.list r Codec.R.uvarint);
+  Alcotest.(check bool) "exhausted" true (Codec.R.at_end r)
+
+let test_frame_detects_corruption () =
+  let payload = "some checkpoint payload bytes" in
+  let framed = Codec.frame ~version:1 payload in
+  Alcotest.(check string) "frame round-trip" payload
+    (Codec.unframe ~expect_version:1 framed);
+  (* Flipping any byte must trip the CRC (or the magic/length checks). *)
+  for i = 0 to String.length framed - 1 do
+    let broken = Bytes.of_string framed in
+    Bytes.set broken i (Char.chr (Char.code (Bytes.get broken i) lxor 0x40));
+    match Codec.unframe ~expect_version:1 (Bytes.to_string broken) with
+    | _ -> Alcotest.failf "corruption at byte %d went undetected" i
+    | exception Codec.Corrupt _ -> ()
+  done;
+  (match Codec.unframe ~expect_version:2 framed with
+  | _ -> Alcotest.fail "version mismatch accepted"
+  | exception Codec.Corrupt _ -> ());
+  match Codec.unframe ~expect_version:1 (String.sub framed 0 10) with
+  | _ -> Alcotest.fail "truncation accepted"
+  | exception Codec.Corrupt _ -> ()
+
+let test_atomic_write () =
+  let path = Filename.temp_file "ckpt_test" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let n = Codec.write_file ~path "first" in
+  Alcotest.(check int) "bytes written" 5 n;
+  ignore (Codec.write_file ~path "second" : int);
+  Alcotest.(check string) "replaced atomically" "second" (Codec.read_file ~path);
+  Alcotest.(check bool) "no temp file left" false (Sys.file_exists (path ^ ".tmp"))
+
+(* ------------------------------------------------------------------ *)
+(* The color-model world of test_serve, with a seeded random initial
+   coloring so qcheck explores genuinely different worlds. *)
+
+let color_domain = Factorgraph.Domain.make [ "red"; "blue" ]
+let color_field i = Field.make ~table:"ITEM" ~key:(Value.Int i) ~column:"color"
+
+let small_db ~n_items ~coloring () =
+  let db = Database.create () in
+  let schema =
+    Schema.make
+      [ { Schema.name = "id"; ty = Value.T_int };
+        { Schema.name = "color"; ty = Value.T_text } ]
+  in
+  let t = Database.create_table db ~pk:"id" ~name:"ITEM" schema in
+  for i = 0 to n_items - 1 do
+    let color = if (coloring lsr i) land 1 = 0 then "red" else "blue" in
+    Table.insert t (r [ Value.Int i; Value.Text color ])
+  done;
+  db
+
+(* Build the chain over an existing ITEM database — the restore-side
+   constructor as well as the fresh-start one. *)
+let pdb_over_db ~n_items ~seed db =
+  let world = World.create db in
+  let gp = Graph_pdb.create world in
+  let vars =
+    Array.init n_items (fun i -> Graph_pdb.bind gp (color_field i) color_domain)
+  in
+  let g = Graph_pdb.graph gp in
+  Array.iter
+    (fun v -> ignore (Factorgraph.Graph.add_table_factor g ~scope:[| v |] [| 0.; 0.7 |]))
+    vars;
+  for i = 0 to n_items - 2 do
+    ignore
+      (Factorgraph.Graph.add_table_factor g ~scope:[| vars.(i); vars.(i + 1) |]
+         [| 1.0; 0.; 0.; 1.0 |])
+  done;
+  Pdb.create ~world ~proposal:(Graph_pdb.flip_proposal gp) ~rng:(Mcmc.Rng.create seed)
+
+let build_pdb ?(n_items = 4) ?(coloring = 0) ~seed () =
+  pdb_over_db ~n_items ~seed (small_db ~n_items ~coloring ())
+
+let test_queries =
+  [ "SELECT id FROM ITEM WHERE color='blue'";
+    "SELECT color, COUNT(*) AS n FROM ITEM GROUP BY color";
+    "SELECT T1.id FROM ITEM T1, ITEM T2 WHERE T1.color=T2.color AND T1.id=0" ]
+
+let make_registry ?(n_items = 4) ?(coloring = 0) ~seed () =
+  let reg = Serve.Registry.create (build_pdb ~n_items ~coloring ~seed ()) in
+  List.iter
+    (fun sql -> ignore (Serve.Registry.register_sql reg sql : Serve.Registry.query_id))
+    test_queries;
+  reg
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot round-trips *)
+
+(* qcheck: for random worlds (size, coloring, seed, samples walked), the
+   snapshot of a restored registry is byte-identical to the snapshot it
+   was restored from — the canonical-encoding contract that makes the CRC
+   and the resume-determinism guarantees meaningful. *)
+let prop_snapshot_roundtrip_byte_identical =
+  QCheck.Test.make ~name:"checkpoint: snapshot/restore/snapshot byte-identical"
+    ~count:40
+    QCheck.(
+      quad (int_range 2 6) (int_range 0 63) (int_range 0 10_000) (int_range 0 25))
+    (fun (n_items, coloring, seed, samples) ->
+      let reg = make_registry ~n_items ~coloring ~seed () in
+      Serve.Registry.run reg ~thin:3 ~samples;
+      let snap = Serve.Registry.snapshot reg in
+      let bytes = Checkpoint.State.encode snap in
+      let reg' =
+        Serve.Registry.restore
+          ~make_pdb:(fun db -> pdb_over_db ~n_items ~seed db)
+          (Checkpoint.State.decode bytes)
+      in
+      let bytes' = Checkpoint.State.encode (Serve.Registry.snapshot reg') in
+      String.equal bytes bytes')
+
+let estimates_exactly_equal msg a b =
+  let ea = Marginals.estimates a and eb = Marginals.estimates b in
+  Alcotest.(check int) (msg ^ ": same support") (List.length ea) (List.length eb);
+  List.iter2
+    (fun (ra, pa) (rb, pb) ->
+      if not (Row.equal ra rb) || pa <> pb then
+        Alcotest.failf "%s: estimates differ at %s (%.17g vs %.17g)" msg
+          (Row.to_string ra) pa pb)
+    ea eb;
+  Alcotest.(check int) (msg ^ ": same z") (Marginals.samples a) (Marginals.samples b)
+
+(* A restored registry must continue the chain exactly: walk both the
+   original and its restored clone and compare every query's estimates. *)
+let test_restore_continues_stream () =
+  let reg = make_registry ~seed:91 () in
+  Serve.Registry.run reg ~thin:5 ~samples:20;
+  let reg' =
+    Serve.Registry.restore
+      ~make_pdb:(fun db -> pdb_over_db ~n_items:4 ~seed:91 db)
+      (Checkpoint.State.decode (Checkpoint.State.encode (Serve.Registry.snapshot reg)))
+  in
+  Alcotest.(check int) "samples restored" 20 (Serve.Registry.samples reg');
+  Alcotest.(check int) "steps restored" (Pdb.steps_taken (Serve.Registry.pdb reg))
+    (Pdb.steps_taken (Serve.Registry.pdb reg'));
+  Serve.Registry.run reg ~thin:5 ~samples:15;
+  Serve.Registry.run reg' ~thin:5 ~samples:15;
+  List.iter2
+    (fun sql (id, id') ->
+      estimates_exactly_equal sql
+        (Serve.Registry.marginals reg id)
+        (Serve.Registry.marginals reg' id'))
+    test_queries
+    (List.combine
+       (List.map fst (Serve.Registry.queries reg))
+       (List.map fst (Serve.Registry.queries reg')))
+
+let test_snapshot_file_corruption_detected () =
+  let reg = make_registry ~seed:17 () in
+  Serve.Registry.run reg ~thin:3 ~samples:5;
+  let path = Filename.temp_file "ckpt_test" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  ignore (Checkpoint.State.save ~path (Serve.Registry.snapshot reg) : int);
+  ignore (Checkpoint.State.load ~path : Checkpoint.State.t);
+  let data = Codec.read_file ~path in
+  let broken = Bytes.of_string data in
+  let mid = Bytes.length broken / 2 in
+  Bytes.set broken mid (Char.chr (Char.code (Bytes.get broken mid) lxor 0x01));
+  ignore (Codec.write_file ~path (Bytes.to_string broken) : int);
+  match Checkpoint.State.load ~path with
+  | _ -> Alcotest.fail "bit flip in snapshot file went undetected"
+  | exception Codec.Corrupt _ -> ()
+
+let test_restore_db_shape () =
+  let db = small_db ~n_items:4 ~coloring:0b0101 () in
+  Table.create_index (Database.table db "ITEM") "color";
+  let db' = Checkpoint.State.restore_db (Checkpoint.State.capture_tables db) in
+  let t' = Database.table db' "ITEM" in
+  Alcotest.(check (option string)) "pk restored" (Some "id") (Table.pk_column t');
+  Alcotest.(check bool) "index restored" true (Table.has_index t' "color");
+  Alcotest.(check bool) "rows restored" true
+    (Bag.equal (Table.rows (Database.table db "ITEM")) (Table.rows t'));
+  Alcotest.(check bool) "pk lookup works" true
+    (Table.find_by_pk t' (Value.Int 2) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Failpoint *)
+
+let test_failpoint_one_shot () =
+  Failpoint.disarm ();
+  Failpoint.hit "x" ~index:3;
+  Failpoint.arm ~name:"x" ~at:3 ();
+  Alcotest.(check (option (pair string int))) "armed" (Some ("x", 3)) (Failpoint.armed ());
+  Failpoint.hit "x" ~index:2;
+  Failpoint.hit "y" ~index:3;
+  (match Failpoint.hit "x" ~index:3 with
+  | () -> Alcotest.fail "armed failpoint did not fire"
+  | exception Failpoint.Injected { name; index } ->
+    Alcotest.(check string) "name" "x" name;
+    Alcotest.(check int) "index" 3 index);
+  (* One-shot: the same index passes on the next visit, so a resumed chain
+     does not re-crash forever. *)
+  Failpoint.hit "x" ~index:3;
+  Alcotest.(check (option (pair string int))) "disarmed after firing" None
+    (Failpoint.armed ())
+
+let test_failpoint_env () =
+  Failpoint.disarm ();
+  Unix.putenv "PDB_FAILPOINT" "pool.sample@25";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PDB_FAILPOINT" "")
+  @@ fun () ->
+  Failpoint.arm_from_env ();
+  Alcotest.(check (option (pair string int))) "parsed" (Some ("pool.sample", 25))
+    (Failpoint.armed ());
+  Failpoint.disarm ();
+  Unix.putenv "PDB_FAILPOINT" "pool.sample@7x3";
+  Failpoint.arm_from_env ();
+  Alcotest.(check (option (pair string int))) "parsed with times" (Some ("pool.sample", 7))
+    (Failpoint.armed ());
+  (match Failpoint.hit "pool.sample" ~index:7 with
+  | () -> Alcotest.fail "should fire (1/3)"
+  | exception Failpoint.Injected _ -> ());
+  (match Failpoint.hit "pool.sample" ~index:7 with
+  | () -> Alcotest.fail "should fire (2/3)"
+  | exception Failpoint.Injected _ -> ());
+  (match Failpoint.hit "pool.sample" ~index:7 with
+  | () -> Alcotest.fail "should fire (3/3)"
+  | exception Failpoint.Injected _ -> ());
+  Failpoint.hit "pool.sample" ~index:7;
+  Unix.putenv "PDB_FAILPOINT" "garbage";
+  match Failpoint.arm_from_env () with
+  | () -> Alcotest.fail "malformed spec accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Supervised kill-and-resume through the pool *)
+
+let counter_value name =
+  match Obs.Metrics.find Obs.Metrics.global name with
+  | Some (Obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+let fresh_ckpt_dir () =
+  let path = Filename.temp_file "ckpt_dir" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* Kill the chain at sample 8 (after the sample-5 checkpoint), let the
+   supervisor retry, and demand the final marginals be bit-identical to an
+   uninterrupted run — with the restore paying zero bootstrap
+   evaluations. *)
+let test_kill_and_resume_bit_identical () =
+  Obs.Metrics.set_enabled true;
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Failpoint.disarm ();
+      rm_rf dir)
+  @@ fun () ->
+  let queries = List.map (fun sql -> (sql, Sql.parse sql)) test_queries in
+  let make ~chain = build_pdb ~seed:(700 + chain) () in
+  let durability =
+    {
+      Serve.Pool.dir;
+      every = 5;
+      resume = false;
+      retries = 2;
+      backoff_s = 0.;
+      remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(700 + chain) db);
+    }
+  in
+  let reference =
+    Serve.Pool.evaluate ~chains:1 ~make ~queries ~thin:4 ~samples:14 ()
+  in
+  let bootstraps0 = counter_value "serve.bootstrap_evals" in
+  let restores0 = counter_value "checkpoint.restore.count" in
+  let retries0 = counter_value "checkpoint.retry.count" in
+  Failpoint.arm ~name:"pool.sample" ~at:8 ();
+  let survived =
+    Serve.Pool.evaluate ~chains:1 ~durability ~make ~queries ~thin:4 ~samples:14 ()
+  in
+  Alcotest.(check int) "one supervised retry" (retries0 + 1)
+    (counter_value "checkpoint.retry.count");
+  Alcotest.(check int) "one restore" (restores0 + 1)
+    (counter_value "checkpoint.restore.count");
+  (* Registration bootstraps once per query on the fresh start; the restore
+     after the crash must not evaluate anything. *)
+  Alcotest.(check int) "zero bootstrap evals on restore"
+    (bootstraps0 + List.length queries)
+    (counter_value "serve.bootstrap_evals");
+  List.iter2
+    (fun (sql, _) (sql', m') ->
+      Alcotest.(check string) "query order" sql sql';
+      estimates_exactly_equal sql (List.assoc sql reference) m')
+    queries survived
+
+(* A crash with no checkpoint on disk yet falls back to a clean fresh
+   start — still bit-identical, because nothing of the dead attempt
+   survives. *)
+let test_kill_before_first_checkpoint () =
+  Obs.Metrics.set_enabled true;
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Failpoint.disarm ();
+      rm_rf dir)
+  @@ fun () ->
+  let queries = [ (List.hd test_queries, Sql.parse (List.hd test_queries)) ] in
+  let make ~chain = build_pdb ~seed:(800 + chain) () in
+  let durability =
+    {
+      Serve.Pool.dir;
+      every = 50;
+      resume = false;
+      retries = 1;
+      backoff_s = 0.;
+      remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(800 + chain) db);
+    }
+  in
+  let reference = Serve.Pool.evaluate ~chains:1 ~make ~queries ~thin:3 ~samples:10 () in
+  let restores0 = counter_value "checkpoint.restore.count" in
+  Failpoint.arm ~name:"pool.sample" ~at:4 ();
+  let survived =
+    Serve.Pool.evaluate ~chains:1 ~durability ~make ~queries ~thin:3 ~samples:10 ()
+  in
+  Alcotest.(check int) "no checkpoint to restore" restores0
+    (counter_value "checkpoint.restore.count");
+  estimates_exactly_equal "fresh-start retry" (snd (List.hd reference))
+    (snd (List.hd survived))
+
+(* --resume semantics: a second process picks up the completed run's final
+   checkpoint and, asked for the same sample budget, returns immediately
+   with the identical answer. *)
+let test_resume_from_previous_process () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let queries = List.map (fun sql -> (sql, Sql.parse sql)) test_queries in
+  let make ~chain = build_pdb ~seed:(900 + chain) () in
+  let durability =
+    {
+      Serve.Pool.dir;
+      every = 4;
+      resume = false;
+      retries = 0;
+      backoff_s = 0.;
+      remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(900 + chain) db);
+    }
+  in
+  let first =
+    Serve.Pool.evaluate ~chains:1 ~durability ~make ~queries ~thin:3 ~samples:12 ()
+  in
+  (* Same dir, resume on: restores at sample 12 and has nothing left to do.
+     [make] would crash the test if called — resume must not rebuild. *)
+  let durability = { durability with resume = true } in
+  let poisoned_make ~chain:_ = Alcotest.fail "resume must not rebuild the chain" in
+  let second =
+    Serve.Pool.evaluate ~chains:1 ~durability ~make:poisoned_make ~queries ~thin:3
+      ~samples:12 ()
+  in
+  List.iter2
+    (fun (sql, m) (_, m') -> estimates_exactly_equal sql m m')
+    first second
+
+(* The retry budget is bounded: a poison chain (fails deterministically
+   every attempt at an index past the checkpoint... i.e. re-armed each
+   retry) surfaces as Job_failed with the attempt count. *)
+let test_poison_chain_exhausts_retries () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () ->
+      Failpoint.disarm ();
+      rm_rf dir)
+  @@ fun () ->
+  let queries = [ (List.hd test_queries, Sql.parse (List.hd test_queries)) ] in
+  let make ~chain = build_pdb ~seed:(950 + chain) () in
+  let durability =
+    {
+      Serve.Pool.dir;
+      every = 2;
+      resume = false;
+      retries = 2;
+      backoff_s = 0.;
+      remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(950 + chain) db);
+    }
+  in
+  (* times = attempts + 1 > retry budget: every attempt dies at sample 5. *)
+  Failpoint.arm ~times:3 ~name:"pool.sample" ~at:5 ();
+  match
+    Serve.Pool.evaluate ~chains:1 ~durability ~make ~queries ~thin:3 ~samples:8 ()
+  with
+  | _ -> Alcotest.fail "poison chain must exhaust its retry budget"
+  | exception Mcmc.Parallel.Job_failed { index; attempts; exn } ->
+    Alcotest.(check int) "chain index" 0 index;
+    Alcotest.(check int) "attempts" 3 attempts;
+    (match exn with
+    | Failpoint.Injected { index = 5; _ } -> ()
+    | e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "checkpoint"
+    [ ("codec",
+       [ Alcotest.test_case "primitives-roundtrip" `Quick test_codec_roundtrip;
+         Alcotest.test_case "corruption-detected" `Quick test_frame_detects_corruption;
+         Alcotest.test_case "atomic-write" `Quick test_atomic_write ]);
+      ("snapshot",
+       [ qc prop_snapshot_roundtrip_byte_identical;
+         Alcotest.test_case "restore-continues-stream" `Quick test_restore_continues_stream;
+         Alcotest.test_case "file-corruption-detected" `Quick
+           test_snapshot_file_corruption_detected;
+         Alcotest.test_case "restore-db-shape" `Quick test_restore_db_shape ]);
+      ("failpoint",
+       [ Alcotest.test_case "one-shot" `Quick test_failpoint_one_shot;
+         Alcotest.test_case "env-spec" `Quick test_failpoint_env ]);
+      ("supervision",
+       [ Alcotest.test_case "kill-and-resume-bit-identical" `Quick
+           test_kill_and_resume_bit_identical;
+         Alcotest.test_case "kill-before-first-checkpoint" `Quick
+           test_kill_before_first_checkpoint;
+         Alcotest.test_case "resume-previous-process" `Quick
+           test_resume_from_previous_process;
+         Alcotest.test_case "poison-chain" `Quick test_poison_chain_exhausts_retries ]) ]

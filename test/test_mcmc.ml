@@ -186,16 +186,58 @@ let test_parallel_map_order () =
 
 (* A raising job must surface as Job_failed carrying the job's index and
    original exception — not as a bare worker exception or an Option.get
-   crash on the unfilled result slot. *)
+   crash on the unfilled result slot. With no retries requested, the
+   attempt count must read 1 (the job ran exactly once). *)
 let test_parallel_map_raising_job () =
   match Parallel.map ~n:20 (fun i -> if i = 3 then failwith "boom" else i) with
   | _ -> Alcotest.fail "expected Job_failed"
-  | exception Parallel.Job_failed { index = 3; exn } -> (
+  | exception Parallel.Job_failed { index = 3; attempts; exn } -> (
+    Alcotest.(check int) "single attempt" 1 attempts;
     match exn with
     | Failure msg when msg = "boom" -> ()
     | e -> Alcotest.failf "wrong payload exception: %s" (Printexc.to_string e))
   | exception Parallel.Job_failed { index; _ } ->
     Alcotest.failf "failure attributed to job %d, expected 3" index
+
+(* Supervision, transient-fault side: a job that fails once and then
+   succeeds must be absorbed by the retry budget — the map returns normally,
+   and the on_retry hook saw exactly the one recovery. *)
+let test_parallel_map_transient_retry () =
+  let hook_calls = ref [] in
+  let failures = Array.make 8 (Atomic.make 0) in
+  Array.iteri (fun i _ -> failures.(i) <- Atomic.make 0) failures;
+  let results =
+    Parallel.map ~retries:2
+      ~on_retry:(fun ~index ~attempt _exn -> hook_calls := (index, attempt) :: !hook_calls)
+      ~n:8
+      (fun i ->
+        if i = 5 && Atomic.fetch_and_add failures.(i) 1 = 0 then failwith "transient";
+        i * 10)
+  in
+  Alcotest.(check (list int)) "recovered result present" (List.init 8 (fun i -> i * 10)) results;
+  Alcotest.(check (list (pair int int))) "one retry of job 5, first attempt" [ (5, 1) ] !hook_calls
+
+(* Supervision, poison side: a job that fails deterministically must
+   exhaust the budget and surface attempts = retries + 1, the signal that
+   rescheduling is pointless. *)
+let test_parallel_map_poison_job () =
+  let runs = Atomic.make 0 in
+  match
+    Parallel.map ~retries:2 ~n:4 (fun i ->
+        if i = 2 then begin
+          ignore (Atomic.fetch_and_add runs 1 : int);
+          failwith "poison"
+        end;
+        i)
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Parallel.Job_failed { index; attempts; exn } ->
+    Alcotest.(check int) "poison job index" 2 index;
+    Alcotest.(check int) "budget exhausted" 3 attempts;
+    Alcotest.(check int) "ran once per attempt" 3 (Atomic.get runs);
+    (match exn with
+    | Failure msg when msg = "poison" -> ()
+    | e -> Alcotest.failf "wrong payload exception: %s" (Printexc.to_string e))
 
 (* Sibling domains must stop claiming jobs once a failure is recorded
    instead of burning the rest of the queue. Job 0 fails immediately; every
@@ -319,6 +361,8 @@ let () =
       ("parallel",
        [ Alcotest.test_case "map-order" `Quick test_parallel_map_order;
          Alcotest.test_case "raising-job" `Quick test_parallel_map_raising_job;
+         Alcotest.test_case "transient-retry" `Quick test_parallel_map_transient_retry;
+         Alcotest.test_case "poison-job" `Quick test_parallel_map_poison_job;
          Alcotest.test_case "failure-stops-siblings" `Quick test_parallel_map_stops_siblings;
          Alcotest.test_case "chains-reduce-error" `Slow test_parallel_chains_reduce_error ]);
       ("annealing",

@@ -1,0 +1,165 @@
+#!/bin/sh
+# Perf-regression gate over the machine-readable bench outputs.
+#
+#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON]
+#   tools/bench_gate.sh --self-test
+#
+# Reads BENCH_view.json and BENCH_serve.json (the regenerated working-tree
+# copies by default), extracts the headline speedup ratios at the largest
+# size each file carries, and fails (exit 1) when either drops below its
+# floor:
+#
+#   view  — naive-rerun / view-update at the largest size present:
+#             >= 10x when that size is >= 10k tuples (the paper-scale claim)
+#             >= 3x  when only the 1k smoke size is present (CI smoke)
+#   serve — shared-chain speedup at the largest query count present:
+#             >= 5x at 64 queries, >= 2x at 8 (CI smoke), >= 1x below
+#
+# On top of the absolute floors, when the committed baseline (git show
+# HEAD:<file>) carries the same largest size, the fresh ratio must stay
+# within 50% of the committed one — catching large regressions even while
+# they still clear the floor. Smoke regenerations carry smaller sizes than
+# the committed full-scale files, so the relative check self-skips in CI.
+#
+# --self-test seeds synthetic regressions (ratios just below each floor)
+# and asserts the gate rejects them, then asserts the committed baselines
+# pass — proving the gate can actually fail before trusting its green.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail() { echo "bench_gate: FAIL: $*" >&2; exit 1; }
+
+# json_num FILE KEY — first numeric value of "KEY": in FILE.
+json_num() {
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | head -n 1 | cut -d: -f2
+}
+
+# ge A B — true when A >= B (floats).
+ge() { awk -v a="$1" -v b="$2" 'BEGIN { exit !(a >= b) }'; }
+
+# ---- view: incremental maintenance vs naive re-run ----------------------
+
+view_largest_size() {
+  grep -o 'view-update/[0-9]*k-tuples' "$1" | sed 's|view-update/||;s|k-tuples||' \
+    | sort -n | tail -n 1
+}
+
+view_ratio() { # FILE SIZE
+  vu=$(json_num "$1" "view-update-indexed/view-update/$2k-tuples")
+  nv=$(json_num "$1" "naive-rerun/naive-rerun/$2k-tuples")
+  [ -n "$vu" ] && [ -n "$nv" ] || fail "$1: missing view-update/naive-rerun at ${2}k"
+  awk -v n="$nv" -v v="$vu" 'BEGIN { printf "%.3f", n / v }'
+}
+
+check_view() {
+  f=$1
+  [ -s "$f" ] || fail "$f missing or empty"
+  size=$(view_largest_size "$f")
+  [ -n "$size" ] || fail "$f: no view-update entries"
+  ratio=$(view_ratio "$f" "$size")
+  if [ "$size" -ge 10 ]; then floor=10; else floor=3; fi
+  echo "bench_gate: view ${size}k: incremental ${ratio}x naive (floor ${floor}x)"
+  ge "$ratio" "$floor" || fail "view-update speedup ${ratio}x at ${size}k below floor ${floor}x"
+  base=$(git show "HEAD:$(basename "$f")" 2>/dev/null || true)
+  if [ -n "$base" ]; then
+    tmp=$(mktemp); printf '%s\n' "$base" > "$tmp"
+    bsize=$(view_largest_size "$tmp")
+    if [ "$bsize" = "$size" ]; then
+      bratio=$(view_ratio "$tmp" "$size")
+      slack=$(awk -v b="$bratio" 'BEGIN { printf "%.3f", b * 0.5 }')
+      echo "bench_gate: view ${size}k: committed baseline ${bratio}x (slack floor ${slack}x)"
+      ge "$ratio" "$slack" \
+        || { rm -f "$tmp"; fail "view ratio ${ratio}x regressed >50% from baseline ${bratio}x"; }
+    fi
+    rm -f "$tmp"
+  fi
+}
+
+# ---- serve: shared chain vs independent chains --------------------------
+
+serve_largest_n() {
+  grep -o '"queries":[0-9]*' "$1" | cut -d: -f2 | sort -n | tail -n 1
+}
+
+serve_last_speedup() {
+  # multi_query rows are ascending in query count; the last speedup is the
+  # largest fan-out's.
+  grep -o '"speedup":[0-9.eE+-]*' "$1" | tail -n 1 | cut -d: -f2
+}
+
+check_serve() {
+  f=$1
+  [ -s "$f" ] || fail "$f missing or empty"
+  grep -q '"marginals_equal":false' "$f" && fail "$f: shared-chain marginals diverged"
+  n=$(serve_largest_n "$f")
+  speedup=$(serve_last_speedup "$f")
+  [ -n "$n" ] && [ -n "$speedup" ] || fail "$f: no multi_query entries"
+  if [ "$n" -ge 64 ]; then floor=5; elif [ "$n" -ge 8 ]; then floor=2; else floor=1; fi
+  echo "bench_gate: serve $n queries: shared-chain ${speedup}x (floor ${floor}x)"
+  ge "$speedup" "$floor" || fail "serve speedup ${speedup}x at $n queries below floor ${floor}x"
+  base=$(git show "HEAD:$(basename "$f")" 2>/dev/null || true)
+  if [ -n "$base" ]; then
+    tmp=$(mktemp); printf '%s\n' "$base" > "$tmp"
+    bn=$(serve_largest_n "$tmp")
+    if [ "$bn" = "$n" ]; then
+      bspeedup=$(serve_last_speedup "$tmp")
+      slack=$(awk -v b="$bspeedup" 'BEGIN { printf "%.3f", b * 0.5 }')
+      echo "bench_gate: serve $n queries: committed baseline ${bspeedup}x (slack floor ${slack}x)"
+      ge "$speedup" "$slack" \
+        || { rm -f "$tmp"; fail "serve speedup ${speedup}x regressed >50% from baseline ${bspeedup}x"; }
+    fi
+    rm -f "$tmp"
+  fi
+}
+
+# ---- self-test ----------------------------------------------------------
+
+self_test() {
+  dir=$(mktemp -d)
+  trap 'rm -rf "$dir"' EXIT
+
+  # Seeded regression: incremental barely beats naive at paper scale.
+  cat > "$dir/BENCH_view.json" <<'EOF'
+{"ns_per_op":{"view-update-indexed/view-update/10k-tuples":100000.0,"naive-rerun/naive-rerun/10k-tuples":500000.0}}
+EOF
+  cp BENCH_serve.json "$dir/BENCH_serve.json"
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 5x view ratio at 10k (floor is 10x)"
+  fi
+  echo "bench_gate: self-test: seeded view regression rejected"
+
+  # Seeded regression: shared chain no faster than independent at 64 queries.
+  cp BENCH_view.json "$dir/BENCH_view.json"
+  cat > "$dir/BENCH_serve.json" <<'EOF'
+{"config":{},"multi_query":[{"queries":64,"shared_ns":10,"independent_ns":11,"speedup":1.1,"marginals_equal":true}]}
+EOF
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 1.1x serve speedup at 64 queries (floor is 5x)"
+  fi
+  echo "bench_gate: self-test: seeded serve regression rejected"
+
+  # Diverged marginals must fail regardless of speed.
+  sed 's/"marginals_equal":true/"marginals_equal":false/' BENCH_serve.json \
+    > "$dir/BENCH_serve.json"
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted diverged shared-chain marginals"
+  fi
+  echo "bench_gate: self-test: diverged marginals rejected"
+
+  # The committed baselines themselves must pass.
+  git show HEAD:BENCH_view.json > "$dir/BENCH_view.json"
+  git show HEAD:BENCH_serve.json > "$dir/BENCH_serve.json"
+  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" >/dev/null \
+    || fail "self-test: gate rejected the committed baselines"
+  echo "bench_gate: self-test: committed baselines accepted"
+  echo "bench_gate: self-test OK"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  self_test
+  exit 0
+fi
+
+check_view "${1:-BENCH_view.json}"
+check_serve "${2:-BENCH_serve.json}"
+echo "bench_gate: OK"

@@ -14,6 +14,17 @@ echo "ci: multi-query serve bench (smoke)"
 # (and its marginal-equality assertion) can never silently rot.
 dune exec bench/main.exe -- serve-smoke
 test -s BENCH_serve.json
+echo "ci: view maintenance bench (smoke)"
+# Smallest-size run of the view-update group: regenerates BENCH_view.json
+# so the incremental-vs-naive measurement stays runnable.
+dune exec bench/main.exe -- view-smoke
+test -s BENCH_view.json
+echo "ci: bench gate self-test"
+# The gate must be able to reject a seeded regression before its pass on
+# the real numbers means anything.
+sh tools/bench_gate.sh --self-test
+echo "ci: bench gate"
+sh tools/bench_gate.sh
 echo "ci: doc check"
 sh tools/check_doc.sh
 echo "ci: OK"
