@@ -4,6 +4,11 @@
 
 open Core
 
+(* Bench timings go through the Obs clock so the whole tree observes the R2
+   clock discipline (see docs/STATIC_ANALYSIS.md): one never-decreasing
+   source of time, [Obs.Timer.now_ns]. *)
+let now_s () = Obs.Timer.seconds (Obs.Timer.now_ns ())
+
 let query1 = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
 let query2 = "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'"
 
@@ -192,13 +197,13 @@ let e7 ~full () =
   let world = World.create db in
   let params = Factorgraph.Params.create () in
   let crf = Ie.Crf.create ~params world in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let report = Ie.Training.train ~steps:300_000 ~rng:(Mcmc.Rng.create 51) crf in
   Printf.printf
     "  %d SampleRank steps in %.1fs; %d weight updates; %d features;\n\
     \  token accuracy: %.3f (all-O baseline) -> %.3f (greedy decode)\n"
     report.Ie.Training.steps
-    (Unix.gettimeofday () -. t0)
+    (now_s () -. t0)
     report.updates
     (Factorgraph.Params.cardinal params)
     report.accuracy_before report.accuracy_after;
@@ -283,13 +288,13 @@ let a3 ~full () =
     (fun k ->
       let inst = Harness.make_instance ~corpus_seed:107 ~chain_seed:71 ~n_tokens:n () in
       let samples = budget / k in
-      let t0 = Unix.gettimeofday () in
+      let t0 = now_s () in
       let m =
         Evaluator.evaluate Evaluator.Materialized inst.Harness.pdb ~query ~thin:k ~samples
       in
       Printf.printf "  %-8d %-9d %10.5f %10.3f\n%!" k samples
         (Marginals.squared_error_to ~reference:truth m)
-        (Unix.gettimeofday () -. t0))
+        (now_s () -. t0))
     [ 100; 500; 2_000; 10_000 ]
 
 
@@ -325,12 +330,12 @@ let a4 ~full () =
       let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
       let rng = Mcmc.Rng.create 81 in
       let pdb = Pdb.create ~world ~proposal:(make_proposal crf rng) ~rng in
-      let t0 = Unix.gettimeofday () in
+      let t0 = now_s () in
       let m = Evaluator.evaluate Evaluator.Materialized pdb ~query ~thin ~samples in
       Printf.printf "  %-18s %10.4f %12.3f %10.3f\n%!" name
         (Marginals.squared_error_to ~reference:truth m)
         (Pdb.acceptance_rate pdb)
-        (Unix.gettimeofday () -. t0))
+        (now_s () -. t0))
     proposers
 
 
@@ -432,11 +437,11 @@ let a6 ~full () =
       let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
       let rng = Mcmc.Rng.create 2002 in
       let pdb = Pdb.create ~world ~proposal:(make_proposal crf rng) ~rng in
-      let t0 = Unix.gettimeofday () in
+      let t0 = now_s () in
       let m = Evaluator.evaluate Evaluator.Materialized pdb ~query ~thin:500 ~samples:200 in
       Printf.printf "  %-18s %10.4f %12.3f\n%!" name
         (Marginals.squared_error_to ~reference:truth m)
-        (Unix.gettimeofday () -. t0))
+        (now_s () -. t0))
     [ ("uniform-flip", fun crf _ -> Ie.Proposals.uniform_flip crf);
       ("batched-flip", fun crf rng -> Ie.Proposals.batched_flip ~rng crf);
       ("query-targeted", fun crf _ -> Ie.Proposals.query_targeted crf query) ]
@@ -484,14 +489,14 @@ let a7 () =
                    (scan "T") )))
       in
       let time f =
-        let t0 = Unix.gettimeofday () in
+        let t0 = now_s () in
         (try ignore (f ()) with Failure _ -> ());
-        Unix.gettimeofday () -. t0
+        now_s () -. t0
       in
       let exact_s =
-        let t0 = Unix.gettimeofday () in
+        let t0 = now_s () in
         match Tuplepdb.Tipdb.answer_probabilities ~budget:400_000 tdb q with
-        | _ -> Printf.sprintf "%16.4f" (Unix.gettimeofday () -. t0)
+        | _ -> Printf.sprintf "%16.4f" (now_s () -. t0)
         | exception Failure _ -> Printf.sprintf "%16s" "budget blown"
       in
       let t_mc =
@@ -535,7 +540,7 @@ let e8 ~full () =
       [| (0.7, Ie.Coref.move_proposal coref); (0.3, Ie.Coref.split_merge_proposal coref) |]
   in
   let pdb = Pdb.create ~world ~proposal ~rng in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let n = Array.length strings in
   let together = Array.make_matrix n n 0 in
   let samples = 2_000 in
@@ -567,7 +572,7 @@ let e8 ~full () =
     "  %d mentions, %d samples in %.1fs; acceptance %.2f\n\
     \  pairwise P=%.3f R=%.3f F1=%.3f at posterior threshold 0.5\n"
     n samples
-    (Unix.gettimeofday () -. t0)
+    (now_s () -. t0)
     (Pdb.acceptance_rate pdb)
     p r f1
 

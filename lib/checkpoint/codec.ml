@@ -156,7 +156,7 @@ let frame ~version payload =
 let unframe ~expect_version s =
   let n = String.length s in
   if n < String.length magic + 1 + 1 + 4 then corrupt "frame too short (%d bytes)" n;
-  if String.sub s 0 (String.length magic) <> magic then
+  if not (String.equal (String.sub s 0 (String.length magic)) magic) then
     corrupt "bad magic %S" (String.sub s 0 (min n (String.length magic)));
   (* CRC covers everything before the 4 trailing CRC bytes *)
   let body = String.sub s 0 (n - 4) in
@@ -167,12 +167,12 @@ let unframe ~expect_version s =
         (Int32.shift_left (Int32.of_int (Char.code s.[n - 4 + i])) (8 * i))
   done;
   let computed = crc32 body in
-  if computed <> !stored then
+  if not (Int32.equal computed !stored) then
     corrupt "CRC mismatch (stored %08lx, computed %08lx)" !stored computed;
   let r = R.of_string body in
   r.R.pos <- String.length magic;
   let version = R.u8 r in
-  if version <> expect_version then
+  if not (Int.equal version expect_version) then
     corrupt "unsupported version %d (expected %d)" version expect_version;
   let len = R.uvarint r in
   if r.R.pos + len <> String.length body then

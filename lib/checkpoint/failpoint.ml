@@ -22,7 +22,7 @@ let armed () =
 let hit name ~index =
   match Atomic.get state with
   | None -> ()
-  | Some a when a.name <> name || a.at <> index -> ()
+  | Some a when (not (String.equal a.name name)) || not (Int.equal a.at index) -> ()
   | Some a ->
       let fire =
         Mutex.protect lock (fun () ->
@@ -51,7 +51,7 @@ let arm_from_env () =
       | Some i -> (
           let name = String.sub spec 0 i in
           let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
-          if name = "" || rest = "" then bad ();
+          if String.equal name "" || String.equal rest "" then bad ();
           let at_str, times =
             match String.index_opt rest 'x' with
             | None -> (rest, 1)

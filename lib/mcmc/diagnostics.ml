@@ -16,7 +16,7 @@ let autocorrelation xs k =
   else begin
     let m = mean xs in
     let denom = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
-    if denom = 0. then 0.
+    if Float.equal denom 0. then 0.
     else begin
       let num = ref 0. in
       for i = 0 to n - k - 1 do
@@ -52,7 +52,7 @@ let gelman_rubin chains =
       let grand = List.fold_left ( +. ) 0. means /. m in
       let b = n /. (m -. 1.) *. List.fold_left (fun acc mu -> acc +. ((mu -. grand) ** 2.)) 0. means in
       let w = List.fold_left (fun acc c -> acc +. variance c) 0. chains /. m in
-      if w = 0. then nan
+      if Float.equal w 0. then nan
       else sqrt ((((n -. 1.) /. n *. w) +. (b /. n)) /. w)
     end
 

@@ -30,7 +30,7 @@ let flip ?vars () : world Proposal.t =
     let dom = Graph.domain w.graph v in
     let value = Rng.int rng (Domain.size dom) in
     let delta_log_pi =
-      if value = Assignment.get w.assignment v then 0.
+      if Int.equal value (Assignment.get w.assignment v) then 0.
       else Graph.delta_log_score w.graph w.assignment [ (v, value) ]
     in
     { Proposal.delta_log_pi;
@@ -59,14 +59,14 @@ let gibbs ?vars () : world Proposal.t =
        product of adjacent factors. *)
     let logits =
       Array.init n (fun x ->
-          if x = current then 0. else Graph.delta_log_score w.graph w.assignment [ (v, x) ])
+          if Int.equal x current then 0. else Graph.delta_log_score w.graph w.assignment [ (v, x) ])
     in
     let probs = Logspace.normalize_log logits in
     (* Draw from the conditional. *)
     let u = Rng.uniform rng in
     let value =
       let rec pick i acc =
-        if i = n - 1 then i
+        if Int.equal i (n - 1) then i
         else if u < acc +. probs.(i) then i
         else pick (i + 1) (acc +. probs.(i))
       in

@@ -39,6 +39,7 @@ let map ?(retries = 0) ?(backoff_s = 0.) ?on_retry ~n f =
     let rec attempt k =
       match call i with
       | x -> results.(i) <- Some x
+      (* pdb_lint: allow R4 — captured into [failure], re-raised as Job_failed after the join *)
       | exception e ->
         if k >= retries then
           ignore (Atomic.compare_and_set failure None (Some (i, k + 1, e)) : bool)

@@ -14,6 +14,6 @@ let mix components =
     let x = Rng.float rng total in
     let rec pick i acc =
       let w, p = components.(i) in
-      if x < acc +. w || i = Array.length components - 1 then p else pick (i + 1) (acc +. w)
+      if x < acc +. w || Int.equal i (Array.length components - 1) then p else pick (i + 1) (acc +. w)
     in
     (pick 0 0.) rng world

@@ -64,6 +64,7 @@ let deliver e =
   | Null -> ()
   | Stderr ->
     let args = String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) e.args) in
+    (* pdb_lint: allow R3 — the Stderr sink IS the print boundary library code routes through *)
     Printf.eprintf "[trace %.6f] %s %s\n%!" (float_of_int e.ts_ns /. 1e9) e.name args
   | Channel oc ->
     output_string oc (to_json e);

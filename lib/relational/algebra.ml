@@ -75,12 +75,12 @@ let rec output_schema db = function
     cs
 
 let base_tables q =
-  let seen = Hashtbl.create 4 in
+  let seen = Str_tbl.create 4 in
   let out = ref [] in
   let rec go = function
     | Scan { table; _ } ->
-      if not (Hashtbl.mem seen table) then begin
-        Hashtbl.add seen table ();
+      if not (Str_tbl.mem seen table) then begin
+        Str_tbl.add seen table ();
         out := table :: !out
       end
     | Select (_, q) | Project (_, q) | Distinct q -> go q

@@ -42,7 +42,7 @@ let rows b =
   to_list b |> List.filter_map (fun (r, c) -> if c > 0 then Some r else None)
 
 let equal a b =
-  H.length a = H.length b && H.fold (fun r c ok -> ok && count b r = c) a true
+  H.length a = H.length b && H.fold (fun r c ok -> ok && Int.equal (count b r) c) a true
 
 let all_nonnegative b = H.fold (fun _ c ok -> ok && c >= 0) b true
 

@@ -72,7 +72,7 @@ let write_file path table =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc table)
 
 let parse_cell (ty : Value.ty) raw =
-  if raw = "" then Value.Null
+  if String.equal raw "" then Value.Null
   else
     match ty with
     | Value.T_int -> (
@@ -105,7 +105,7 @@ let read_channel ?pk ~name schema ic =
     Array.init arity (fun i ->
         let target = String.lowercase_ascii (Schema.column schema i).Schema.name in
         match
-          List.find_index (fun h -> String.lowercase_ascii h = target) header
+          List.find_index (fun h -> String.equal (String.lowercase_ascii h) target) header
         with
         | Some j -> j
         | None -> failwith ("Csv_io: missing column " ^ target))

@@ -1,11 +1,11 @@
-type t = (string, Table.t) Hashtbl.t
+type t = Table.t Str_tbl.t
 
-let create () = Hashtbl.create 8
+let create () = Str_tbl.create 8
 
 let add_table db t =
-  if Hashtbl.mem db (Table.name t) then
+  if Str_tbl.mem db (Table.name t) then
     invalid_arg ("Database.add_table: duplicate table " ^ Table.name t);
-  Hashtbl.replace db (Table.name t) t
+  Str_tbl.replace db (Table.name t) t
 
 let create_table db ?pk ~name schema =
   let t = Table.create ?pk ~name schema in
@@ -13,19 +13,19 @@ let create_table db ?pk ~name schema =
   t
 
 let table_opt db name =
-  match Hashtbl.find_opt db name with
+  match Str_tbl.find_opt db name with
   | Some t -> Some t
   | None ->
     (* Table names, like all SQL identifiers, are case-insensitive. *)
     let lname = String.lowercase_ascii name in
-    Hashtbl.fold
+    Str_tbl.fold
       (fun n t acc ->
         match acc with
         | Some _ -> acc
-        | None -> if String.lowercase_ascii n = lname then Some t else None)
+        | None -> if String.equal (String.lowercase_ascii n) lname then Some t else None)
       db None
 
 let table db name =
   match table_opt db name with Some t -> t | None -> raise Not_found
-let tables db = Hashtbl.fold (fun _ t acc -> t :: acc) db []
-let drop_table db name = Hashtbl.remove db name
+let tables db = Str_tbl.fold (fun _ t acc -> t :: acc) db []
+let drop_table db name = Str_tbl.remove db name

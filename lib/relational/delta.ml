@@ -1,13 +1,13 @@
-type t = (string, Bag.t) Hashtbl.t
+type t = Bag.t Str_tbl.t
 
-let create () = Hashtbl.create 4
+let create () = Str_tbl.create 4
 
 let bag_for d table =
-  match Hashtbl.find_opt d table with
+  match Str_tbl.find_opt d table with
   | Some b -> b
   | None ->
     let b = Bag.create () in
-    Hashtbl.replace d table b;
+    Str_tbl.replace d table b;
     b
 
 let record_insert d ~table row = Bag.add (bag_for d table) row
@@ -18,14 +18,14 @@ let record_update d ~table ~old_row ~new_row =
   Bag.remove b old_row;
   Bag.add b new_row
 
-let for_table d table = Hashtbl.find_opt d table
-let tables d = Hashtbl.fold (fun name _ acc -> name :: acc) d []
-let is_empty d = Hashtbl.fold (fun _ b acc -> acc && Bag.is_empty b) d true
-let clear d = Hashtbl.reset d
+let for_table d table = Str_tbl.find_opt d table
+let tables d = Str_tbl.fold (fun name _ acc -> name :: acc) d []
+let is_empty d = Str_tbl.fold (fun _ b acc -> acc && Bag.is_empty b) d true
+let clear d = Str_tbl.reset d
 
 let signed_part ~sign d ~table =
   let out = Bag.create () in
-  (match Hashtbl.find_opt d table with
+  (match Str_tbl.find_opt d table with
   | None -> ()
   | Some b ->
     Bag.iter
@@ -38,4 +38,4 @@ let plus d ~table = signed_part ~sign:1 d ~table
 let minus d ~table = signed_part ~sign:(-1) d ~table
 
 let total_magnitude d =
-  Hashtbl.fold (fun _ b acc -> Bag.fold (fun _ c acc -> acc + abs c) b acc) d 0
+  Str_tbl.fold (fun _ b acc -> Bag.fold (fun _ c acc -> acc + abs c) b acc) d 0

@@ -66,13 +66,16 @@ let eval_group_by db eval_child ~keys ~aggs ~child =
   let cs = crel.schema in
   let keys_pos = Array.of_list (List.map (Schema.index_of cs) keys) in
   let spec = Group_acc.spec_of cs aggs in
-  let groups : (Row.t, Group_acc.t) Hashtbl.t = Hashtbl.create 64 in
+  (* Keyed by Row.hash/Row.equal, not the polymorphic Hashtbl: grouping
+     must unify exactly the keys Value.equal unifies (Int 1 with Float 1.,
+     every NaN with every other NaN). *)
+  let groups : Group_acc.t Row.Tbl.t = Row.Tbl.create 64 in
   let get_group k =
-    match Hashtbl.find_opt groups k with
+    match Row.Tbl.find_opt groups k with
     | Some g -> g
     | None ->
       let acc = Group_acc.create spec in
-      Hashtbl.replace groups k acc;
+      Row.Tbl.replace groups k acc;
       acc
   in
   Bag.iter
@@ -81,9 +84,9 @@ let eval_group_by db eval_child ~keys ~aggs ~child =
       Group_acc.add spec (get_group k) row c)
     crel.bag;
   (* A global aggregate (no keys) over an empty input still yields one row. *)
-  if Array.length keys_pos = 0 && Hashtbl.length groups = 0 then ignore (get_group [||]);
+  if Array.length keys_pos = 0 && Row.Tbl.length groups = 0 then ignore (get_group [||]);
   let out = Bag.create () in
-  Hashtbl.iter
+  Row.Tbl.iter
     (fun k acc -> Bag.add out (Array.append k (Group_acc.finalize spec acc)))
     groups;
   let schema = Algebra.output_schema db (Algebra.Group_by { keys; aggs; child }) in

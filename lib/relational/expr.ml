@@ -55,12 +55,12 @@ let like_match ~pattern s =
   go 0 0
 
 let columns e =
-  let seen = Hashtbl.create 8 in
+  let seen = Str_tbl.create 8 in
   let out = ref [] in
   let rec go = function
     | Col c ->
-      if not (Hashtbl.mem seen c) then begin
-        Hashtbl.add seen c ();
+      if not (Str_tbl.mem seen c) then begin
+        Str_tbl.add seen c ();
         out := c :: !out
       end
     | Const _ -> ()
@@ -135,8 +135,8 @@ let equi_join_pairs pred ~left ~right =
       match Schema.index_of right c with
       | i -> Some (`R i)
       | exception Not_found -> None
-      | exception Failure _ -> None)
-    | exception Failure _ -> None
+      | exception Schema.Ambiguous_column _ -> None)
+    | exception Schema.Ambiguous_column _ -> None
   in
   let pairs = ref [] and residual = ref [] in
   List.iter

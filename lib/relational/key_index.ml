@@ -1,9 +1,4 @@
-module H = Hashtbl.Make (struct
-  type t = Row.t
-
-  let equal = Row.equal
-  let hash = Row.hash
-end)
+module H = Row.Tbl
 
 type t = { pos : int array; entries : Bag.t H.t }
 

@@ -12,7 +12,7 @@ let append = Array.append
 
 let compare (a : t) (b : t) =
   let n = Array.length a and m = Array.length b in
-  if n <> m then Stdlib.compare n m
+  if not (Int.equal n m) then Int.compare n m
   else
     let rec loop i =
       if i >= n then 0
@@ -31,3 +31,10 @@ let to_string r =
   "(" ^ String.concat ", " (List.map Value.to_string (Array.to_list r)) ^ ")"
 
 let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

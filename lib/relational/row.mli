@@ -19,3 +19,10 @@ val equal : t -> t -> bool
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+module Tbl : Hashtbl.S with type key = t
+(** Row-keyed hash tables over {!hash}/{!equal} — the only sanctioned way
+    to key a table by rows (lint rule R1): the polymorphic [Hashtbl]
+    would split groups that {!Value.equal} unifies ([Int 1] vs
+    [Float 1.], NaN payloads). {!Key_index} and the group-by accumulator
+    in {!Eval} both build on this. *)

@@ -1,13 +1,15 @@
 type column = { name : string; ty : Value.ty }
 type t = column array
 
+exception Ambiguous_column of string
+
 let make cols =
   let a = Array.of_list cols in
-  let seen = Hashtbl.create 8 in
+  let seen = Str_tbl.create 8 in
   Array.iter
     (fun c ->
-      if Hashtbl.mem seen c.name then failwith ("Schema.make: duplicate column " ^ c.name);
-      Hashtbl.add seen c.name ())
+      if Str_tbl.mem seen c.name then failwith ("Schema.make: duplicate column " ^ c.name);
+      Str_tbl.add seen c.name ())
     a;
   a
 
@@ -25,15 +27,17 @@ let index_of s name =
      case-insensitive full-name match, then bare-name resolution ("STRING"
      matches "T1.String" when unambiguous). *)
   let exact = ref (-1) in
-  Array.iteri (fun i c -> if c.name = name then exact := i) s;
+  Array.iteri (fun i c -> if String.equal c.name name then exact := i) s;
   if !exact >= 0 then !exact
   else begin
     let lname = String.lowercase_ascii name in
     let ci = ref [] in
-    Array.iteri (fun i c -> if String.lowercase_ascii c.name = lname then ci := i :: !ci) s;
+    Array.iteri
+      (fun i c -> if String.equal (String.lowercase_ascii c.name) lname then ci := i :: !ci)
+      s;
     match !ci with
     | [ i ] -> i
-    | _ :: _ -> failwith ("Schema.index_of: ambiguous column " ^ name)
+    | _ :: _ -> raise (Ambiguous_column name)
     | [] when String.contains name '.' ->
       (* A qualified name must match a qualified column — falling back to the
          bare suffix would let T1.x resolve to T2.x. *)
@@ -42,16 +46,24 @@ let index_of s name =
       let lbare = String.lowercase_ascii (bare name) in
       let matches = ref [] in
       Array.iteri
-        (fun i c -> if String.lowercase_ascii (bare c.name) = lbare then matches := i :: !matches)
+        (fun i c ->
+          if String.equal (String.lowercase_ascii (bare c.name)) lbare then
+            matches := i :: !matches)
         s;
       match !matches with
       | [ i ] -> i
       | [] -> raise Not_found
-      | _ -> failwith ("Schema.index_of: ambiguous column " ^ name))
+      | _ -> raise (Ambiguous_column name))
   end
 
 let mem s name =
-  match index_of s name with _ -> true | exception Not_found -> false | exception Failure _ -> true
+  (* An ambiguous name matched at least two columns, so it is present —
+     just not resolvable to a single position. [mem] answers presence;
+     only resolution ([index_of]) reports the ambiguity. *)
+  match index_of s name with
+  | _ -> true
+  | exception Not_found -> false
+  | exception Ambiguous_column _ -> true
 
 let names s = Array.to_list (Array.map (fun c -> c.name) s)
 
@@ -59,11 +71,11 @@ let qualify alias s = Array.map (fun c -> { c with name = alias ^ "." ^ bare c.n
 
 let concat a b =
   let joined = Array.append a b in
-  let seen = Hashtbl.create 8 in
+  let seen = Str_tbl.create 8 in
   Array.iter
     (fun c ->
-      if Hashtbl.mem seen c.name then failwith ("Schema.concat: duplicate column " ^ c.name);
-      Hashtbl.add seen c.name ())
+      if Str_tbl.mem seen c.name then failwith ("Schema.concat: duplicate column " ^ c.name);
+      Str_tbl.add seen c.name ())
     joined;
   joined
 
@@ -74,21 +86,23 @@ let project s cols =
   in
   (* Duplicate bare names after projection (e.g. projecting T1.X and T2.X)
      keep their qualified names to stay unambiguous. *)
-  let counts = Hashtbl.create 8 in
+  let counts = Str_tbl.create 8 in
   Array.iter
     (fun c ->
-      Hashtbl.replace counts c.name (1 + (Option.value ~default:0 (Hashtbl.find_opt counts c.name))))
+      Str_tbl.replace counts c.name (1 + (Option.value ~default:0 (Str_tbl.find_opt counts c.name))))
     projected;
   let projected =
     Array.mapi
-      (fun j c -> if Hashtbl.find counts c.name > 1 then { c with name = s.(positions.(j)).name } else c)
+      (fun j c -> if Str_tbl.find counts c.name > 1 then { c with name = s.(positions.(j)).name } else c)
       projected
   in
   (projected, positions)
 
 let equal a b =
-  arity a = arity b
-  && Array.for_all2 (fun (x : column) y -> x.name = y.name && x.ty = y.ty) a b
+  Int.equal (arity a) (arity b)
+  && Array.for_all2
+       (fun (x : column) y -> String.equal x.name y.name && Value.ty_equal x.ty y.ty)
+       a b
 
 let pp fmt s =
   Format.fprintf fmt "(%s)"

@@ -12,6 +12,10 @@
 type column = { name : string; ty : Value.ty }
 type t
 
+exception Ambiguous_column of string
+(** A (typically bare) name matched more than one column, e.g. ["X"]
+    against a join schema carrying both ["T1.X"] and ["T2.X"]. *)
+
 val make : column list -> t
 val columns : t -> column list
 val arity : t -> int
@@ -19,9 +23,15 @@ val column : t -> int -> column
 
 val index_of : t -> string -> int
 (** [index_of s name] resolves [name] (qualified or bare) to a position.
-    Raises [Not_found] if absent and [Failure] if a bare name is ambiguous. *)
+    Raises [Not_found] if absent and {!Ambiguous_column} if the name
+    matches more than one column. *)
 
 val mem : t -> string -> bool
+(** Presence test. An ambiguous name is {e present} (it matched at least
+    two columns), so [mem] returns [true] for it even though [index_of]
+    raises {!Ambiguous_column} — resolution, not membership, is where
+    ambiguity is reported. *)
+
 val names : t -> string list
 
 val qualify : string -> t -> t

@@ -100,8 +100,20 @@ type cursor = { mutable toks : token list }
 let peek cur = match cur.toks with [] -> T_eof | t :: _ -> t
 let advance cur = match cur.toks with [] -> () | _ :: rest -> cur.toks <- rest
 
+let token_equal a b =
+  match a, b with
+  | T_ident x, T_ident y | T_string x, T_string y | T_op x, T_op y | T_kw x, T_kw y ->
+    String.equal x y
+  | T_int x, T_int y -> Int.equal x y
+  | T_float x, T_float y -> Float.equal x y
+  | T_lparen, T_lparen | T_rparen, T_rparen | T_comma, T_comma | T_star, T_star
+  | T_eof, T_eof -> true
+  | _ -> false
+
+let peek_is cur t = token_equal (peek cur) t
+
 let expect cur t what =
-  if peek cur = t then advance cur else fail "expected %s" what
+  if token_equal (peek cur) t then advance cur else fail "expected %s" what
 
 let expect_kw cur kw = expect cur (T_kw kw) kw
 
@@ -181,10 +193,10 @@ let parse_agg cur kw =
 
 let rec parse_query cur : query =
   expect_kw cur "SELECT";
-  let distinct = peek cur = T_kw "DISTINCT" in
+  let distinct = peek_is cur (T_kw "DISTINCT") in
   if distinct then advance cur;
   let select =
-    if peek cur = T_star then (advance cur; None)
+    if peek_is cur T_star then (advance cur; None)
     else begin
       let rec items acc =
         let item =
@@ -193,7 +205,7 @@ let rec parse_query cur : query =
             advance cur;
             let agg = parse_agg cur kw in
             let name =
-              if peek cur = T_kw "AS" then (advance cur; ident cur)
+              if peek_is cur (T_kw "AS") then (advance cur; ident cur)
               else
                 String.lowercase_ascii
                   (match agg with
@@ -208,7 +220,7 @@ let rec parse_query cur : query =
           | T_ident _ -> S_col (ident cur)
           | _ -> fail "expected select item"
         in
-        if peek cur = T_comma then (advance cur; items (item :: acc)) else List.rev (item :: acc)
+        if peek_is cur T_comma then (advance cur; items (item :: acc)) else List.rev (item :: acc)
       in
       Some (items [])
     end
@@ -218,14 +230,14 @@ let rec parse_query cur : query =
     let table = ident cur in
     let alias = match peek cur with T_ident a -> advance cur; Some a | _ -> None in
     let acc = (table, alias) :: acc in
-    if peek cur = T_comma then (advance cur; froms acc) else List.rev acc
+    if peek_is cur T_comma then (advance cur; froms acc) else List.rev acc
   in
   let from = froms [] in
   (* Explicit JOIN ... ON clauses. *)
   let rec join_clauses acc =
     match peek cur with
     | T_kw "JOIN" | T_kw "INNER" ->
-      if peek cur = T_kw "INNER" then (advance cur; expect_kw cur "JOIN") else advance cur;
+      if peek_is cur (T_kw "INNER") then (advance cur; expect_kw cur "JOIN") else advance cur;
       let table = ident cur in
       let alias = match peek cur with T_ident a -> advance cur; Some a | _ -> None in
       expect_kw cur "ON";
@@ -234,24 +246,24 @@ let rec parse_query cur : query =
     | _ -> List.rev acc
   in
   let joins = join_clauses [] in
-  let where = if peek cur = T_kw "WHERE" then (advance cur; Some (parse_cond cur)) else None in
+  let where = if peek_is cur (T_kw "WHERE") then (advance cur; Some (parse_cond cur)) else None in
   let group_by =
-    if peek cur = T_kw "GROUP" then begin
+    if peek_is cur (T_kw "GROUP") then begin
       advance cur;
       expect_kw cur "BY";
       let rec cols acc =
         let c = ident cur in
-        if peek cur = T_comma then (advance cur; cols (c :: acc)) else List.rev (c :: acc)
+        if peek_is cur T_comma then (advance cur; cols (c :: acc)) else List.rev (c :: acc)
       in
       cols []
     end
     else []
   in
   let having =
-    if peek cur = T_kw "HAVING" then (advance cur; Some (parse_cond cur)) else None
+    if peek_is cur (T_kw "HAVING") then (advance cur; Some (parse_cond cur)) else None
   in
   let order_by =
-    if peek cur = T_kw "ORDER" then begin
+    if peek_is cur (T_kw "ORDER") then begin
       advance cur;
       expect_kw cur "BY";
       let rec keys acc =
@@ -262,7 +274,7 @@ let rec parse_query cur : query =
           | T_kw "DESC" -> advance cur; Algebra.Desc
           | _ -> Algebra.Asc
         in
-        if peek cur = T_comma then (advance cur; keys ((c, dir) :: acc))
+        if peek_is cur T_comma then (advance cur; keys ((c, dir) :: acc))
         else List.rev ((c, dir) :: acc)
       in
       keys []
@@ -270,7 +282,7 @@ let rec parse_query cur : query =
     else []
   in
   let limit_n =
-    if peek cur = T_kw "LIMIT" then begin
+    if peek_is cur (T_kw "LIMIT") then begin
       advance cur;
       match peek cur with
       | T_int n -> advance cur; Some n
@@ -283,10 +295,10 @@ let rec parse_query cur : query =
 and parse_cond cur : cond =
   let rec or_level () =
     let left = and_level () in
-    if peek cur = T_kw "OR" then (advance cur; C_or (left, or_level ())) else left
+    if peek_is cur (T_kw "OR") then (advance cur; C_or (left, or_level ())) else left
   and and_level () =
     let left = atom () in
-    if peek cur = T_kw "AND" then (advance cur; C_and (left, and_level ())) else left
+    if peek_is cur (T_kw "AND") then (advance cur; C_and (left, and_level ())) else left
   and atom () =
     match peek cur with
     | T_kw "NOT" ->
@@ -312,7 +324,7 @@ and parse_cond cur : cond =
         expect cur T_lparen "(";
         let rec lits acc =
           let v = parse_literal cur in
-          if peek cur = T_comma then (advance cur; lits (v :: acc)) else List.rev (v :: acc)
+          if peek_is cur T_comma then (advance cur; lits (v :: acc)) else List.rev (v :: acc)
         in
         let vs = lits [] in
         expect cur T_rparen ")";
@@ -325,7 +337,7 @@ and parse_cond cur : cond =
           expect cur T_lparen "(";
           let rec lits acc =
             let v = parse_literal cur in
-            if peek cur = T_comma then (advance cur; lits (v :: acc)) else List.rev (v :: acc)
+            if peek_is cur T_comma then (advance cur; lits (v :: acc)) else List.rev (v :: acc)
           in
           let vs = lits [] in
           expect cur T_rparen ")";
@@ -421,7 +433,7 @@ and parse_operand_atom cur : operand =
       let table = ident cur in
       let alias = match peek cur with T_ident a -> advance cur; Some a | _ -> None in
       let conds =
-        if peek cur = T_kw "WHERE" then (advance cur; conjuncts_of (parse_cond cur)) else []
+        if peek_is cur (T_kw "WHERE") then (advance cur; conjuncts_of (parse_cond cur)) else []
       in
       expect cur T_rparen ")";
       O_subquery { sq_table = table; sq_alias = alias; sq_where = conds }
@@ -642,11 +654,11 @@ let parse_statement src =
         expect cur T_lparen "(";
         let rec values acc =
           let v = parse_literal cur in
-          if peek cur = T_comma then (advance cur; values (v :: acc)) else List.rev (v :: acc)
+          if peek_is cur T_comma then (advance cur; values (v :: acc)) else List.rev (v :: acc)
         in
         let row = values [] in
         expect cur T_rparen ")";
-        if peek cur = T_comma then (advance cur; rows (row :: acc)) else List.rev (row :: acc)
+        if peek_is cur T_comma then (advance cur; rows (row :: acc)) else List.rev (row :: acc)
       in
       Insert { table; rows = rows [] }
     | T_kw "UPDATE" ->
@@ -657,12 +669,12 @@ let parse_statement src =
         let col = ident cur in
         expect cur (T_op "=") "=";
         let e = operand_expr (parse_operand cur) in
-        if peek cur = T_comma then (advance cur; assignments ((col, e) :: acc))
+        if peek_is cur T_comma then (advance cur; assignments ((col, e) :: acc))
         else List.rev ((col, e) :: acc)
       in
       let assignments = assignments [] in
       let where =
-        if peek cur = T_kw "WHERE" then (advance cur; Some (cond_expr (parse_cond cur))) else None
+        if peek_is cur (T_kw "WHERE") then (advance cur; Some (cond_expr (parse_cond cur))) else None
       in
       Update { table; assignments; where }
     | T_kw "DELETE" ->
@@ -670,7 +682,7 @@ let parse_statement src =
       expect_kw cur "FROM";
       let table = ident cur in
       let where =
-        if peek cur = T_kw "WHERE" then (advance cur; Some (cond_expr (parse_cond cur))) else None
+        if peek_is cur (T_kw "WHERE") then (advance cur; Some (cond_expr (parse_cond cur))) else None
       in
       Delete { table; where }
     | _ -> fail "expected SELECT, INSERT, UPDATE or DELETE"

@@ -28,7 +28,7 @@ let manifest_line table =
 
 let save db ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let tables = List.sort (fun a b -> compare (Table.name a) (Table.name b)) (Database.tables db) in
+  let tables = List.sort (fun a b -> String.compare (Table.name a) (Table.name b)) (Database.tables db) in
   Out_channel.with_open_text (Filename.concat dir "MANIFEST") (fun oc ->
       List.iter
         (fun t ->
@@ -51,8 +51,8 @@ let parse_manifest_line line =
              | _ -> failwith ("Storage: bad column spec " ^ spec))
            (String.split_on_char ',' cols))
     in
-    let pk = if pk = "-" then None else Some pk in
-    let indexes = if idx = "-" then [] else String.split_on_char ',' idx in
+    let pk = if String.equal pk "-" then None else Some pk in
+    let indexes = if String.equal idx "-" then [] else String.split_on_char ',' idx in
     (name, pk, schema, indexes)
   | _ -> failwith ("Storage: bad manifest line " ^ line)
 

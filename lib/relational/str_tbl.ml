@@ -1,0 +1,1 @@
+include Hashtbl.Make (String)

@@ -1,0 +1,10 @@
+(** String-keyed hash tables: [Hashtbl.Make (String)].
+
+    The relational layer bans the polymorphic [Hashtbl] (lint rule R1,
+    docs/STATIC_ANALYSIS.md): every table must name its key's hash and
+    equality so a boxed key can never silently fall back to
+    [Hashtbl.hash]/[Stdlib.compare] semantics. This instance covers the
+    common string-keyed case (schema/column/table-name maps); row-keyed
+    tables use {!Row.Tbl}. *)
+
+include Hashtbl.S with type key = string

@@ -80,18 +80,18 @@ let iter f t = Bag.iter f t.rows
 
 let create_index t column =
   let col = Schema.index_of t.schema column in
-  t.indexes <- List.filter (fun idx -> idx.col <> col) t.indexes;
+  t.indexes <- List.filter (fun idx -> not (Int.equal idx.col col)) t.indexes;
   let idx = { col; entries = Key_index.of_bag ~size:256 [| col |] t.rows } in
   t.indexes <- idx :: t.indexes
 
 let has_index t column =
   match Schema.index_of t.schema column with
-  | col -> List.exists (fun idx -> idx.col = col) t.indexes
+  | col -> List.exists (fun idx -> Int.equal idx.col col) t.indexes
   | exception Not_found -> false
 
 let lookup t ~column v =
   let col = Schema.index_of t.schema column in
-  match List.find_opt (fun idx -> idx.col = col) t.indexes with
+  match List.find_opt (fun idx -> Int.equal idx.col col) t.indexes with
   | None -> invalid_arg (Printf.sprintf "Table.lookup(%s): no index on %s" t.tname column)
   | Some idx -> Key_index.probe_value idx.entries v
 

@@ -28,9 +28,15 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val ty_equal : ty -> ty -> bool
+(** Explicit equality on declared column types (lint rule R1 bans the
+    polymorphic [=] even on this immediate type). *)
+
 val hash : t -> int
-(** Hash compatible with {!equal} (numeric [Int n] and [Float n] with an
-    integral float hash equally). *)
+(** Keyed hash compatible with {!equal}: numeric [Int n] and [Float f]
+    with [equal (Int n) (Float f)] hash equally, [+0.]/[-0.] and all NaN
+    representations collapse to one hash each, and no polymorphic
+    [Hashtbl.hash] is involved anywhere. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

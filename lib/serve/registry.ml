@@ -71,13 +71,13 @@ let register_sql ?name t sql =
   register ~name t (Sql.parse sql)
 
 let find t id =
-  match List.find_opt (fun e -> e.id = id) t.entries with
+  match List.find_opt (fun e -> Int.equal e.id id) t.entries with
   | Some e -> e
   | None -> invalid_arg (Printf.sprintf "Serve.Registry: unknown query id %d" id)
 
 let unregister t id =
   let e = find t id in
-  t.entries <- List.filter (fun e -> e.id <> id) t.entries;
+  t.entries <- List.filter (fun e -> not (Int.equal e.id id)) t.entries;
   record_queries t;
   e.marginals
 

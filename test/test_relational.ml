@@ -25,7 +25,21 @@ let test_value_compare () =
 
 let test_value_hash_consistent () =
   Alcotest.(check bool) "Int/Float hash agree" true
-    (Value.hash (Int 7) = Value.hash (Float 7.))
+    (Value.hash (Int 7) = Value.hash (Float 7.));
+  (* Compare-equal values must hash equal: every NaN payload, -0. vs +0.,
+     and the Int/Float crossover — these are exactly the keys a keyed
+     hashtable (Row.Tbl, Key_index) would otherwise split into two groups. *)
+  let nan_payload = Int64.float_of_bits 0x7FF0000000000001L in
+  Alcotest.(check int) "NaNs compare equal" 0
+    (Value.compare (Float nan) (Float nan_payload));
+  Alcotest.(check bool) "NaNs hash equal" true
+    (Value.hash (Float nan) = Value.hash (Float nan_payload));
+  Alcotest.(check int) "-0. compares equal to +0." 0
+    (Value.compare (Float (-0.)) (Float 0.));
+  Alcotest.(check bool) "-0. hashes like +0." true
+    (Value.hash (Float (-0.)) = Value.hash (Float 0.));
+  Alcotest.(check bool) "Int 0 hashes like Float -0." true
+    (Value.hash (Int 0) = Value.hash (Float (-0.)))
 
 let test_value_arith () =
   Alcotest.check value "int add" (Int 7) (Value.add (Int 3) (Int 4));
@@ -62,8 +76,22 @@ let test_schema_qualify () =
 let test_schema_ambiguous () =
   let s = Schema.concat (Schema.qualify "T1" (schema_abc ())) (Schema.qualify "T2" (schema_abc ())) in
   Alcotest.(check int) "qualified ok" 4 (Schema.index_of s "T2.b");
-  Alcotest.check_raises "bare ambiguous" (Failure "Schema.index_of: ambiguous column a")
+  Alcotest.check_raises "bare ambiguous" (Schema.Ambiguous_column "a")
     (fun () -> ignore (Schema.index_of s "a"))
+
+(* Regression: [mem] used to answer an ambiguous bare name by catching a
+   generic [Failure], which also swallowed every other failure mode. The
+   distinction is now explicit — an ambiguous name is present ([mem] is a
+   membership test) but not resolvable ([index_of] raises). *)
+let test_schema_mem_ambiguous () =
+  let s =
+    Schema.concat (Schema.qualify "T1" (schema_abc ())) (Schema.qualify "T2" (schema_abc ()))
+  in
+  Alcotest.(check bool) "ambiguous bare is present" true (Schema.mem s "a");
+  Alcotest.(check bool) "qualified present" true (Schema.mem s "T1.a");
+  Alcotest.(check bool) "absent" false (Schema.mem s "z");
+  Alcotest.check_raises "index_of reports ambiguity" (Schema.Ambiguous_column "b")
+    (fun () -> ignore (Schema.index_of s "b"))
 
 let test_schema_project () =
   let s = Schema.qualify "T" (schema_abc ()) in
@@ -490,6 +518,69 @@ let fresh_tok_id = ref 1_000_000
 let pick_existing_row rand t =
   let rows = Bag.fold (fun row _ acc -> row :: acc) (Table.rows t) [] in
   List.nth rows (Random.State.int rand (List.length rows))
+
+(* R1's motivating hot path: the indexed K_join delta kernel probes
+   Key_index tables keyed by Row.hash/Row.equal. Pin it to a from-scratch
+   nested loop driven purely by Value.compare, over bags whose join keys
+   include NaN, Null, and Int/Float pairs that Value.equal unifies — the
+   keys a polymorphic hashtable would split or crash on. *)
+let join_key_pool =
+  [| Value.Int 1; Value.Float 1.; Value.Int 2; Value.Float 2.5;
+     Value.Float nan; Value.Float (-0.); Value.Null; Value.Text "k" |]
+
+let prop_indexed_join_delta =
+  QCheck.Test.make ~name:"view: indexed join delta equals nested-loop rebuild"
+    ~count:40
+    QCheck.(pair small_nat (small_list small_nat))
+    (fun (seed, batches) ->
+      let rand = Random.State.make [| seed; 733 |] in
+      let key () = join_key_pool.(Random.State.int rand (Array.length join_key_pool)) in
+      let db = Database.create () in
+      let schema_of cols =
+        Schema.make (List.map (fun (n, ty) -> { Schema.name = n; ty }) cols)
+      in
+      let lt = Table.create ~name:"L" (schema_of [ ("lid", Value.T_int); ("k", Value.T_float) ]) in
+      let rt = Table.create ~name:"R" (schema_of [ ("rid", Value.T_int); ("kk", Value.T_float) ]) in
+      for i = 1 to 8 do
+        Table.insert lt (r [ Int i; key () ]);
+        Table.insert rt (r [ Int (100 + i); key () ])
+      done;
+      Database.add_table db lt;
+      Database.add_table db rt;
+      let pred = Expr.(col "k" = col "kk") in
+      let view = View.create db Algebra.(join pred (scan "L") (scan "R")) in
+      let nested_reference () =
+        let keep = Expr.bind_pred (Schema.concat (Table.schema lt) (Table.schema rt)) pred in
+        let out = Bag.create () in
+        Bag.iter
+          (fun ra ca ->
+            Bag.iter
+              (fun rb cb ->
+                let joined = Row.append ra rb in
+                if keep joined then Bag.add ~count:(ca * cb) out joined)
+              (Table.rows rt))
+          (Table.rows lt);
+        out
+      in
+      List.for_all
+        (fun n ->
+          let delta = Delta.create () in
+          for _ = 1 to 1 + (n mod 5) do
+            let t, name = if Random.State.bool rand then (lt, "L") else (rt, "R") in
+            if Random.State.bool rand || Table.cardinal t = 0 then begin
+              let row = r [ Int (Random.State.int rand 1000); key () ] in
+              Table.insert t row;
+              Delta.record_insert delta ~table:name row
+            end
+            else begin
+              let row = pick_existing_row rand t in
+              Table.delete t row;
+              Delta.record_delete delta ~table:name row
+            end
+          done;
+          View.update view delta;
+          Bag.equal (nested_reference ()) (View.result view))
+        batches)
 
 (* A mixed insert/delete/update workload, each operation recorded in the
    delta exactly as Core.World would record it. *)
@@ -1019,6 +1110,7 @@ let () =
        [ Alcotest.test_case "lookup" `Quick test_schema_lookup;
          Alcotest.test_case "qualify" `Quick test_schema_qualify;
          Alcotest.test_case "ambiguous" `Quick test_schema_ambiguous;
+         Alcotest.test_case "mem-ambiguous" `Quick test_schema_mem_ambiguous;
          Alcotest.test_case "project" `Quick test_schema_project ]);
       ("bag",
        [ Alcotest.test_case "counts" `Quick test_bag_counts;
@@ -1057,7 +1149,8 @@ let () =
          Alcotest.test_case "join-delta-both-sides" `Quick test_view_join_delta_both_sides;
          Alcotest.test_case "indexed-join-no-eval" `Quick test_view_indexed_join_no_eval;
          Alcotest.test_case "recompute-short-circuit" `Quick test_view_recompute_short_circuit;
-         qc prop_view_maintenance ]);
+         qc prop_view_maintenance;
+         qc prop_indexed_join_delta ]);
       ("delta",
        [ Alcotest.test_case "coalesce" `Quick test_delta_coalesce;
          Alcotest.test_case "plus-minus" `Quick test_delta_plus_minus ]);

@@ -8,6 +8,13 @@ echo "ci: dune build"
 dune build
 echo "ci: dune runtest"
 dune runtest
+echo "ci: pdb_lint self-test"
+# The linter must be able to catch a seeded violation of every rule before
+# its clean pass on the real tree means anything (same contract as the
+# bench gate's self-test below).
+dune exec tools/lint/pdb_lint.exe -- --self-test
+echo "ci: pdb_lint"
+dune exec tools/lint/pdb_lint.exe -- --root . --json lint_report.json
 echo "ci: multi-query serve bench (smoke)"
 # Smallest-size run of the multi-query group: exercises the shared-chain
 # serving path end to end and regenerates BENCH_serve.json, so the bench

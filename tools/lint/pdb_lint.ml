@@ -1,0 +1,208 @@
+(* pdb_lint — invariant linter for the sampler/view stack.
+
+   Usage:
+     pdb_lint [--root DIR] [--doc PATH] [--json PATH] [--quiet]
+     pdb_lint --list-rules
+     pdb_lint --self-test
+
+   Exit codes: 0 clean, 1 violations found, 2 self-test failure or
+   internal error. See docs/STATIC_ANALYSIS.md for the rule catalogue
+   and allowlist syntax. *)
+
+let ( // ) = Filename.concat
+
+(* ------------------------------------------------------------------ *)
+(* Self-test: seed one violation per rule in a temp tree, assert each  *)
+(* is caught, and assert the allowlist silences a seeded twin.         *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (path // e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    Sys.mkdir path 0o755
+  end
+
+(* Each seed is (relative path, expected rule id, source). Every violation
+   reported in a seed file must carry that file's expected rule — a seed
+   tripping a foreign rule is itself a self-test failure. *)
+let seeds =
+  [ ( "lib/relational/seed_r1.ml",
+      "R1",
+      "let bad_eq (a : string) b = a = b\n\
+       let bad_sort xs = List.sort Stdlib.compare xs\n\
+       let bad_hash x = Hashtbl.hash x\n\
+       let bad_tbl () : (string, int) Hashtbl.t = Hashtbl.create 8\n" );
+    ( "lib/relational/seed_r2.ml",
+      "R2",
+      "let wall () = Unix.gettimeofday ()\nlet cpu () = Sys.time ()\n" );
+    ( "lib/relational/seed_r3.ml",
+      "R3",
+      "let shout () = print_endline \"loud\"\n" );
+    ( "lib/relational/seed_r4.ml",
+      "R4",
+      "let quiet f = try f () with _ -> 0\n" );
+    ( "lib/relational/seed_r5.ml",
+      "R5",
+      "let peek x = Obj.repr x\n" );
+    ( "lib/relational/seed_r6.ml",
+      "R6",
+      "let m = Obs.Metrics.counter \"seed.uncatalogued\"\n\
+       let g = Obs.Metrics.gauge \"seed.kind\"\n\
+       let ping () = Obs.Trace.emit \"seed.event\"\n" )
+  ]
+
+(* The same violations under allowlist comments must be silent. *)
+let allow_seed =
+  ( "lib/relational/seed_allow.ml",
+    "(* pdb_lint: allow no-poly-compare \xe2\x80\x94 self-test: allowlist must silence R1 *)\n\
+     let ok (a : string) b = a = b\n\
+     \n\
+     let ok2 () =\n\
+     \  (* pdb_lint: allow R2 \xe2\x80\x94 self-test: allowlist must silence R2 *)\n\
+     \  Unix.gettimeofday ()\n" )
+
+(* seed.stale is catalogued but never registered; seed.kind is catalogued
+   with the wrong kind. Both directions of the R6 diff must fire. *)
+let seed_doc =
+  "# Observability (self-test fixture)\n\n\
+   ## Metric catalogue\n\n\
+   | name | kind | unit | meaning |\n\
+   |---|---|---|---|\n\
+   | `seed.stale` | counter | x | catalogued but gone from code |\n\
+   | `seed.kind` | counter | x | registered as a gauge in code |\n"
+
+let self_test () =
+  let root =
+    Filename.get_temp_dir_name ()
+    // Printf.sprintf "pdb_lint_selftest_%d" (Unix.getpid ())
+  in
+  rm_rf root;
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "pdb_lint --self-test: FAIL: %s\n" s;
+        rm_rf root;
+        exit 2)
+      fmt
+  in
+  List.iter
+    (fun (rel, _, src) ->
+      mkdir_p (Filename.dirname (root // rel));
+      write_file (root // rel) src)
+    seeds;
+  let allow_rel, allow_src = allow_seed in
+  write_file (root // allow_rel) allow_src;
+  mkdir_p (root // "docs");
+  write_file (root // Lint_engine.default_doc) seed_doc;
+  let run = Lint_engine.run ~root () in
+  let by_file f =
+    List.filter (fun v -> String.equal v.Lint_engine.file f) run.Lint_engine.violations
+  in
+  (* every seeded rule fires, and fires alone, in its seed file *)
+  List.iter
+    (fun (rel, expect, _) ->
+      match by_file rel with
+      | [] -> fail "rule %s: no violation caught in %s" expect rel
+      | vs ->
+        List.iter
+          (fun v ->
+            if not (String.equal v.Lint_engine.rule_id expect) then
+              fail "%s: expected only %s violations, got %s (%s)" rel expect
+                v.Lint_engine.rule_id v.Lint_engine.msg)
+          vs)
+    seeds;
+  (* the stale doc entry is reported against the doc file *)
+  let doc_vs = by_file Lint_engine.default_doc in
+  if
+    not
+      (List.exists
+         (fun v ->
+           String.equal v.Lint_engine.rule_id "R6"
+           && Str.string_match (Str.regexp ".*seed\\.stale.*") v.Lint_engine.msg 0)
+         doc_vs)
+  then fail "R6: stale catalogue entry seed.stale not reported against the doc";
+  (* the kind mismatch is reported *)
+  if
+    not
+      (List.exists
+         (fun v ->
+           String.equal v.Lint_engine.rule_id "R6"
+           && Str.string_match (Str.regexp ".*seed\\.kind.*catalogued as a counter.*")
+                v.Lint_engine.msg 0)
+         run.Lint_engine.violations)
+  then fail "R6: kind drift on seed.kind not reported";
+  (* allowlisted twins stay silent *)
+  (match by_file allow_rel with
+  | [] -> ()
+  | v :: _ ->
+    fail "allowlist failed to silence %s in %s (line %d)" v.Lint_engine.rule_id allow_rel
+      v.Lint_engine.line);
+  rm_rf root;
+  Printf.printf "pdb_lint --self-test: OK (%d seeded violations caught across %d rules)\n"
+    (List.length run.Lint_engine.violations)
+    (List.length seeds);
+  exit 0
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let root = ref "." in
+  let doc = ref Lint_engine.default_doc in
+  let json = ref "" in
+  let quiet = ref false in
+  let do_self_test = ref false in
+  let list_rules = ref false in
+  let spec =
+    [ ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
+      ( "--doc",
+        Arg.Set_string doc,
+        Printf.sprintf "PATH metric catalogue for R6, relative to root (default %s)"
+          Lint_engine.default_doc );
+      ("--json", Arg.Set_string json, "PATH write a JSON report there ('-' for stdout)");
+      ("--quiet", Arg.Set quiet, " suppress the text report (exit code only)");
+      ("--self-test", Arg.Set do_self_test, " seed one violation per rule and assert each is caught");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit")
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "pdb_lint [--root DIR] [--doc PATH] [--json PATH] [--quiet] [--self-test] [--list-rules]";
+  if !list_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%s %-18s %s\n     fix: %s\n" r.Lint_engine.id r.Lint_engine.rname
+          r.Lint_engine.blurb r.Lint_engine.hint)
+      Lint_engine.rules;
+    exit 0
+  end;
+  if !do_self_test then self_test ();
+  let run =
+    try Lint_engine.run ~doc:!doc ~root:!root ()
+    with e ->
+      Printf.eprintf "pdb_lint: internal error: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  if not !quiet then Lint_engine.report_text stdout run;
+  (match !json with
+  | "" -> ()
+  | "-" -> Lint_engine.report_json stdout run
+  | path ->
+    let oc = open_out_bin path in
+    Lint_engine.report_json oc run;
+    close_out oc);
+  exit (if run.Lint_engine.violations = [] then 0 else 1)
