@@ -369,6 +369,199 @@ let run_checkpoint ?(smoke = false) () =
   in
   write_checkpoint_bench_json "BENCH_checkpoint.json" ~thin ~samples rows
 
+(* ------------------------------------------------------------------ *)
+(* WAL durability: per-sample delta-log cost versus the full snapshot it
+   replaces (BENCH_checkpoint.json's snapshot_cost_samples), plus a
+   crash/replay correctness check at every size. Three identically
+   seeded chains: a plain reference, a journaled twin (its marginals
+   must match the reference bit-for-bit), and a twin killed halfway and
+   resumed from snapshot + log (ditto). *)
+
+(* The NER chain for the WAL bench, fresh- and restore-side. The batch
+   proposal keeps a cursor (current document batch, proposals remaining)
+   that no snapshot captures; aligning [proposals_per_batch] with [thin]
+   makes the batch reload happen exactly at sample boundaries — which is
+   also where snapshots are taken and replay resumes — so a restored
+   chain rebuilds the same batch from the imported generator state and
+   the continuation is sample-path identical. *)
+let wal_chain_of_db ~chain_seed ~thin db =
+  let world = Core.World.create db in
+  let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
+  let rng = Mcmc.Rng.create chain_seed in
+  let proposal = Ie.Proposals.batched_flip ~proposals_per_batch:thin ~rng crf in
+  Core.Pdb.create ~world ~proposal ~rng
+
+let wal_instance ~corpus_seed ~chain_seed ~thin ~n_tokens =
+  let docs = Ie.Corpus.generate_tokens ~seed:corpus_seed ~n_tokens in
+  let db = Relational.Database.create () in
+  ignore (Ie.Token_table.load db docs : Relational.Table.t);
+  wal_chain_of_db ~chain_seed ~thin db
+
+let wal_register_all reg =
+  List.iter
+    (fun sql ->
+      ignore
+        (Serve.Registry.register ~name:sql reg (Relational.Sql.parse sql)
+          : Serve.Registry.query_id))
+    checkpoint_queries
+
+let wal_marginals reg =
+  List.map
+    (fun (id, _) -> Core.Marginals.estimates (Serve.Registry.marginals reg id))
+    (Serve.Registry.queries reg)
+
+let wal_marginals_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun ea eb ->
+         List.length ea = List.length eb
+         && List.for_all2
+              (fun (ra, pa) (rb, pb) ->
+                Relational.Row.equal ra rb && Int64.equal (Int64.bits_of_float pa) (Int64.bits_of_float pb))
+              ea eb)
+       a b
+
+let wal_compare ~n_tokens ~thin ~samples ~fsync_every =
+  (* Reference: the same chain with no durability at all. *)
+  let reg0 =
+    Serve.Registry.create (wal_instance ~corpus_seed:320 ~chain_seed:11 ~thin ~n_tokens)
+  in
+  wal_register_all reg0;
+  let t0 = Obs.Timer.start () in
+  Serve.Registry.run reg0 ~thin ~samples;
+  let sample_ns = Obs.Timer.elapsed_ns t0 / samples in
+  let reference = wal_marginals reg0 in
+  let dir = Filename.temp_file "pdb_bench_wal" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+  @@ fun () ->
+  let snap_path = Filename.concat dir "chain.ckpt" in
+  let wal_path = Filename.concat dir "chain.wal" in
+  let make_pdb db = wal_chain_of_db ~chain_seed:11 ~thin db in
+  (* Journaled twin: one record per sample, compaction disabled so the
+     final log length measures the pure per-sample durable bytes. *)
+  let policy = { Serve.Durable.fsync_every; compact_ratio = 1e9 } in
+  let reg =
+    Serve.Registry.create (wal_instance ~corpus_seed:320 ~chain_seed:11 ~thin ~n_tokens)
+  in
+  wal_register_all reg;
+  let dur = Serve.Durable.start ~snap_path ~wal_path policy reg in
+  let header_bytes = String.length (Checkpoint.Wal.header ~base_samples:0) in
+  let t0 = Obs.Timer.start () in
+  for _ = 1 to samples do
+    Serve.Registry.step reg ~thin;
+    Serve.Durable.after_sample dur
+  done;
+  let wal_sample_ns = Obs.Timer.elapsed_ns t0 / samples in
+  let bytes_per_sample =
+    float_of_int (Serve.Durable.wal_bytes dur - header_bytes) /. float_of_int samples
+  in
+  let snapshot_bytes = Serve.Durable.snapshot_bytes dur in
+  let live_equal = wal_marginals_equal reference (wal_marginals reg) in
+  Serve.Durable.close dur;
+  (* Crash twin: killed halfway (fsync_every 1, so everything the dead
+     process appended is on disk), resumed from snapshot + log tail. *)
+  let reg2 =
+    Serve.Registry.create (wal_instance ~corpus_seed:320 ~chain_seed:11 ~thin ~n_tokens)
+  in
+  wal_register_all reg2;
+  let dur2 =
+    Serve.Durable.start ~snap_path ~wal_path { policy with fsync_every = 1 } reg2
+  in
+  for _ = 1 to samples / 2 do
+    Serve.Registry.step reg2 ~thin;
+    Serve.Durable.after_sample dur2
+  done;
+  (* The crash: drop [dur2] without closing it. *)
+  let t0 = Obs.Timer.start () in
+  let dur3 = Serve.Durable.resume ~snap_path ~wal_path policy ~make_pdb in
+  let replay_ns = Obs.Timer.elapsed_ns t0 in
+  let reg3 = Serve.Durable.registry dur3 in
+  for _ = Serve.Registry.samples reg3 + 1 to samples do
+    Serve.Registry.step reg3 ~thin;
+    Serve.Durable.after_sample dur3
+  done;
+  Serve.Durable.close dur3;
+  let crash_equal = wal_marginals_equal reference (wal_marginals reg3) in
+  (sample_ns, wal_sample_ns, bytes_per_sample, snapshot_bytes, replay_ns, live_equal,
+   crash_equal)
+
+let write_wal_bench_json path ~thin ~samples ~fsync_every rows =
+  let group
+      ( n_tokens,
+        sample_ns,
+        wal_sample_ns,
+        bytes_per_sample,
+        snapshot_bytes,
+        replay_ns,
+        live_equal,
+        crash_equal ) =
+    Obs.Jsonx.obj
+      [ ("n_tokens", Obs.Jsonx.int n_tokens);
+        ("sample_ns", Obs.Jsonx.int sample_ns);
+        ("wal_sample_ns", Obs.Jsonx.int wal_sample_ns);
+        ("wal_overhead_samples",
+         Obs.Jsonx.float
+           (float_of_int (wal_sample_ns - sample_ns) /. float_of_int sample_ns));
+        ("wal_bytes_per_sample", Obs.Jsonx.float bytes_per_sample);
+        ("snapshot_bytes", Obs.Jsonx.int snapshot_bytes);
+        ("amplification_vs_snapshot",
+         Obs.Jsonx.float (float_of_int snapshot_bytes /. bytes_per_sample));
+        ("replay_ns", Obs.Jsonx.int replay_ns);
+        ("marginals_equal", (if live_equal then "true" else "false"));
+        ("crash_recovery_equal", (if crash_equal then "true" else "false")) ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (Obs.Jsonx.obj
+       [ ("config",
+          Obs.Jsonx.obj
+            [ ("thin", Obs.Jsonx.int thin);
+              ("samples", Obs.Jsonx.int samples);
+              ("fsync_every", Obs.Jsonx.int fsync_every);
+              ("queries", Obs.Jsonx.int (List.length checkpoint_queries)) ]);
+         ("wal", Obs.Jsonx.arr (List.map group rows)) ]);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwal bench written to %s\n%!" path
+
+let run_wal ?(smoke = false) () =
+  Harness.print_header
+    (if smoke then "wal durability (smoke)" else "wal durability vs snapshot cost");
+  let sizes = if smoke then [ 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let thin = 100 in
+  let samples = if smoke then 10 else 30 in
+  let fsync_every = 25 in
+  let rows =
+    List.map
+      (fun n_tokens ->
+        let ( sample_ns,
+              wal_sample_ns,
+              bytes_per_sample,
+              snapshot_bytes,
+              replay_ns,
+              live_equal,
+              crash_equal ) =
+          wal_compare ~n_tokens ~thin ~samples ~fsync_every
+        in
+        Printf.printf
+          "  %4dk tuples: sample %8.2f µs, +wal %8.2f µs (%+5.2f samples, %7.1f B/sample vs %7d B snapshot), replay %8.2f µs, live %b, crash %b\n%!"
+          (n_tokens / 1000)
+          (float_of_int sample_ns /. 1e3)
+          (float_of_int wal_sample_ns /. 1e3)
+          (float_of_int (wal_sample_ns - sample_ns) /. float_of_int sample_ns)
+          bytes_per_sample snapshot_bytes
+          (float_of_int replay_ns /. 1e3)
+          live_equal crash_equal;
+        ( n_tokens, sample_ns, wal_sample_ns, bytes_per_sample, snapshot_bytes,
+          replay_ns, live_equal, crash_equal ))
+      sizes
+  in
+  write_wal_bench_json "BENCH_wal.json" ~thin ~samples ~fsync_every rows
+
 let run () =
   Harness.print_header "A2 / micro-benchmarks (Bechamel)";
   ignore (run_group "mh-step-constant-in-n" (mh_step_tests ()) : (string * float) list);

@@ -252,11 +252,44 @@ let resume_arg =
   Arg.(
     value & flag
     & info [ "resume" ]
-        ~doc:"Resume from checkpoints left in --checkpoint-dir by a previous run.")
+        ~doc:
+          "Resume from durable state left by a previous run: the last snapshot in \
+           --checkpoint-dir, plus the replayed delta log when --wal-dir is set.")
+
+let wal_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Delta-log durability (docs/DURABILITY.md): append each sample's world delta \
+           to $(docv)/chain-<i>.wal and rewrite the full snapshot only at compaction — \
+           O(|delta|) per sample instead of O(|D|) per checkpoint. Overrides \
+           --checkpoint-every; combines with --checkpoint-dir only when both name the \
+           same directory.")
+
+let wal_fsync_every_arg =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "wal-fsync-every" ] ~docv:"N"
+        ~doc:
+          "Group-commit batch: fsync the log every $(docv) appended records (0 = only \
+           at compaction). A crash can lose at most the last unflushed batch, which the \
+           resumed chain deterministically re-samples.")
+
+let wal_compact_ratio_arg =
+  Arg.(
+    value
+    & opt float 4.0
+    & info [ "wal-compact-ratio" ] ~docv:"K"
+        ~doc:
+          "Rewrite the snapshot and rotate the log once log bytes exceed $(docv) x \
+           snapshot bytes.")
 
 let serve_cmd =
   let run seed tokens queries_file chains samples thin top ckpt_dir ckpt_every
-      ckpt_retries resume metrics_out trace_out =
+      ckpt_retries resume wal_dir wal_fsync_every wal_compact_ratio metrics_out trace_out =
     with_obs "serve" metrics_out trace_out @@ fun () ->
     (* PDB_FAILPOINT="pool.sample@K" injects a crash at sample K — the
        supervision path exercised end-to-end. *)
@@ -264,8 +297,24 @@ let serve_cmd =
      with Invalid_argument msg ->
        Printf.eprintf "error: %s\n" msg;
        exit 1);
-    if resume && ckpt_dir = None then begin
-      Printf.eprintf "error: --resume requires --checkpoint-dir\n";
+    if resume && ckpt_dir = None && wal_dir = None then begin
+      Printf.eprintf "error: --resume requires --checkpoint-dir or --wal-dir\n";
+      exit 1
+    end;
+    (match (ckpt_dir, wal_dir) with
+    | Some c, Some w when not (String.equal c w) ->
+      Printf.eprintf
+        "error: --checkpoint-dir %s and --wal-dir %s disagree; the snapshot and its \
+         delta log live in one directory\n"
+        c w;
+      exit 1
+    | _ -> ());
+    if wal_fsync_every < 0 then begin
+      Printf.eprintf "error: --wal-fsync-every must be >= 0\n";
+      exit 1
+    end;
+    if wal_compact_ratio <= 0. then begin
+      Printf.eprintf "error: --wal-compact-ratio must be > 0\n";
       exit 1
     end;
     let sqls = read_query_file queries_file in
@@ -283,9 +332,10 @@ let serve_cmd =
         sqls
     in
     let durability =
-      match ckpt_dir with
-      | None -> None
-      | Some dir ->
+      match (ckpt_dir, wal_dir) with
+      | None, None -> None
+      | dir_opt, wal_opt ->
+        let dir = match wal_opt with Some w -> w | None -> Option.get dir_opt in
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         Some
           {
@@ -295,6 +345,15 @@ let serve_cmd =
             retries = ckpt_retries;
             backoff_s = 0.05;
             remake = (fun ~chain db -> ner_pdb_of_db ~seed ~chain db);
+            wal =
+              (match wal_opt with
+              | None -> None
+              | Some _ ->
+                Some
+                  {
+                    Serve.Pool.fsync_every = wal_fsync_every;
+                    compact_ratio = wal_compact_ratio;
+                  });
           }
     in
     let t0 = Obs.Timer.start () in
@@ -322,7 +381,8 @@ let serve_cmd =
     Term.(
       const run $ seed_arg $ tokens_arg $ queries_file_arg $ chains_arg $ samples_arg
       $ thin_arg $ top_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-      $ checkpoint_retries_arg $ resume_arg $ metrics_out_arg $ trace_out_arg)
+      $ checkpoint_retries_arg $ resume_arg $ wal_dir_arg $ wal_fsync_every_arg
+      $ wal_compact_ratio_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 

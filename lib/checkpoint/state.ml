@@ -34,31 +34,11 @@ type t = {
   queries : query_state list;
 }
 
-(* ---------- payload grammar ---------- *)
+(* ---------- payload grammar ----------
 
-let enc_value b = function
-  | Value.Null -> Codec.W.u8 b 0
-  | Value.Int n ->
-      Codec.W.u8 b 1;
-      Codec.W.varint b n
-  | Value.Float x ->
-      Codec.W.u8 b 2;
-      Codec.W.float b x
-  | Value.Bool v ->
-      Codec.W.u8 b 3;
-      Codec.W.bool b v
-  | Value.Text s ->
-      Codec.W.u8 b 4;
-      Codec.W.string b s
-
-let dec_value r =
-  match Codec.R.u8 r with
-  | 0 -> Value.Null
-  | 1 -> Value.Int (Codec.R.varint r)
-  | 2 -> Value.Float (Codec.R.float r)
-  | 3 -> Value.Bool (Codec.R.bool r)
-  | 4 -> Value.Text (Codec.R.string r)
-  | n -> raise (Codec.Corrupt (Printf.sprintf "bad value tag %d" n))
+   Value/row/entry/plan spellings are shared with the WAL's record grammar
+   and live in Wire; this module owns only the snapshot-specific shapes
+   (tables, query states, the top-level envelope). *)
 
 let enc_ty b ty =
   Codec.W.u8 b
@@ -72,22 +52,8 @@ let dec_ty r =
   | 3 -> Value.T_text
   | n -> raise (Codec.Corrupt (Printf.sprintf "bad type tag %d" n))
 
-let enc_row b row =
-  Codec.W.uvarint b (Array.length row);
-  Array.iter (enc_value b) row
-
-let dec_row r =
-  let n = Codec.R.uvarint r in
-  Array.init n (fun _ -> dec_value r)
-
-let enc_entry b (row, count) =
-  enc_row b row;
-  Codec.W.varint b count
-
-let dec_entry r =
-  let row = dec_row r in
-  let count = Codec.R.varint r in
-  (row, count)
+let enc_entry = Wire.enc_entry
+let dec_entry = Wire.dec_entry
 
 let enc_column b (name, ty) =
   Codec.W.string b name;
@@ -112,21 +78,10 @@ let dec_table r =
   let t_rows = Codec.R.list r dec_entry in
   { t_name; t_pk; t_schema; t_indexed; t_rows }
 
-(* Algebra.t is a pure, closure-free ADT (Algebra + Expr constructors over
-   strings and Values), so Marshal gives deterministic bytes for equal
-   plans — the blob is itself inside the frame's CRC. *)
-let enc_algebra b (alg : Algebra.t) = Codec.W.string b (Marshal.to_string alg [])
-
-let dec_algebra r : Algebra.t =
-  let blob = Codec.R.string r in
-  match (Marshal.from_string blob 0 : Algebra.t) with
-  | alg -> alg
-  | exception _ -> raise (Codec.Corrupt "undecodable query plan")
-
 let enc_query b q =
   Codec.W.uvarint b q.q_id;
   Codec.W.string b q.q_name;
-  enc_algebra b q.q_algebra;
+  Wire.enc_algebra b q.q_algebra;
   Codec.W.list b enc_entry q.q_counts;
   Codec.W.uvarint b q.q_z;
   Codec.W.list b (fun b entries -> Codec.W.list b enc_entry entries) q.q_nodes
@@ -134,7 +89,7 @@ let enc_query b q =
 let dec_query r =
   let q_id = Codec.R.uvarint r in
   let q_name = Codec.R.string r in
-  let q_algebra = dec_algebra r in
+  let q_algebra = Wire.dec_algebra r in
   let q_counts = Codec.R.list r dec_entry in
   let q_z = Codec.R.uvarint r in
   let q_nodes = Codec.R.list r (fun r -> Codec.R.list r dec_entry) in

@@ -4,6 +4,8 @@
    Mcmc.Parallel. *)
 let m_retry = Obs.Metrics.counter "checkpoint.retry.count"
 
+type wal = { fsync_every : int; compact_ratio : float }
+
 type durability = {
   dir : string;
   every : int;
@@ -11,9 +13,11 @@ type durability = {
   retries : int;
   backoff_s : float;
   remake : chain:int -> Relational.Database.t -> Core.Pdb.t;
+  wal : wal option;
 }
 
 let chain_path d chain = Filename.concat d.dir (Printf.sprintf "chain-%d.ckpt" chain)
+let wal_path d chain = Filename.concat d.dir (Printf.sprintf "chain-%d.wal" chain)
 
 let evaluate ?(burn_in = 0) ?durability ~chains ~make ~queries ~thin ~samples () =
   (* Fresh-start path for one chain: build, burn in, register everything. *)
@@ -46,10 +50,16 @@ let evaluate ?(burn_in = 0) ?durability ~chains ~make ~queries ~thin ~samples ()
           attempts.(index) <- attempt;
           Obs.Metrics.incr m_retry
         in
-        let run_durable i =
+        (* A chain adopts on-disk state when the caller asked for a warm
+           restart or when its own crashed predecessor left it behind. *)
+        let adopt i path = Sys.file_exists path && (d.resume || attempts.(i) > 0) in
+        (* Full-snapshot durability: rewrite the whole State every
+           [every] samples. O(|D|) per checkpoint — kept for small
+           chains and as the fallback the WAL mode compacts into. *)
+        let run_snapshot i =
           let path = chain_path d i in
           let reg =
-            if Sys.file_exists path && (d.resume || attempts.(i) > 0) then
+            if adopt i path then
               Registry.restore
                 ~make_pdb:(fun db -> d.remake ~chain:i db)
                 (Checkpoint.State.load ~path)
@@ -63,6 +73,33 @@ let evaluate ?(burn_in = 0) ?durability ~chains ~make ~queries ~thin ~samples ()
           done;
           ignore (Checkpoint.State.save ~path (Registry.snapshot reg) : int);
           reg
+        in
+        (* Delta-log durability: every sample appends one O(|δ|) WAL
+           record; snapshots happen only when the log outgrows the last
+           one ([compact_ratio]) and at completion. [every] is unused —
+           compaction replaces the period. *)
+        let run_wal i (w : wal) =
+          let snap_path = chain_path d i in
+          let policy =
+            { Durable.fsync_every = w.fsync_every; compact_ratio = w.compact_ratio }
+          in
+          let dur =
+            if adopt i snap_path then
+              Durable.resume ~snap_path ~wal_path:(wal_path d i) policy
+                ~make_pdb:(fun db -> d.remake ~chain:i db)
+            else Durable.start ~snap_path ~wal_path:(wal_path d i) policy (fresh i)
+          in
+          let reg = Durable.registry dur in
+          for s = Registry.samples reg + 1 to samples do
+            Checkpoint.Failpoint.hit "pool.sample" ~index:s;
+            Registry.step reg ~thin;
+            Durable.after_sample dur
+          done;
+          Durable.close dur;
+          reg
+        in
+        let run_durable i =
+          match d.wal with None -> run_snapshot i | Some w -> run_wal i w
         in
         Mcmc.Parallel.map ~retries:d.retries ~backoff_s:d.backoff_s ~on_retry
           ~n:chains run_durable

@@ -10,6 +10,10 @@ let m_fanout_ns = Obs.Metrics.counter "serve.fanout_ns"
 let m_bootstrap_evals = Obs.Metrics.counter "serve.bootstrap_evals"
 let m_samples = Obs.Metrics.counter "serve.samples"
 
+(* Records applied on top of a snapshot during a WAL replay
+   (docs/OBSERVABILITY.md, docs/DURABILITY.md §recovery). *)
+let m_replay = Obs.Metrics.counter "wal.replay_records"
+
 type query_id = int
 
 type entry = {
@@ -24,6 +28,7 @@ type t = {
   mutable entries : entry list;  (* registration order *)
   mutable next_id : int;
   mutable samples : int;
+  mutable journal : (Checkpoint.Wal.record -> unit) option;
 }
 
 let record_queries t =
@@ -32,11 +37,28 @@ let record_queries t =
 
 let create pdb =
   ignore (Core.World.drain_delta (Core.Pdb.world pdb) : Delta.t);
-  let t = { pdb; entries = []; next_id = 0; samples = 0 } in
+  let t = { pdb; entries = []; next_id = 0; samples = 0; journal = None } in
   record_queries t;
   t
 
 let pdb t = t.pdb
+let set_journal t sink = t.journal <- Some sink
+let clear_journal t = t.journal <- None
+
+(* A drained Delta.t as the pure per-table entry lists a WAL record
+   carries: tables sorted by name, entries in Bag.to_list's canonical
+   row order — the same canonical spelling the snapshot uses, so the
+   record bytes are deterministic. *)
+let wal_delta delta =
+  Delta.tables delta
+  |> List.sort String.compare
+  |> List.filter_map (fun table ->
+         match Delta.for_table delta table with
+         | None -> None
+         | Some bag -> (
+             match Bag.to_list bag with [] -> None | entries -> Some (table, entries)))
+
+let emit t record = match t.journal with None -> () | Some sink -> sink record
 
 (* Fold the world's pending delta into every registered view without
    observing marginals. Called before the registered set changes mid-run:
@@ -48,8 +70,13 @@ let pdb t = t.pdb
    sample point unchanged. *)
 let absorb_pending t =
   let delta = Core.World.drain_delta (Core.Pdb.world t.pdb) in
-  if not (Delta.is_empty delta) then
+  if not (Delta.is_empty delta) then begin
+    (* Journal the drain before applying it: a replayed [Absorb] brings
+       the restored database and views to exactly the state the event
+       that follows it (usually a [Register]) was performed under. *)
+    emit t (Checkpoint.Wal.Absorb { delta = wal_delta delta });
     List.iter (fun e -> View.update e.view delta) t.entries
+  end
 
 let register ?name t algebra =
   absorb_pending t;
@@ -64,6 +91,7 @@ let register ?name t algebra =
   Core.Marginals.observe marginals (View.result view);
   t.entries <- t.entries @ [ { id; name; view; marginals } ];
   record_queries t;
+  emit t (Checkpoint.Wal.Register { id; name; algebra });
   id
 
 let register_sql ?name t sql =
@@ -79,6 +107,7 @@ let unregister t id =
   let e = find t id in
   t.entries <- List.filter (fun e -> not (Int.equal e.id id)) t.entries;
   record_queries t;
+  emit t (Checkpoint.Wal.Unregister { id });
   e.marginals
 
 let query_count t = List.length t.entries
@@ -97,6 +126,21 @@ let step t ~thin =
         t.entries);
   t.samples <- t.samples + 1;
   Obs.Metrics.incr m_samples;
+  (match t.journal with
+  | None -> ()
+  | Some sink ->
+      (* Post-walk counters and generator blob: replay can resume the
+         exact trajectory from any record (Wal's contract). *)
+      let stats = Core.Pdb.stats t.pdb in
+      sink
+        (Checkpoint.Wal.Sample
+           {
+             steps = Core.Pdb.steps_taken t.pdb;
+             proposed = stats.Mcmc.Metropolis.proposed;
+             accepted = stats.Mcmc.Metropolis.accepted;
+             rng = Mcmc.Rng.export (Core.Pdb.rng t.pdb);
+             delta = wal_delta delta;
+           }));
   if Obs.Trace.enabled () then
     Obs.Trace.emit
       ~args:
@@ -182,7 +226,158 @@ let restore ~make_pdb snap =
       entries;
       next_id = snap.Checkpoint.State.next_id;
       samples = snap.Checkpoint.State.samples;
+      journal = None;
     }
+  in
+  record_queries t;
+  t
+
+(* ---------- WAL replay ---------- *)
+
+(* Apply one WAL delta to the restored base tables, removals before
+   insertions per table so a primary-key update (−old, +new within one
+   batch) frees the key before reclaiming it. *)
+let apply_wal_delta db (delta : Checkpoint.Wal.delta) =
+  List.iter
+    (fun (table, entries) ->
+      let tbl = Database.table db table in
+      List.iter
+        (fun (row, count) ->
+          if count < 0 then
+            for _ = 1 to -count do
+              Table.delete tbl row
+            done)
+        entries;
+      List.iter
+        (fun (row, count) ->
+          if count > 0 then
+            for _ = 1 to count do
+              Table.insert tbl row
+            done)
+        entries)
+    delta
+
+(* The same batch as a Delta.t, for the view-maintenance fan-out. *)
+let delta_of_wal (delta : Checkpoint.Wal.delta) =
+  let d = Delta.create () in
+  List.iter
+    (fun (table, entries) ->
+      List.iter
+        (fun (row, count) ->
+          if count > 0 then
+            for _ = 1 to count do
+              Delta.record_insert d ~table row
+            done
+          else
+            for _ = 1 to -count do
+              Delta.record_delete d ~table row
+            done)
+        entries)
+    delta;
+  d
+
+let restore_wal ~make_pdb snap ~base_samples ~records =
+  if base_samples > snap.Checkpoint.State.samples then
+    raise
+      (Checkpoint.Codec.Corrupt
+         (Printf.sprintf
+            "WAL base %d is ahead of snapshot at %d samples — compaction writes the \
+             snapshot before rotating, so the log cannot extend a state the snapshot \
+             has not reached"
+            base_samples snap.Checkpoint.State.samples));
+  let snap_samples = snap.Checkpoint.State.samples in
+  let db = Checkpoint.State.restore_db snap.Checkpoint.State.tables in
+  let entries =
+    ref
+      (List.map
+         (fun q ->
+           let view =
+             View.of_states db q.Checkpoint.State.q_algebra
+               (List.map bag_of_entries q.Checkpoint.State.q_nodes)
+           in
+           let marginals =
+             Core.Marginals.of_counts ~samples:q.Checkpoint.State.q_z
+               q.Checkpoint.State.q_counts
+           in
+           { id = q.Checkpoint.State.q_id; name = q.Checkpoint.State.q_name; view; marginals })
+         snap.Checkpoint.State.queries)
+  in
+  let next_id = ref snap.Checkpoint.State.next_id in
+  let samples = ref snap_samples in
+  (* Running sample ordinal within the log. Records at or below the
+     snapshot's sample count are already part of the snapshot (the
+     crash-between-snapshot-and-rotation window) and are skipped; see
+     docs/DURABILITY.md's recovery rules. An event record at ordinal
+     [snap_samples] is live only when the log was rotated at that very
+     snapshot ([base_samples = snap_samples]) — in a log with an older
+     base, anything at that ordinal predates the snapshot. *)
+  let seen = ref base_samples in
+  let event_live () =
+    !seen > snap_samples || (Int.equal !seen snap_samples && Int.equal base_samples snap_samples)
+  in
+  let fan_out delta ~observe =
+    apply_wal_delta db delta;
+    let d = delta_of_wal delta in
+    List.iter
+      (fun e ->
+        View.update e.view d;
+        if observe then Core.Marginals.observe e.marginals (View.result e.view))
+      !entries
+  in
+  let last_sample = ref None in
+  List.iter
+    (fun record ->
+      match (record : Checkpoint.Wal.record) with
+      | Sample { steps; proposed; accepted; rng; delta } ->
+          incr seen;
+          if !seen > snap_samples then begin
+            fan_out delta ~observe:true;
+            samples := !samples + 1;
+            last_sample := Some (steps, proposed, accepted, rng);
+            Obs.Metrics.incr m_replay
+          end
+      | Register { id; name; algebra } ->
+          if event_live () then begin
+            (* Replaying a late registration repeats its bootstrap
+               evaluation — the one full-query cost a WAL restore can
+               pay, and only for queries registered after the last
+               compaction. *)
+            let view = View.create db algebra in
+            Obs.Metrics.incr m_bootstrap_evals;
+            let marginals = Core.Marginals.create () in
+            Core.Marginals.observe marginals (View.result view);
+            entries := !entries @ [ { id; name; view; marginals } ];
+            next_id := max !next_id (id + 1);
+            Obs.Metrics.incr m_replay
+          end
+      | Unregister { id } ->
+          if event_live () then begin
+            entries := List.filter (fun e -> not (Int.equal e.id id)) !entries;
+            Obs.Metrics.incr m_replay
+          end
+      | Absorb { delta } ->
+          if event_live () then begin
+            fan_out delta ~observe:false;
+            Obs.Metrics.incr m_replay
+          end)
+    records;
+  let pdb = make_pdb db in
+  if Core.Pdb.db pdb != db then
+    invalid_arg "Serve.Registry.restore_wal: make_pdb must build over the restored database";
+  (* The chain resumes from the last replayed sample when there is one,
+     else from the snapshot point. *)
+  (match !last_sample with
+  | Some (steps, proposed, accepted, rng) ->
+      Mcmc.Rng.import (Core.Pdb.rng pdb) rng;
+      Core.Pdb.restore_counters pdb ~steps ~proposed ~accepted
+  | None ->
+      Mcmc.Rng.import (Core.Pdb.rng pdb) snap.Checkpoint.State.rng;
+      Core.Pdb.restore_counters pdb ~steps:snap.Checkpoint.State.steps
+        ~proposed:snap.Checkpoint.State.proposed
+        ~accepted:snap.Checkpoint.State.accepted);
+  ignore (Core.World.drain_delta (Core.Pdb.world pdb) : Delta.t);
+  let t =
+    { pdb; entries = !entries; next_id = !next_id; samples = !samples; journal = None }
   in
   record_queries t;
   t

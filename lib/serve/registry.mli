@@ -99,3 +99,43 @@ val restore : make_pdb:(Relational.Database.t -> Core.Pdb.t) -> Checkpoint.State
     ([serve.bootstrap_evals] does not move). Raises [Invalid_argument] if
     [make_pdb] ignores its database argument, and [Checkpoint.Codec.Corrupt]
     if the snapshot is internally inconsistent. *)
+
+(** {1 Delta-log durability} (see {!Checkpoint.Wal}, {!Durable},
+    docs/DURABILITY.md)
+
+    With a journal attached, the registry narrates itself as a stream of
+    {!Checkpoint.Wal.record}s: every {!step} emits a [Sample] (the
+    drained delta plus the post-walk counters and generator blob), and
+    every mid-run {!register}/{!unregister} emits its event, preceded by
+    an [Absorb] when a pending world delta had to be drained first.
+    Replaying that stream over the snapshot it extends reproduces the
+    registry bit-for-bit. The one restriction journaling adds: all world
+    mutations must flow through {!step} — an out-of-band walk whose
+    delta is never drained by the registry would be invisible to the
+    log. *)
+
+val set_journal : t -> (Checkpoint.Wal.record -> unit) -> unit
+(** Attach the record sink (usually {!Checkpoint.Wal.append} on a live
+    writer). Records describe only what happens {e after} attachment —
+    the caller snapshots first, then attaches ({!Durable} does both). *)
+
+val clear_journal : t -> unit
+
+val restore_wal :
+  make_pdb:(Relational.Database.t -> Core.Pdb.t) ->
+  Checkpoint.State.t ->
+  base_samples:int ->
+  records:Checkpoint.Wal.record list ->
+  t
+(** {!restore}, then replay a recovered log tail on top: each live
+    [Sample] applies its delta to the restored tables, fans it out to
+    every view, observes marginals, and advances the chain's resume
+    point to its counters and generator blob; [Register]/[Unregister]/
+    [Absorb] events replay the registered-set changes (a replayed
+    registration repeats its bootstrap evaluation). Records at or below
+    the snapshot's sample count — possible when a crash hit between
+    compaction's snapshot write and its log rotation — are already part
+    of the snapshot and are skipped. Increments [wal.replay_records]
+    per applied record. Raises {!Checkpoint.Codec.Corrupt} when
+    [base_samples] is ahead of the snapshot (a state compaction's
+    write ordering makes impossible on an undamaged directory). *)

@@ -311,6 +311,7 @@ let test_kill_and_resume_bit_identical () =
       retries = 2;
       backoff_s = 0.;
       remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(700 + chain) db);
+      wal = None;
     }
   in
   let reference =
@@ -359,6 +360,7 @@ let test_kill_before_first_checkpoint () =
       retries = 1;
       backoff_s = 0.;
       remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(800 + chain) db);
+      wal = None;
     }
   in
   let reference = Serve.Pool.evaluate ~chains:1 ~make ~queries ~thin:3 ~samples:10 () in
@@ -388,6 +390,7 @@ let test_resume_from_previous_process () =
       retries = 0;
       backoff_s = 0.;
       remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(900 + chain) db);
+      wal = None;
     }
   in
   let first =
@@ -424,6 +427,7 @@ let test_poison_chain_exhausts_retries () =
       retries = 2;
       backoff_s = 0.;
       remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(950 + chain) db);
+      wal = None;
     }
   in
   (* times = attempts + 1 > retry budget: every attempt dies at sample 5. *)
@@ -438,6 +442,469 @@ let test_poison_chain_exhausts_retries () =
     (match exn with
     | Failpoint.Injected { index = 5; _ } -> ()
     | e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* WAL: record codec, torn-tail recovery, delta-log durability *)
+
+let join_sql = List.nth test_queries 2
+
+(* qcheck: WAL records survive encode → decode → encode byte-identically,
+   for random deltas over every value shape the grammar carries. *)
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [ return Value.Null;
+        map (fun n -> Value.Int n) small_signed_int;
+        map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+        map (fun b -> Value.Bool b) bool;
+        map (fun s -> Value.Text s) (string_size (int_bound 8)) ])
+
+let gen_row = QCheck.Gen.(map Row.make (list_size (int_bound 4) gen_value))
+
+let gen_entry =
+  QCheck.Gen.(
+    map2 (fun row c -> (row, if c >= 0 then c + 1 else c)) gen_row (int_range (-4) 3))
+
+let gen_delta =
+  QCheck.Gen.(
+    list_size (int_bound 3)
+      (map2 (fun t entries -> (t, entries))
+         (oneofl [ "ITEM"; "TOKEN"; "LABEL" ])
+         (list_size (int_bound 4) gen_entry)))
+
+let gen_wal_record =
+  QCheck.Gen.(
+    frequency
+      [ (4,
+         map2
+           (fun (steps, proposed, accepted) (rng, delta) ->
+             Wal.Sample { steps; proposed; accepted; rng; delta })
+           (triple (int_bound 10_000) (int_bound 10_000) (int_bound 10_000))
+           (pair (string_size (int_bound 64)) gen_delta));
+        (1,
+         map2
+           (fun id name -> Wal.Register { id; name; algebra = Sql.parse join_sql })
+           (int_bound 100) (string_size (int_bound 16)));
+        (1, map (fun id -> Wal.Unregister { id }) (int_bound 100));
+        (1, map (fun delta -> Wal.Absorb { delta }) gen_delta) ])
+
+let prop_wal_record_roundtrip =
+  QCheck.Test.make ~name:"wal: record encode/decode/encode byte-identical" ~count:200
+    (QCheck.make gen_wal_record)
+    (fun record ->
+      let payload = Wal.encode_record record in
+      String.equal payload (Wal.encode_record (Wal.decode_record payload)))
+
+let sample_records =
+  [ Wal.Sample
+      {
+        steps = 40;
+        proposed = 40;
+        accepted = 11;
+        rng = "rng-blob-one";
+        delta =
+          [ ("ITEM",
+             [ (r [ Value.Int 0; Value.Text "blue" ], 1);
+               (r [ Value.Int 0; Value.Text "red" ], -1) ]) ];
+      };
+    Wal.Register { id = 3; name = "late"; algebra = Sql.parse join_sql };
+    Wal.Absorb { delta = [ ("ITEM", [ (r [ Value.Int 2; Value.Text "red" ], 1) ]) ] };
+    Wal.Unregister { id = 3 };
+    Wal.Sample { steps = 44; proposed = 44; accepted = 12; rng = "rng-blob-two"; delta = [] } ]
+
+(* The file is exactly header ∥ frames, and truncating the log at *every*
+   byte offset of the final frame recovers cleanly to the last whole
+   record — the torn-tail guarantee. *)
+let test_wal_torn_tail_recovery () =
+  let path = Filename.temp_file "wal_test" ".wal" in
+  Fun.protect ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ path; path ^ ".tmp" ])
+  @@ fun () ->
+  let w = Wal.create ~path ~base_samples:7 ~fsync_every:1 in
+  List.iter (Wal.append w) sample_records;
+  Alcotest.(check int) "appended" 5 (Wal.appended w);
+  Wal.close w;
+  let full = Codec.read_file ~path in
+  let header = Wal.header ~base_samples:7 in
+  let frames = List.map Wal.encode_frame sample_records in
+  Alcotest.(check string) "file = header ∥ frames" (header ^ String.concat "" frames) full;
+  Alcotest.(check int) "writer byte accounting" (String.length full) (Wal.bytes w);
+  let rec_ = Wal.recover ~path in
+  Alcotest.(check int) "base_samples" 7 rec_.Wal.base_samples;
+  Alcotest.(check bool) "not torn" false rec_.Wal.torn;
+  Alcotest.(check int) "valid to EOF" (String.length full) rec_.Wal.valid_bytes;
+  Alcotest.(check (list string)) "all records recovered"
+    (List.map Wal.encode_record sample_records)
+    (List.map Wal.encode_record rec_.Wal.records);
+  let last_start = String.length full - String.length (List.nth frames 4) in
+  (* Ending exactly on the frame boundary is a clean file, not a torn one. *)
+  ignore (Codec.write_file ~path (String.sub full 0 last_start) : int);
+  let rec_ = Wal.recover ~path in
+  Alcotest.(check bool) "boundary cut is clean" false rec_.Wal.torn;
+  Alcotest.(check int) "boundary valid_bytes" last_start rec_.Wal.valid_bytes;
+  for cut = last_start + 1 to String.length full - 1 do
+    ignore (Codec.write_file ~path (String.sub full 0 cut) : int);
+    let rec_ = Wal.recover ~path in
+    Alcotest.(check bool) (Printf.sprintf "torn at %d" cut) true rec_.Wal.torn;
+    Alcotest.(check int) (Printf.sprintf "valid_bytes at %d" cut) last_start
+      rec_.Wal.valid_bytes;
+    Alcotest.(check (list string)) (Printf.sprintf "records at %d" cut)
+      (List.map Wal.encode_record (List.filteri (fun i _ -> i < 4) sample_records))
+      (List.map Wal.encode_record rec_.Wal.records)
+  done;
+  (* Reopening for append truncates the torn tail; the next append starts
+     at the last whole record. *)
+  ignore (Codec.write_file ~path (String.sub full 0 (String.length full - 2)) : int);
+  let rec_ = Wal.recover ~path in
+  let w2 = Wal.open_append ~path ~valid_bytes:rec_.Wal.valid_bytes ~fsync_every:0 in
+  Wal.append w2 (Wal.Unregister { id = 9 });
+  Wal.close w2;
+  let rec2 = Wal.recover ~path in
+  Alcotest.(check bool) "clean after reopen" false rec2.Wal.torn;
+  Alcotest.(check (list string)) "tail replaced by new record"
+    (List.map Wal.encode_record
+       (List.filteri (fun i _ -> i < 4) sample_records @ [ Wal.Unregister { id = 9 } ]))
+    (List.map Wal.encode_record rec2.Wal.records)
+
+(* Flipping any byte of a record's frame makes recovery stop before it —
+   torn, not silently wrong — and header damage raises Corrupt. *)
+let test_wal_corruption_detected () =
+  let path = Filename.temp_file "wal_test" ".wal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let w = Wal.create ~path ~base_samples:0 ~fsync_every:0 in
+  List.iter (Wal.append w) sample_records;
+  Wal.close w;
+  let full = Codec.read_file ~path in
+  let header_len = String.length (Wal.header ~base_samples:0) in
+  let first_frame_len = String.length (Wal.encode_frame (List.hd sample_records)) in
+  for i = header_len to header_len + first_frame_len - 1 do
+    let broken = Bytes.of_string full in
+    Bytes.set broken i (Char.chr (Char.code (Bytes.get broken i) lxor 0x20));
+    ignore (Codec.write_file ~path (Bytes.to_string broken) : int);
+    match Wal.recover ~path with
+    | rec_ ->
+      if not (Int.equal (List.length rec_.Wal.records) 0) then
+        Alcotest.failf "flip at byte %d: corrupted first frame yielded records" i
+    | exception Codec.Corrupt _ ->
+      (* A length-byte flip can masquerade as a CRC-valid-but-undecodable
+         frame only by colliding CRC-32, which a single bit flip cannot;
+         Corrupt here would mean the scan misclassified a torn tail. *)
+      Alcotest.failf "flip at byte %d inside a frame must read as torn, not Corrupt" i
+  done;
+  for i = 0 to header_len - 1 do
+    let broken = Bytes.of_string full in
+    Bytes.set broken i (Char.chr (Char.code (Bytes.get broken i) lxor 0x20));
+    ignore (Codec.write_file ~path (Bytes.to_string broken) : int);
+    match Wal.recover ~path with
+    | _ -> Alcotest.failf "header flip at byte %d went undetected" i
+    | exception Codec.Corrupt _ -> ()
+  done
+
+let wal_pool_durability ~dir ?(fsync_every = 1) ?(compact_ratio = 1e9) ~seed () =
+  {
+    Serve.Pool.dir;
+    every = 0;
+    resume = false;
+    retries = 2;
+    backoff_s = 0.;
+    remake = (fun ~chain db -> pdb_over_db ~n_items:4 ~seed:(seed + chain) db);
+    wal = Some { Serve.Pool.fsync_every; compact_ratio };
+  }
+
+(* One supervised WAL run against its uninterrupted reference: kill the
+   chain at a failpoint, let the supervisor restore it, and demand
+   bit-identical marginals. Returns the replayed-record, bootstrap-eval,
+   and snapshot-restore counter deltas of the killed run (baselines taken
+   after the reference run, which pays its own bootstraps). *)
+let check_wal_run ~seed ~durability ~arm () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Failpoint.disarm ())
+  @@ fun () ->
+  let queries = List.map (fun sql -> (sql, Sql.parse sql)) test_queries in
+  let make ~chain = build_pdb ~seed:(seed + chain) () in
+  let reference = Serve.Pool.evaluate ~chains:1 ~make ~queries ~thin:4 ~samples:14 () in
+  let replays0 = counter_value "wal.replay_records" in
+  let bootstraps0 = counter_value "serve.bootstrap_evals" in
+  let restores0 = counter_value "checkpoint.restore.count" in
+  arm ();
+  let survived =
+    Serve.Pool.evaluate ~chains:1 ~durability ~make ~queries ~thin:4 ~samples:14 ()
+  in
+  List.iter2
+    (fun (sql, _) (sql', m') ->
+      Alcotest.(check string) "query order" sql sql';
+      estimates_exactly_equal sql (List.assoc sql reference) m')
+    queries survived;
+  ( counter_value "wal.replay_records" - replays0,
+    counter_value "serve.bootstrap_evals" - bootstraps0,
+    counter_value "checkpoint.restore.count" - restores0 )
+
+(* Kill at sample 8: the retry must replay samples 1–7 from the log (the
+   snapshot only covers sample 0) and pay zero bootstrap evaluations
+   beyond the fresh start's. *)
+let test_wal_kill_and_resume () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let replayed, bootstraps, restores =
+    check_wal_run ~seed:760
+      ~durability:(wal_pool_durability ~dir ~seed:760 ())
+      ~arm:(fun () -> Failpoint.arm ~name:"pool.sample" ~at:8 ())
+      ()
+  in
+  Alcotest.(check int) "replayed the logged samples" 7 replayed;
+  Alcotest.(check int) "one snapshot restore" 1 restores;
+  Alcotest.(check int) "zero bootstrap evals on restore"
+    (List.length test_queries) bootstraps
+
+(* Crash between compaction's snapshot write and... before it ("wal.compact"),
+   and between the write and the log rotation ("wal.rotate") — both leave a
+   recoverable snapshot/log pair. compact_ratio 0.01 forces a rotation on
+   every sample so the failpoints sit in the live path. *)
+let test_wal_crash_mid_compaction () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  ignore
+    (check_wal_run ~seed:770
+       ~durability:(wal_pool_durability ~dir ~compact_ratio:0.01 ~seed:770 ())
+       ~arm:(fun () -> Failpoint.arm ~name:"wal.compact" ~at:3 ())
+       ()
+      : int * int * int)
+
+let test_wal_crash_mid_rotation () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let replayed, _, restores =
+    check_wal_run ~seed:780
+      ~durability:(wal_pool_durability ~dir ~compact_ratio:0.01 ~seed:780 ())
+      ~arm:(fun () -> Failpoint.arm ~name:"wal.rotate" ~at:2 ())
+      ()
+  in
+  (* The crash hit after the sample-1 snapshot was saved but before the
+     log rotated: the log's only record is already inside the snapshot
+     and must be skipped, not re-applied. *)
+  Alcotest.(check int) "snapshot already covers the log" 0 replayed;
+  Alcotest.(check int) "one snapshot restore" 1 restores
+
+(* Crash mid-append: half a frame lands on disk, durably. Recovery must
+   truncate it and resume from the last whole record. *)
+let test_wal_crash_torn_append () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let replayed, _, _ =
+    check_wal_run ~seed:790
+      ~durability:(wal_pool_durability ~dir ~seed:790 ())
+      ~arm:(fun () -> Failpoint.arm ~name:"wal.torn_append" ~at:5 ())
+      ()
+  in
+  (* The 5th record died mid-write: samples 1–4 replay from the log. *)
+  Alcotest.(check int) "replayed up to the torn frame" 4 replayed
+
+(* --resume over WAL state: a completed run's directory resumes with
+   nothing to replay and returns the identical answer without rebuilding. *)
+let test_wal_resume_previous_process () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let queries = List.map (fun sql -> (sql, Sql.parse sql)) test_queries in
+  let make ~chain = build_pdb ~seed:(810 + chain) () in
+  let durability = wal_pool_durability ~dir ~seed:810 () in
+  let first =
+    Serve.Pool.evaluate ~chains:1 ~durability ~make ~queries ~thin:3 ~samples:12 ()
+  in
+  let durability = { durability with resume = true } in
+  let poisoned_make ~chain:_ = Alcotest.fail "resume must not rebuild the chain" in
+  let second =
+    Serve.Pool.evaluate ~chains:1 ~durability ~make:poisoned_make ~queries ~thin:3
+      ~samples:12 ()
+  in
+  List.iter2 (fun (sql, m) (_, m') -> estimates_exactly_equal sql m m') first second
+
+(* Mid-run register/unregister flow through the log as events: a crashed
+   chain replays them (paying the late query's bootstrap again) and lands
+   bit-identical to an uninterrupted twin. *)
+let test_wal_register_replay () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let seed = 4242 in
+  let first_sql = List.hd test_queries in
+  let steps reg n = for _ = 1 to n do Serve.Registry.step reg ~thin:3 done in
+  (* Uninterrupted twin. *)
+  let reg_a = Serve.Registry.create (build_pdb ~seed ()) in
+  let a0 = Serve.Registry.register_sql reg_a first_sql in
+  steps reg_a 4;
+  let a1 = Serve.Registry.register_sql reg_a join_sql in
+  steps reg_a 4;
+  ignore (Serve.Registry.unregister reg_a a0 : Marginals.t);
+  steps reg_a 4;
+  (* Durable chain, crashed two samples after the unregister. *)
+  let snap_path = Filename.concat dir "chain.ckpt" in
+  let wal_path = Filename.concat dir "chain.wal" in
+  let policy = { Serve.Durable.fsync_every = 1; compact_ratio = 1e9 } in
+  let reg_b = Serve.Registry.create (build_pdb ~seed ()) in
+  let b0 = Serve.Registry.register_sql reg_b first_sql in
+  let dur = Serve.Durable.start ~snap_path ~wal_path policy reg_b in
+  let dstep reg n =
+    for _ = 1 to n do
+      Serve.Registry.step reg ~thin:3;
+      Serve.Durable.after_sample dur
+    done
+  in
+  dstep reg_b 4;
+  ignore (Serve.Registry.register_sql reg_b join_sql : Serve.Registry.query_id);
+  dstep reg_b 4;
+  ignore (Serve.Registry.unregister reg_b b0 : Marginals.t);
+  dstep reg_b 2;
+  (* Crash: drop [dur] without closing — every record is on disk
+     (fsync_every = 1), the writer's open descriptor simply dies. *)
+  let dur2 =
+    Serve.Durable.resume ~snap_path ~wal_path policy
+      ~make_pdb:(fun db -> pdb_over_db ~n_items:4 ~seed db)
+  in
+  let reg_b' = Serve.Durable.registry dur2 in
+  Alcotest.(check int) "samples replayed" 10 (Serve.Registry.samples reg_b');
+  Alcotest.(check int) "one live query" 1 (Serve.Registry.query_count reg_b');
+  for _ = 1 to 2 do
+    Serve.Registry.step reg_b' ~thin:3;
+    Serve.Durable.after_sample dur2
+  done;
+  Serve.Durable.close dur2;
+  let b1 = fst (List.hd (Serve.Registry.queries reg_b')) in
+  estimates_exactly_equal "late-registered query"
+    (Serve.Registry.marginals reg_a a1)
+    (Serve.Registry.marginals reg_b' b1)
+
+(* The point of the log: per-sample durable bytes are small against the
+   snapshot the old path rewrote every period (the paper's |Δ| ≪ |D|,
+   applied to disk). The paper-scale version of this assertion lives in
+   the wal bench + tools/bench_gate.sh floors. *)
+let test_wal_write_amplification () =
+  let dir = fresh_ckpt_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let reg = make_registry ~seed:888 () in
+  let policy = { Serve.Durable.fsync_every = 5; compact_ratio = 1e9 } in
+  let dur =
+    Serve.Durable.start ~snap_path:(Filename.concat dir "c.ckpt")
+      ~wal_path:(Filename.concat dir "c.wal") policy reg
+  in
+  let samples = 30 in
+  for _ = 1 to samples do
+    Serve.Registry.step reg ~thin:3;
+    Serve.Durable.after_sample dur
+  done;
+  let header_len = String.length (Wal.header ~base_samples:0) in
+  let per_sample = (Serve.Durable.wal_bytes dur - header_len) / samples in
+  let snap = Serve.Durable.snapshot_bytes dur in
+  Serve.Durable.close dur;
+  if per_sample <= 0 || per_sample >= snap then
+    Alcotest.failf "WAL bytes/sample %d not small against snapshot bytes %d" per_sample
+      snap
+
+(* docs/DURABILITY.md is normative: parse its layout tables and check
+   magic, version, and the record-kind table against the implementation,
+   then check the header/frame layout prose against the encoders' actual
+   bytes. This is what keeps the spec and the codec from drifting apart
+   silently — the doc is a build dependency of this test (test/dune). *)
+let read_durability_doc () =
+  let candidates = [ "../docs/DURABILITY.md"; "docs/DURABILITY.md" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.fail "docs/DURABILITY.md not found (declared in test/dune deps)"
+  | Some path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Markdown table rows as trimmed cell lists, outer pipes dropped. *)
+let doc_table_rows doc =
+  String.split_on_char '\n' doc
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.length line >= 2 && line.[0] = '|' then
+           Some
+             (String.split_on_char '|' line
+             |> List.map String.trim
+             |> List.filter (fun c -> String.length c > 0))
+         else None)
+
+let backtick_content s =
+  match String.index_opt s '`' with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt s (i + 1) '`' with
+      | None -> None
+      | Some j -> Some (String.sub s (i + 1) (j - i - 1)))
+
+let crc_le s =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Codec.crc32 s);
+  Bytes.to_string b
+
+let test_wal_doc_matches_codec () =
+  let rows = doc_table_rows (read_durability_doc ()) in
+  let field_value name =
+    match
+      List.find_opt (fun cells -> match cells with c0 :: _ -> String.equal c0 name | [] -> false) rows
+    with
+    | Some cells -> (
+        match List.filter_map backtick_content cells with
+        | v :: _ -> v
+        | [] -> Alcotest.failf "doc row %S has no backticked value" name)
+    | None -> Alcotest.failf "doc has no %S header-layout row" name
+  in
+  (* Header-layout table vs format constants. *)
+  Alcotest.(check string) "doc magic" Wal.magic (field_value "magic");
+  Alcotest.(check int) "doc version" Wal.version
+    (int_of_string (field_value "version"));
+  (* Record-kind table vs Wal.kind_tags: rows whose first two cells are a
+     backticked integer and a backticked name (the value-tag table in
+     §6.1 has plain-text type names, so it does not match). *)
+  let doc_kinds =
+    List.filter_map
+      (fun cells ->
+        match cells with
+        | c0 :: c1 :: _ -> (
+            match (backtick_content c0, backtick_content c1) with
+            | Some tag, Some name -> (
+                match int_of_string_opt tag with
+                | Some t -> Some (t, name)
+                | None -> None)
+            | _ -> None)
+        | _ -> None)
+      rows
+  in
+  Alcotest.(check (list (pair int string)))
+    "doc record-kind table = Wal.kind_tags" Wal.kind_tags doc_kinds;
+  (* §4 header layout vs the encoder: magic ∥ version u8 ∥ uvarint
+     base-samples ∥ CRC-32 LE over the preceding bytes. *)
+  let h = Wal.header ~base_samples:300 in
+  let mlen = String.length Wal.magic in
+  Alcotest.(check string) "header magic bytes" Wal.magic (String.sub h 0 mlen);
+  Alcotest.(check int) "header version byte" Wal.version (Char.code h.[mlen]);
+  let rd = Codec.R.of_string (String.sub h (mlen + 1) (String.length h - mlen - 1 - 4)) in
+  Alcotest.(check int) "header base-samples uvarint" 300 (Codec.R.uvarint rd);
+  Alcotest.(check bool) "header base-samples ends before CRC" true (Codec.R.at_end rd);
+  let prefix = String.sub h 0 (String.length h - 4) in
+  Alcotest.(check string) "header trailing CRC-32 LE" (crc_le prefix)
+    (String.sub h (String.length h - 4) 4);
+  (* §5 frame layout vs the encoder: uvarint payload-length ∥ payload ∥
+     CRC-32 LE over length bytes and payload — i.e. string(payload) then
+     its CRC — and §6: the payload leads with the kind byte. *)
+  let record =
+    Wal.Sample
+      { steps = 12; proposed = 12; accepted = 5; rng = "rngblob";
+        delta = [ ("LABEL", [ (r [ Value.Int 1 ], 1) ]) ] }
+  in
+  let payload = Wal.encode_record record in
+  Alcotest.(check int) "payload kind byte" (Wal.kind_tag record)
+    (Char.code payload.[0]);
+  let w = Codec.W.create () in
+  Codec.W.string w payload;
+  let body = Codec.W.contents w in
+  Alcotest.(check string) "frame = string(payload) ∥ CRC-32 LE"
+    (body ^ crc_le body)
+    (Wal.encode_frame record)
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in
@@ -462,4 +929,18 @@ let () =
            test_kill_before_first_checkpoint;
          Alcotest.test_case "resume-previous-process" `Quick
            test_resume_from_previous_process;
-         Alcotest.test_case "poison-chain" `Quick test_poison_chain_exhausts_retries ]) ]
+         Alcotest.test_case "poison-chain" `Quick test_poison_chain_exhausts_retries ]);
+      ("wal",
+       [ qc prop_wal_record_roundtrip;
+         Alcotest.test_case "torn-tail-recovery" `Quick test_wal_torn_tail_recovery;
+         Alcotest.test_case "corruption-detected" `Quick test_wal_corruption_detected;
+         Alcotest.test_case "kill-and-resume-bit-identical" `Quick
+           test_wal_kill_and_resume;
+         Alcotest.test_case "crash-mid-compaction" `Quick test_wal_crash_mid_compaction;
+         Alcotest.test_case "crash-mid-rotation" `Quick test_wal_crash_mid_rotation;
+         Alcotest.test_case "crash-torn-append" `Quick test_wal_crash_torn_append;
+         Alcotest.test_case "resume-previous-process" `Quick
+           test_wal_resume_previous_process;
+         Alcotest.test_case "register-replay" `Quick test_wal_register_replay;
+         Alcotest.test_case "write-amplification" `Quick test_wal_write_amplification;
+         Alcotest.test_case "doc-matches-codec" `Quick test_wal_doc_matches_codec ]) ]

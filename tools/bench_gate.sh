@@ -1,19 +1,25 @@
 #!/bin/sh
 # Perf-regression gate over the machine-readable bench outputs.
 #
-#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON]
+#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON WAL_JSON]
 #   tools/bench_gate.sh --self-test
 #
-# Reads BENCH_view.json and BENCH_serve.json (the regenerated working-tree
-# copies by default), extracts the headline speedup ratios at the largest
-# size each file carries, and fails (exit 1) when either drops below its
-# floor:
+# Reads BENCH_view.json, BENCH_serve.json, and BENCH_wal.json (the
+# regenerated working-tree copies by default), extracts the headline
+# ratios at the largest size each file carries, and fails (exit 1) when
+# any drops below its floor:
 #
 #   view  — naive-rerun / view-update at the largest size present:
 #             >= 10x when that size is >= 10k tuples (the paper-scale claim)
 #             >= 3x  when only the 1k smoke size is present (CI smoke)
 #   serve — shared-chain speedup at the largest query count present:
 #             >= 5x at 64 queries, >= 2x at 8 (CI smoke), >= 1x below
+#   wal   — at the largest size present: per-sample durability overhead
+#           (wal_overhead_samples) <= 2 samples, and snapshot bytes per
+#           WAL record (amplification_vs_snapshot) >= 1000x at 100k
+#           tokens / 100x at 10k / 10x at the 1k smoke size; any
+#           marginals_equal:false or crash_recovery_equal:false fails
+#           outright — durability must never change the answer.
 #
 # On top of the absolute floors, when the committed baseline (git show
 # HEAD:<file>) carries the same largest size, the fresh ratio must stay
@@ -112,6 +118,52 @@ check_serve() {
   fi
 }
 
+# ---- wal: delta-log durability ------------------------------------------
+
+# json_num_last FILE KEY — last numeric value of "KEY": in FILE (wal rows
+# ascend in n_tokens, so the last value belongs to the largest size).
+json_num_last() {
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | tail -n 1 | cut -d: -f2
+}
+
+wal_largest_n() {
+  grep -o '"n_tokens":[0-9]*' "$1" | cut -d: -f2 | sort -n | tail -n 1
+}
+
+check_wal() {
+  f=$1
+  [ -s "$f" ] || fail "$f missing or empty"
+  grep -q '"marginals_equal":false' "$f" \
+    && fail "$f: journaled marginals diverged from the plain chain"
+  grep -q '"crash_recovery_equal":false' "$f" \
+    && fail "$f: crash-recovered marginals diverged"
+  n=$(wal_largest_n "$f")
+  [ -n "$n" ] || fail "$f: no wal entries"
+  overhead=$(json_num_last "$f" "wal_overhead_samples")
+  amp=$(json_num_last "$f" "amplification_vs_snapshot")
+  [ -n "$overhead" ] && [ -n "$amp" ] \
+    || fail "$f: missing wal_overhead_samples/amplification_vs_snapshot"
+  if [ "$n" -ge 100000 ]; then afloor=1000
+  elif [ "$n" -ge 10000 ]; then afloor=100
+  else afloor=10; fi
+  echo "bench_gate: wal ${n} tokens: overhead ${overhead} samples (ceiling 2), snapshot/record ${amp}x (floor ${afloor}x)"
+  ge 2 "$overhead" || fail "wal per-sample overhead ${overhead} samples above ceiling 2"
+  ge "$amp" "$afloor" || fail "wal amplification ${amp}x at ${n} tokens below floor ${afloor}x"
+  base=$(git show "HEAD:$(basename "$f")" 2>/dev/null || true)
+  if [ -n "$base" ]; then
+    tmp=$(mktemp); printf '%s\n' "$base" > "$tmp"
+    bn=$(wal_largest_n "$tmp")
+    if [ "$bn" = "$n" ]; then
+      bamp=$(json_num_last "$tmp" "amplification_vs_snapshot")
+      slack=$(awk -v b="$bamp" 'BEGIN { printf "%.3f", b * 0.5 }')
+      echo "bench_gate: wal ${n} tokens: committed baseline ${bamp}x (slack floor ${slack}x)"
+      ge "$amp" "$slack" \
+        || { rm -f "$tmp"; fail "wal amplification ${amp}x regressed >50% from baseline ${bamp}x"; }
+    fi
+    rm -f "$tmp"
+  fi
+}
+
 # ---- self-test ----------------------------------------------------------
 
 self_test() {
@@ -146,10 +198,34 @@ EOF
   fi
   echo "bench_gate: self-test: diverged marginals rejected"
 
+  # Seeded regression: durability costs five samples per sample at paper
+  # scale (ceiling is 2).
+  cp BENCH_serve.json "$dir/BENCH_serve.json"
+  cat > "$dir/BENCH_wal.json" <<'EOF'
+{"config":{},"wal":[{"n_tokens":100000,"sample_ns":100,"wal_sample_ns":600,"wal_overhead_samples":5.0,"wal_bytes_per_sample":250.0,"snapshot_bytes":2500000,"amplification_vs_snapshot":10000.0,"replay_ns":1,"marginals_equal":true,"crash_recovery_equal":true}]}
+EOF
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 5-sample wal overhead (ceiling is 2)"
+  fi
+  echo "bench_gate: self-test: seeded wal regression rejected"
+
+  # A crash recovery that changed the answer must fail regardless of cost.
+  sed 's/"crash_recovery_equal":true/"crash_recovery_equal":false/' BENCH_wal.json \
+    > "$dir/BENCH_wal.json"
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted diverged crash-recovered marginals"
+  fi
+  echo "bench_gate: self-test: diverged crash recovery rejected"
+
   # The committed baselines themselves must pass.
   git show HEAD:BENCH_view.json > "$dir/BENCH_view.json"
   git show HEAD:BENCH_serve.json > "$dir/BENCH_serve.json"
-  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" >/dev/null \
+  if git cat-file -e HEAD:BENCH_wal.json 2>/dev/null; then
+    git show HEAD:BENCH_wal.json > "$dir/BENCH_wal.json"
+  else
+    cp BENCH_wal.json "$dir/BENCH_wal.json"
+  fi
+  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" >/dev/null \
     || fail "self-test: gate rejected the committed baselines"
   echo "bench_gate: self-test: committed baselines accepted"
   echo "bench_gate: self-test OK"
@@ -162,4 +238,5 @@ fi
 
 check_view "${1:-BENCH_view.json}"
 check_serve "${2:-BENCH_serve.json}"
+check_wal "${3:-BENCH_wal.json}"
 echo "bench_gate: OK"

@@ -1,13 +1,16 @@
 #!/bin/sh
 # Documentation check: build odoc docs with warnings treated as errors
-# for lib/obs (enforced by the (env (_ (odoc (warnings fatal)))) stanza
-# in lib/obs/dune). Skips cleanly when odoc is not installed — the CI
-# container bakes in the compiler toolchain but not odoc.
+# for lib/obs and lib/checkpoint (enforced by the
+# (env (_ (odoc (warnings fatal)))) stanzas in their dune files — the
+# durability layer's interface docs are normative alongside
+# docs/DURABILITY.md, so a broken reference there is an error, not
+# noise). Skips cleanly when odoc is not installed — the CI container
+# bakes in the compiler toolchain but not odoc.
 set -eu
 cd "$(dirname "$0")/.."
 if ! command -v odoc >/dev/null 2>&1; then
   echo "check_doc: odoc not installed, skipping doc build"
   exit 0
 fi
-echo "check_doc: building @doc (odoc warnings fatal for lib/obs)"
+echo "check_doc: building @doc (odoc warnings fatal for lib/obs, lib/checkpoint)"
 exec dune build @doc

@@ -26,6 +26,12 @@ echo "ci: view maintenance bench (smoke)"
 # so the incremental-vs-naive measurement stays runnable.
 dune exec bench/main.exe -- view-smoke
 test -s BENCH_view.json
+echo "ci: wal durability bench (smoke)"
+# Smallest-size run of the delta-log group: exercises journal, crash,
+# and replay end to end (including the bit-identical recovery
+# assertions) and regenerates BENCH_wal.json for the gate below.
+dune exec bench/main.exe -- wal-smoke
+test -s BENCH_wal.json
 echo "ci: bench gate self-test"
 # The gate must be able to reject a seeded regression before its pass on
 # the real numbers means anything.
