@@ -14,7 +14,7 @@
    multi-query shared-chain comparison (BENCH_serve.json); "serve-smoke"
    is its tiny CI variant. *)
 
-let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro"; "serve"; "checkpoint"; "wal" ]
+let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro"; "serve"; "checkpoint"; "wal"; "shard" ]
 
 let run ~full = function
   | "e1" -> Experiments.e1 ~full ()
@@ -36,6 +36,7 @@ let run ~full = function
   | "serve" -> Micro.run_serve ()
   | "checkpoint" -> Micro.run_checkpoint ()
   | "wal" -> Micro.run_wal ()
+  | "shard" -> Shard_bench.run ()
   | "view" -> Micro.run_view ()
   (* Tiny-scale smokes for CI (tools/ci.sh): same code paths, still write
      their BENCH_*.json, seconds instead of minutes. Not part of "all". *)
@@ -43,6 +44,7 @@ let run ~full = function
   | "view-smoke" -> Micro.run_view ~smoke:true ()
   | "checkpoint-smoke" -> Micro.run_checkpoint ~smoke:true ()
   | "wal-smoke" -> Micro.run_wal ~smoke:true ()
+  | "shard-smoke" -> Shard_bench.run ~smoke:true ()
   | id ->
     Printf.eprintf "unknown experiment %S (known: %s, all)\n" id (String.concat ", " all_ids);
     exit 2

@@ -1,0 +1,135 @@
+(* Paper-scale bench behind DESIGN.md §10 / EXPERIMENTS.md E10
+   (BENCH_shard.json): compact columnar storage and string-cluster
+   sharding.
+
+   mem   — bytes per TOKEN row, classic boxed bag vs the interned
+           columnar backend, measured as GC live-word deltas around the
+           table build (Obj.reachable_words is banned by R5; after a
+           Gc.full_major the live_words delta is exact). The interning
+           pool's own growth is charged to the columnar side, so the
+           reported ratio is conservative.
+   scale — one corpus, growing shard count at fixed total MH work: each
+           shard owns ~tokens/n of the corpus and a sweep between
+           samples is thin = tokens/n steps, so n shards deliver
+           n x (samples+1) sampled worlds for the same total walk.
+           That per-sweep-cost scaling is what the gate enforces;
+           domain parallelism (domains_used in the JSON) multiplies on
+           top of it when cores are available. *)
+
+let bper_sql = "SELECT STRING FROM TOKEN WHERE LABEL = 'B-PER'"
+
+let live_bytes () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words * (Sys.word_size / 8)
+
+(* Build TOKEN over [docs] with the given backend and return the live-heap
+   growth. [db] and [table] stay reachable across the second measurement
+   via opaque_identity, so the delta covers exactly the table storage. *)
+let table_bytes ~storage docs =
+  let before = live_bytes () in
+  let db = Relational.Database.create () in
+  let table = Ie.Token_table.load ~storage db docs in
+  let after = live_bytes () in
+  ignore (Sys.opaque_identity (db, table));
+  after - before
+
+let mem_compare ~n_tokens =
+  let docs = Ie.Corpus.generate_tokens ~seed:71 ~n_tokens in
+  let boxed = table_bytes ~storage:`Boxed docs in
+  let columnar = table_bytes ~storage:`Columnar docs in
+  let per_token bytes = float_of_int bytes /. float_of_int n_tokens in
+  (per_token boxed, per_token columnar, float_of_int boxed /. float_of_int columnar)
+
+let shard_pdb ~chain_seed docs =
+  let db = Relational.Database.create () in
+  ignore (Ie.Token_table.load db docs : Relational.Table.t);
+  let world = Core.World.create db in
+  let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
+  let rng = Mcmc.Rng.create chain_seed in
+  Core.Pdb.create ~world ~proposal:(Ie.Proposals.batched_flip ~rng crf) ~rng
+
+(* One grid point: shard [docs] [shards] ways, pre-build every per-shard
+   PDB outside the clock, then time Serve.Shard.evaluate alone — the
+   sampling throughput, not corpus loading. *)
+let scale_point ~n_tokens ~shards ~samples docs =
+  let plan = Ie.Sharding.plan ~shards docs in
+  let subs = Ie.Sharding.split plan docs in
+  let n = plan.Ie.Sharding.n_shards in
+  let pdbs = Array.init n (fun i -> shard_pdb ~chain_seed:(1_800 + (7 * i)) subs.(i)) in
+  let thin = max 1 (n_tokens / n) in
+  let queries = [ ("bper", Relational.Sql.parse bper_sql) ] in
+  let t0 = Obs.Timer.start () in
+  let results =
+    Serve.Shard.evaluate ~shards:n ~make:(fun ~shard -> pdbs.(shard)) ~queries ~thin
+      ~samples ()
+  in
+  let wall_ns = Obs.Timer.elapsed_ns t0 in
+  (* each registry observes the bootstrap world plus [samples] draws *)
+  (match results with
+  | [ (_, m) ] when Core.Marginals.samples m = samples + 1 -> ()
+  | _ -> failwith "shard bench: merged marginals missing or at the wrong sample count");
+  let worlds = n * (samples + 1) in
+  let samples_per_s = float_of_int worlds /. (float_of_int wall_ns /. 1e9) in
+  (n, thin, wall_ns, worlds, samples_per_s, plan.Ie.Sharding.clusters,
+   plan.Ie.Sharding.cut_strings)
+
+let write_json path ~mem_tokens ~scale_tokens ~samples
+    ~(mem : float * float * float) rows =
+  let boxed_bpt, columnar_bpt, mem_ratio = mem in
+  let row (n, thin, wall_ns, worlds, samples_per_s, clusters, cut_strings) =
+    Obs.Jsonx.obj
+      [ ("shards", Obs.Jsonx.int n);
+        ("thin", Obs.Jsonx.int thin);
+        ("wall_ns", Obs.Jsonx.int wall_ns);
+        ("worlds", Obs.Jsonx.int worlds);
+        ("samples_per_s", Obs.Jsonx.float samples_per_s);
+        ("clusters", Obs.Jsonx.int clusters);
+        ("cut_strings", Obs.Jsonx.int cut_strings) ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (Obs.Jsonx.obj
+       [ ("config",
+          Obs.Jsonx.obj
+            [ ("mem_tokens", Obs.Jsonx.int mem_tokens);
+              ("scale_tokens", Obs.Jsonx.int scale_tokens);
+              ("samples", Obs.Jsonx.int samples);
+              ("domains", Obs.Jsonx.int (Domain.recommended_domain_count ())) ]);
+         ("mem",
+          Obs.Jsonx.obj
+            [ ("boxed_bytes_per_token", Obs.Jsonx.float boxed_bpt);
+              ("columnar_bytes_per_token", Obs.Jsonx.float columnar_bpt);
+              ("mem_ratio", Obs.Jsonx.float mem_ratio) ]);
+         ("scale", Obs.Jsonx.arr (List.map row rows)) ]);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nshard bench written to %s\n%!" path
+
+let run ?(smoke = false) () =
+  Harness.print_header
+    (if smoke then "sharded chains / columnar storage (smoke)"
+     else "sharded chains / columnar storage (paper scale)");
+  let mem_tokens = if smoke then 5_000 else 100_000 in
+  let scale_tokens = if smoke then 20_000 else 1_000_000 in
+  let shard_grid = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let samples = 8 in
+  let ((boxed_bpt, columnar_bpt, mem_ratio) as mem) = mem_compare ~n_tokens:mem_tokens in
+  Printf.printf
+    "  storage @ %dk tokens: boxed %7.1f B/token, columnar %6.1f B/token (%4.2fx smaller)\n%!"
+    (mem_tokens / 1000) boxed_bpt columnar_bpt mem_ratio;
+  let docs = Ie.Corpus.generate_tokens ~seed:72 ~n_tokens:scale_tokens in
+  let rows =
+    List.map
+      (fun shards ->
+        let ((n, thin, wall_ns, worlds, samples_per_s, clusters, cut_strings) as r) =
+          scale_point ~n_tokens:scale_tokens ~shards ~samples docs
+        in
+        Printf.printf
+          "  %4dk tokens x %d shards: thin %7d, %2d worlds in %8.2f s -> %6.2f samples/s (%d clusters, %d cut strings)\n%!"
+          (scale_tokens / 1000) n thin worlds
+          (float_of_int wall_ns /. 1e9)
+          samples_per_s clusters cut_strings;
+        r)
+      shard_grid
+  in
+  write_json "BENCH_shard.json" ~mem_tokens ~scale_tokens ~samples ~mem rows

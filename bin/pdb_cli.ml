@@ -211,6 +211,16 @@ let queries_file_arg =
 let chains_arg =
   Arg.(value & opt int 1 & info [ "chains" ] ~docv:"C" ~doc:"Parallel MCMC chains to pool.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the corpus into $(docv) string-cluster shards (DESIGN.md, scale-out \
+           section), run one independent chain over each slice, and union the per-query \
+           answers. An alternative scale-out axis to --chains; does not combine with \
+           --chains > 1 or the durability flags.")
+
 let read_query_file path =
   let ic = open_in path in
   Fun.protect
@@ -288,7 +298,7 @@ let wal_compact_ratio_arg =
            snapshot bytes.")
 
 let serve_cmd =
-  let run seed tokens queries_file chains samples thin top ckpt_dir ckpt_every
+  let run seed tokens queries_file chains shards samples thin top ckpt_dir ckpt_every
       ckpt_retries resume wal_dir wal_fsync_every wal_compact_ratio metrics_out trace_out =
     with_obs "serve" metrics_out trace_out @@ fun () ->
     (* PDB_FAILPOINT="pool.sample@K" injects a crash at sample K — the
@@ -331,6 +341,15 @@ let serve_cmd =
             exit 1)
         sqls
     in
+    if shards < 1 then begin
+      Printf.eprintf "error: --shards must be >= 1\n";
+      exit 1
+    end;
+    if shards > 1 && (chains > 1 || ckpt_dir <> None || wal_dir <> None || resume) then begin
+      Printf.eprintf
+        "error: --shards does not combine with --chains > 1 or the durability flags\n";
+      exit 1
+    end;
     let durability =
       match (ckpt_dir, wal_dir) with
       | None, None -> None
@@ -357,15 +376,39 @@ let serve_cmd =
           }
     in
     let t0 = Obs.Timer.start () in
-    let results =
-      Serve.Pool.evaluate ~burn_in:(4 * tokens) ?durability ~chains
-        ~make:(fun ~chain -> make_ner_pdb ~seed ~tokens ~chain)
-        ~queries ~thin ~samples ()
+    let results, served_line =
+      if shards > 1 then begin
+        (* Scale-out path: partition the corpus by string cluster, one
+           chain per slice, union the answers (DESIGN.md scale-out
+           section). Burn-in happens inside [make], sized to each
+           shard's own token count. *)
+        let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
+        let plan = Ie.Sharding.plan ~shards docs in
+        let subs = Ie.Sharding.split plan docs in
+        Printf.printf "sharded %d docs into %d slices (%d string clusters, %d cut strings)\n"
+          (List.length docs) plan.Ie.Sharding.n_shards plan.Ie.Sharding.clusters
+          plan.Ie.Sharding.cut_strings;
+        let make ~shard =
+          let db = Relational.Database.create () in
+          ignore (Ie.Token_table.load db subs.(shard) : Relational.Table.t);
+          let pdb = ner_pdb_of_db ~seed ~chain:shard db in
+          Core.Pdb.walk pdb ~steps:(4 * plan.Ie.Sharding.weights.(shard));
+          pdb
+        in
+        ( Serve.Shard.evaluate ~shards:plan.Ie.Sharding.n_shards ~make ~queries ~thin
+            ~samples (),
+          Printf.sprintf "%d corpus shard(s) (%d worlds/query)" plan.Ie.Sharding.n_shards
+            (samples + 1) )
+      end
+      else
+        ( Serve.Pool.evaluate ~burn_in:(4 * tokens) ?durability ~chains
+            ~make:(fun ~chain -> make_ner_pdb ~seed ~tokens ~chain)
+            ~queries ~thin ~samples (),
+          Printf.sprintf "%d shared chain(s) (%d worlds/query)" chains
+            (chains * (samples + 1)) )
     in
-    Printf.printf "served %d queries off %d shared chain(s) in %.2fs (%d worlds/query)\n"
-      (List.length results) chains
-      (Obs.Timer.seconds (Obs.Timer.elapsed_ns t0))
-      (chains * (samples + 1));
+    Printf.printf "served %d queries off %s in %.2fs\n" (List.length results) served_line
+      (Obs.Timer.seconds (Obs.Timer.elapsed_ns t0));
     List.iter
       (fun (name, m) ->
         let answers = Core.Marginals.estimates m in
@@ -379,8 +422,8 @@ let serve_cmd =
          "Answer a file of SQL queries concurrently, all maintained off the same MCMC \
           delta stream.")
     Term.(
-      const run $ seed_arg $ tokens_arg $ queries_file_arg $ chains_arg $ samples_arg
-      $ thin_arg $ top_arg $ checkpoint_dir_arg $ checkpoint_every_arg
+      const run $ seed_arg $ tokens_arg $ queries_file_arg $ chains_arg $ shards_arg
+      $ samples_arg $ thin_arg $ top_arg $ checkpoint_dir_arg $ checkpoint_every_arg
       $ checkpoint_retries_arg $ resume_arg $ wal_dir_arg $ wal_fsync_every_arg
       $ wal_compact_ratio_arg $ metrics_out_arg $ trace_out_arg)
 

@@ -55,6 +55,34 @@ let merge ms =
     ms;
   out
 
+(* Shard union. Shards partition the database, so at aligned sample t
+   the full-corpus answer is the disjoint union of the shard answers: a
+   row only one shard can produce keeps its exact count, and the
+   normalizer stays the per-shard z (NOT the sum — chain-merging [merge]
+   would dilute a row with probability 1 on its owning shard down to
+   1/n_shards). A row several shards emit gets the union bound
+   min(z, Σ counts), exact when the shard events are disjoint. *)
+let merge_shards ms =
+  match ms with
+  | [] -> create ()
+  | m0 :: rest ->
+    List.iter
+      (fun m ->
+        if m.z <> m0.z then
+          invalid_arg "Marginals.merge_shards: shards observed different sample counts")
+      rest;
+    let out = create () in
+    List.iter
+      (fun m ->
+        RH.iter
+          (fun row c ->
+            RH.replace out.counts row
+              (min m0.z (c + Option.value ~default:0 (RH.find_opt out.counts row))))
+          m.counts)
+      ms;
+    out.z <- m0.z;
+    out
+
 let squared_error_to ~reference m =
   let seen = RH.create 64 in
   let acc = ref 0. in

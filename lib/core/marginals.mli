@@ -33,6 +33,15 @@ val of_counts : samples:int -> (Relational.Row.t * int) list -> t
 val merge : t list -> t
 (** Pools counts and normalizers across independent chains (§5.4). *)
 
+val merge_shards : t list -> t
+(** Unions per-shard marginals of one query over a {e partitioned}
+    database: every shard must have observed the same number of samples
+    z (raises [Invalid_argument] otherwise); the result keeps z as its
+    normalizer and gives each row min(z, Σ shard counts) — exact for
+    rows only one shard can produce, the union bound otherwise.
+    Contrast with {!merge}, which averages chains over the {e same}
+    data and sums the normalizers. *)
+
 val squared_error : reference:t -> t -> float
 (** Element-wise squared loss over the union of support — the paper's
     evaluation metric. *)

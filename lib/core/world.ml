@@ -11,11 +11,12 @@ let db w = w.db
 
 let get_field w (f : Field.t) =
   let table = Database.table w.db f.table in
-  match Table.find_by_pk table f.key with
+  let pos = Schema.index_of (Table.schema table) f.column in
+  match Table.cell_by_pk table f.key ~pos with
   | None ->
     invalid_arg
       (Printf.sprintf "World.get_field: no row %s in %s" (Value.to_string f.key) f.table)
-  | Some row -> Row.get row (Schema.index_of (Table.schema table) f.column)
+  | Some v -> v
 
 let set_field w (f : Field.t) value =
   let table = Database.table w.db f.table in

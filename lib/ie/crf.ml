@@ -20,19 +20,62 @@ let max_skip_degree = 20
 let create ?(skip_edges = true) ~params world =
   let open Relational in
   let table = Database.table (Core.World.db world) Token_table.table_name in
-  let rows =
-    Bag.rows (Table.rows table)
-    |> List.sort (fun a b -> Value.compare (Row.get a 0) (Row.get b 0))
-    |> Array.of_list
+  let strings, labels, truth, doc_of =
+    match Table.column_ints table "tok_id" with
+    | Some tok ->
+      (* Columnar bulk read: raw int columns, no boxed rows at any point —
+         at the paper's 1M–10M-token scale (Fig 4a) decoding the table
+         row-by-row would transiently allocate tens of millions of
+         boxes. Storage order is insertion order, which the loader emits
+         in tok_id order; verify and fall back to an argsort if rows
+         were churned. *)
+      let n = Array.length tok in
+      let col name =
+        match Table.column_ints table name with Some a -> a | None -> assert false
+      in
+      let doc = col "doc_id" and str = col "string" and lab = col "label" and tru = col "truth" in
+      let sorted =
+        let ok = ref true in
+        for i = 0 to n - 2 do
+          if tok.(i) >= tok.(i + 1) then ok := false
+        done;
+        !ok
+      in
+      let perm = Array.init n (fun i -> i) in
+      if not sorted then Array.sort (fun a b -> Int.compare tok.(a) tok.(b)) perm;
+      (* Distinct label strings number |Labels.all| + whatever TRUTH holds;
+         parse each interned id once. *)
+      let label_cache : (int, Labels.t) Hashtbl.t = Hashtbl.create 16 in
+      let label_of id =
+        match Hashtbl.find_opt label_cache id with
+        | Some l -> l
+        | None ->
+          let l = Labels.of_string (Intern.resolve id) in
+          Hashtbl.replace label_cache id l;
+          l
+      in
+      ( Array.init n (fun i -> Intern.resolve str.(perm.(i))),
+        Array.init n (fun i -> label_of lab.(perm.(i))),
+        Array.init n (fun i -> label_of tru.(perm.(i))),
+        Array.init n (fun i -> doc.(perm.(i))) )
+    | None ->
+      let rows =
+        Bag.rows (Table.rows table)
+        |> List.sort (fun a b -> Value.compare (Row.get a 0) (Row.get b 0))
+        |> Array.of_list
+      in
+      let schema = Table.schema table in
+      let col name = Schema.index_of schema name in
+      let c_doc = col "doc_id"
+      and c_str = col "string"
+      and c_lab = col "label"
+      and c_tru = col "truth" in
+      ( Array.map (fun r -> Value.to_string (Row.get r c_str)) rows,
+        Array.map (fun r -> Labels.of_string (Value.to_string (Row.get r c_lab))) rows,
+        Array.map (fun r -> Labels.of_string (Value.to_string (Row.get r c_tru))) rows,
+        Array.map (fun r -> Value.to_int (Row.get r c_doc)) rows )
   in
-  let n = Array.length rows in
-  let schema = Table.schema table in
-  let col name = Schema.index_of schema name in
-  let c_doc = col "doc_id" and c_str = col "string" and c_lab = col "label" and c_tru = col "truth" in
-  let strings = Array.map (fun r -> Value.to_string (Row.get r c_str)) rows in
-  let labels = Array.map (fun r -> Labels.of_string (Value.to_string (Row.get r c_lab))) rows in
-  let truth = Array.map (fun r -> Labels.of_string (Value.to_string (Row.get r c_tru))) rows in
-  let doc_of = Array.map (fun r -> Value.to_int (Row.get r c_doc)) rows in
+  let n = Array.length strings in
   (* Document ranges: token ids are dense in document order. *)
   let ranges = ref [] in
   let i = ref 0 in
@@ -94,10 +137,22 @@ let token_string t i = t.strings.(i)
 let doc_of t i = t.doc_of.(i)
 
 let doc_token_range t d =
-  (* doc ids are the position in doc_ranges because loading is dense and in
-     order; guard anyway. *)
+  (* [d] is the dense document index (position in doc_ranges) — NOT the
+     corpus doc id, which need not be dense once a shard holds a subset
+     of the documents (Sharding keeps original ids). *)
   if d < 0 || d >= Array.length t.doc_ranges then invalid_arg "Crf.doc_token_range";
   t.doc_ranges.(d)
+
+let doc_index_at t pos =
+  if pos < 0 || pos >= Array.length t.doc_of then invalid_arg "Crf.doc_index_at";
+  (* Binary search: ranges are consecutive and cover [0, n). *)
+  let lo = ref 0 and hi = ref (Array.length t.doc_ranges - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let _, stop = t.doc_ranges.(mid) in
+    if pos < stop then hi := mid else lo := mid + 1
+  done;
+  !lo
 
 let docs_containing t s =
   let table =
@@ -105,18 +160,23 @@ let docs_containing t s =
     | Some h -> h
     | None ->
       let h = Hashtbl.create 1024 in
+      (* Dense document indices, built range by range so the dedup head
+         check works even when positions of one doc are visited across
+         a range boundary. *)
       Array.iteri
-        (fun pos str ->
-          let doc = t.doc_of.(pos) in
-          match Hashtbl.find_opt h str with
-          | Some (d :: _ as ds) when d = doc -> ignore ds
-          | Some ds -> Hashtbl.replace h str (doc :: ds)
-          | None -> Hashtbl.replace h str [ doc ])
-        t.strings;
+        (fun d (start, stop) ->
+          for pos = start to stop - 1 do
+            let str = t.strings.(pos) in
+            match Hashtbl.find_opt h str with
+            | Some (d' :: _) when d' = d -> ()
+            | Some ds -> Hashtbl.replace h str (d :: ds)
+            | None -> Hashtbl.replace h str [ d ]
+          done)
+        t.doc_ranges;
       t.string_docs <- Some h;
       h
   in
-  List.sort compare (Option.value ~default:[] (Hashtbl.find_opt table s))
+  List.sort Int.compare (Option.value ~default:[] (Hashtbl.find_opt table s))
 
 let label t i = t.labels.(i)
 let truth t i = t.truth.(i)
@@ -222,8 +282,9 @@ let set_label_local t ~pos l = t.labels.(pos) <- l
 let set_label t ~pos l =
   if t.labels.(pos) <> l then begin
     t.labels.(pos) <- l;
-    Core.World.set_field t.world (Token_table.field_of_tok pos)
-      (Relational.Value.Text (Labels.to_string l))
+    (* [Labels.value] is the shared interned box — an accepted flip
+       allocates no text (lint rule R7). *)
+    Core.World.set_field t.world (Token_table.field_of_tok pos) (Labels.value l)
   end
 
 let set_labels_multi t changes =

@@ -24,16 +24,27 @@ val n_tokens : t -> int
 val n_docs : t -> int
 val token_string : t -> int -> string
 val doc_of : t -> int -> int
+(** The corpus doc id of a token position — an opaque tag (same id ⇔
+    same document), {e not} an index: a CRF built over a shard keeps the
+    original corpus ids, which are then not dense. *)
+
 val doc_token_range : t -> int -> int * int
-(** [(first, last_exclusive)] global token ids of a document. *)
+(** [(first, last_exclusive)] token positions of the document with dense
+    index [d ∈ \[0, n_docs)] — the argument is the position in document
+    order, not the {!doc_of} id. *)
+
+val doc_index_at : t -> int -> int
+(** The dense document index containing a token position (binary search
+    over the ranges); inverse of {!doc_token_range} in the sense
+    [fst (doc_token_range t (doc_index_at t p)) <= p]. *)
 
 val label : t -> int -> Labels.t
 val truth : t -> int -> Labels.t
 val skip_partners : t -> int -> int array
 
 val docs_containing : t -> string -> int list
-(** Documents in which the exact token string occurs (ascending); cached
-    after first use. *)
+(** Dense document indices (as accepted by {!doc_token_range}) in which
+    the exact token string occurs, ascending; cached after first use. *)
 
 val delta_log_score : t -> pos:int -> Labels.t -> float
 (** log π(world with token [pos] relabelled) − log π(current world). *)

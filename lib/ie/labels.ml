@@ -13,6 +13,18 @@ let to_string = function
   | B e -> "B-" ^ entity_string e
   | I e -> "I-" ^ entity_string e
 
+(* Position in {!all}; total, branch-only. *)
+let ordinal = function
+  | O -> 0
+  | B Per -> 1
+  | I Per -> 2
+  | B Org -> 3
+  | I Org -> 4
+  | B Loc -> 5
+  | I Loc -> 6
+  | B Misc -> 7
+  | I Misc -> 8
+
 let of_string_opt = function
   | "O" -> Some O
   | s -> (
@@ -26,9 +38,13 @@ let of_string_opt = function
         | "MISC" -> Some Misc
         | _ -> None
       in
+      (* Return the shared constants from [all] rather than fresh [B e]/
+         [I e] blocks: model construction over millions of tokens parses
+         one label per row, and the truth/label arrays then all point at
+         nine blocks total. *)
       match entity, s.[0], s.[1] with
-      | Some e, 'B', '-' -> Some (B e)
-      | Some e, 'I', '-' -> Some (I e)
+      | Some e, 'B', '-' -> Some all.(ordinal (B e))
+      | Some e, 'I', '-' -> Some all.(ordinal (I e))
       | _ -> None)
 
 let of_string s =
@@ -37,6 +53,12 @@ let of_string s =
   | None -> invalid_arg ("Labels.of_string: " ^ s)
 
 let entity_of = function O -> None | B e | I e -> Some e
+
+(* One interned id (hence one shared [Value.Text] box) per label: the
+   sampler's accepted-flip path writes [value l] into the TOKEN table
+   without allocating text (lint rule R7). *)
+let interned = Array.map (fun l -> Relational.Intern.intern (to_string l)) all
+let value l = Relational.Intern.value interned.(ordinal l)
 
 let domain = Factorgraph.Domain.make (Array.to_list (Array.map to_string all))
 

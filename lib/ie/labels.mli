@@ -15,7 +15,14 @@ val of_string : string -> t
 (** Raises [Invalid_argument] on unknown labels. *)
 
 val of_string_opt : string -> t option
+(** Returns the shared constants of {!all} (no allocation per call). *)
+
 val entity_of : t -> entity option
+
+val value : t -> Relational.Value.t
+(** The label as a cell value, one shared interned [Value.Text] box per
+    label — what the sampler writes into TOKEN.LABEL on an accepted flip
+    without allocating text on the per-sample path (lint rule R7). *)
 
 val domain : Factorgraph.Domain.t
 (** The label set as a factor-graph domain, in {!all} order. *)

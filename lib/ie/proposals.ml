@@ -84,8 +84,7 @@ let segment_flip ?(max_len = 3) crf : Core.World.t Proposal.t =
   fun rng _world ->
     let n = Crf.n_tokens crf in
     let start = Rng.int rng n in
-    let doc = Crf.doc_of crf start in
-    let _, stop = Crf.doc_token_range crf doc in
+    let _, stop = Crf.doc_token_range crf (Crf.doc_index_at crf start) in
     let len = min (1 + Rng.int rng max_len) (stop - start) in
     let current = Array.init len (fun i -> Crf.label crf (start + i)) in
     let touches_clamp =

@@ -1,0 +1,109 @@
+(* String-cluster sharding. See sharding.mli for the contract. *)
+
+type t = {
+  n_shards : int;
+  assignment : int array;
+  weights : int array;
+  clusters : int;
+  cut_strings : int;
+}
+
+(* Union-find over doc-list positions, path-halving. *)
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    parent.(i) <- parent.(p);
+    find parent parent.(i)
+  end
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let lightest weights =
+  let best = ref 0 in
+  Array.iteri (fun s w -> if w < weights.(!best) then best := s) weights;
+  !best
+
+let plan ~shards docs =
+  if shards < 1 then invalid_arg "Sharding.plan: shards must be >= 1";
+  let docs = Array.of_list docs in
+  let n = Array.length docs in
+  if n = 0 then invalid_arg "Sharding.plan: empty corpus";
+  let weight d = Array.length docs.(d).Corpus.tokens in
+  (* Cluster: union documents sharing a capitalized string. *)
+  let parent = Array.init n (fun i -> i) in
+  let first_doc : int Relational.Str_tbl.t = Relational.Str_tbl.create 1024 in
+  Array.iteri
+    (fun d { Corpus.tokens; _ } ->
+      Array.iter
+        (fun { Corpus.string; _ } ->
+          if Lexicon.is_capitalized string then begin
+            match Relational.Str_tbl.find_opt first_doc string with
+            | Some d0 -> union parent d0 d
+            | None -> Relational.Str_tbl.replace first_doc string d
+          end)
+        tokens)
+    docs;
+  let roots = Hashtbl.create 64 in
+  for d = 0 to n - 1 do
+    let r = find parent d in
+    Hashtbl.replace roots r
+      ((match Hashtbl.find_opt roots r with Some (w, ds) -> (w + weight d, d :: ds) | None -> (weight d, [ d ])))
+  done;
+  let clusters = Hashtbl.length roots in
+  let n_shards = min shards n in
+  let weights = Array.make n_shards 0 in
+  let assignment = Array.make n (-1) in
+  if clusters >= n_shards then begin
+    (* Whole clusters onto the lightest shard, heaviest first. *)
+    let cs = Hashtbl.fold (fun _ (w, ds) acc -> (w, ds) :: acc) roots [] in
+    let cs = List.sort (fun (a, _) (b, _) -> Int.compare b a) cs in
+    List.iter
+      (fun (w, ds) ->
+        let s = lightest weights in
+        weights.(s) <- weights.(s) + w;
+        List.iter (fun d -> assignment.(d) <- s) ds)
+      cs
+  end
+  else begin
+    (* Fewer clusters than shards: cut clusters at document granularity
+       so no shard is empty; heaviest documents first. *)
+    let ds = List.init n (fun d -> (weight d, d)) in
+    let ds = List.sort (fun (a, da) (b, db) -> if a = b then Int.compare da db else Int.compare b a) ds in
+    List.iter
+      (fun (w, d) ->
+        let s = lightest weights in
+        weights.(s) <- weights.(s) + w;
+        assignment.(d) <- s)
+      ds;
+    (* A zero-token document could leave a shard empty if every document
+       is empty; the n_shards <= n clamp plus heaviest-first assignment
+       guarantees each of the first n_shards picks lands on a distinct
+       empty shard. *)
+    ()
+  end;
+  (* Count capitalized strings whose documents landed on >1 shard. *)
+  let seen : int Relational.Str_tbl.t = Relational.Str_tbl.create 1024 in
+  let cut : unit Relational.Str_tbl.t = Relational.Str_tbl.create 64 in
+  Array.iteri
+    (fun d { Corpus.tokens; _ } ->
+      Array.iter
+        (fun { Corpus.string; _ } ->
+          if Lexicon.is_capitalized string then begin
+            match Relational.Str_tbl.find_opt seen string with
+            | None -> Relational.Str_tbl.replace seen string assignment.(d)
+            | Some s0 ->
+              if s0 <> assignment.(d) then Relational.Str_tbl.replace cut string ()
+          end)
+        tokens)
+    docs;
+  { n_shards; assignment; weights; clusters; cut_strings = Relational.Str_tbl.length cut }
+
+let split t docs =
+  if List.length docs <> Array.length t.assignment then
+    invalid_arg "Sharding.split: doc list does not match the plan";
+  let out = Array.make t.n_shards [] in
+  List.iteri (fun d doc -> out.(t.assignment.(d)) <- doc :: out.(t.assignment.(d))) docs;
+  Array.map List.rev out

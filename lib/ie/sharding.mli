@@ -1,0 +1,36 @@
+(** Partitioning a corpus into shard-local factor graphs.
+
+    Skip-chain factors connect identical capitalized strings, so two
+    documents interact only when they share such a string (in this
+    implementation skip edges are within-document, making any document
+    partition factor-exact — but clustering by shared strings keeps the
+    plan correct for corpus-level skip chains and minimises the
+    statistical coupling a partition cuts). [plan] therefore:
+
+    + unions documents that share a capitalized string into clusters,
+    + bin-packs whole clusters onto shards, largest first, onto the
+      currently lightest shard (token-weighted);
+    + only when there are fewer clusters than shards (the common case
+      for a synthetic corpus with a shared lexicon — everything collapses
+      into one giant cluster) falls back to the same greedy packing at
+      document granularity, now cutting strings across shards.
+
+    [cut_strings] reports how many capitalized strings ended up spanning
+    shards — 0 exactly when sharded inference is factor-exact even with
+    corpus-level skip chains. Each shard keeps its documents in corpus
+    order with their original doc ids. *)
+
+type t = {
+  n_shards : int;  (** effective count: min(requested, #docs) — no empty shards *)
+  assignment : int array;  (** position in the doc list -> shard *)
+  weights : int array;  (** tokens per shard *)
+  clusters : int;  (** string-connected components in the corpus *)
+  cut_strings : int;  (** capitalized strings spanning more than one shard *)
+}
+
+val plan : shards:int -> Corpus.doc list -> t
+(** Raises [Invalid_argument] if [shards < 1] or the corpus is empty. *)
+
+val split : t -> Corpus.doc list -> Corpus.doc list array
+(** The sub-corpora, [n_shards] of them, documents in original order.
+    The doc list must be the one the plan was built from (same length). *)

@@ -11,8 +11,13 @@ let schema () =
       { Schema.name = "label"; ty = Value.T_text };
       { Schema.name = "truth"; ty = Value.T_text } ]
 
-let load db docs =
-  let t = Database.create_table db ~pk:"tok_id" ~name:table_name (schema ()) in
+let load ?(storage = `Columnar) db docs =
+  let t =
+    match storage with
+    | `Columnar -> Table.create_columnar ~pk:"tok_id" ~name:table_name (schema ())
+    | `Boxed -> Table.create ~pk:"tok_id" ~name:table_name (schema ())
+  in
+  Database.add_table db t;
   let tok_id = ref 0 in
   List.iter
     (fun { Corpus.id = doc_id; tokens } ->

@@ -8,9 +8,16 @@
 val table_name : string
 val schema : unit -> Relational.Schema.t
 
-val load : Relational.Database.t -> Corpus.doc list -> Relational.Table.t
+val load :
+  ?storage:[ `Boxed | `Columnar ] -> Relational.Database.t -> Corpus.doc list ->
+  Relational.Table.t
 (** Creates and fills TOKEN; token ids are assigned densely from 0 in
-    document order, so [tok_id] doubles as the global position. *)
+    document order, so [tok_id] doubles as the global position. The
+    default backend is the compact columnar one (ints + interned
+    strings, see {!Relational.Table.create_columnar}) — a handful of
+    words per token instead of a boxed row, which is what lets the
+    1M–10M-token corpora of Fig 4a fit; [`Boxed] keeps the classic bag
+    storage (the bench's memory comparison uses both). *)
 
 val field_of_tok : int -> Core.Field.t
 (** The LABEL field of a given token id. *)

@@ -90,7 +90,7 @@ let parse_cell (ty : Value.ty) raw =
       | _ -> failwith (Printf.sprintf "Csv_io: %S is not a boolean" raw))
     | Value.T_text -> Value.Text raw
 
-let read_channel ?pk ~name schema ic =
+let read_channel ?pk ?(columnar = false) ~name schema ic =
   let header =
     match In_channel.input_line ic with
     | None -> failwith "Csv_io: empty input"
@@ -110,7 +110,13 @@ let read_channel ?pk ~name schema ic =
         | Some j -> j
         | None -> failwith ("Csv_io: missing column " ^ target))
   in
-  let table = Table.create ?pk ~name schema in
+  let table =
+    if columnar then
+      match pk with
+      | Some pk -> Table.create_columnar ~pk ~name schema
+      | None -> invalid_arg (Printf.sprintf "Csv_io(%s): columnar tables need a primary key" name)
+    else Table.create ?pk ~name schema
+  in
   let rec loop line_no =
     match In_channel.input_line ic with
     | None -> ()
@@ -129,6 +135,7 @@ let read_channel ?pk ~name schema ic =
   loop 2;
   table
 
-let read_file ?pk ~name schema path =
+let read_file ?pk ?columnar ~name schema path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ?pk ~name schema ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      read_channel ?pk ?columnar ~name schema ic)

@@ -13,12 +13,15 @@ val write_channel : out_channel -> Table.t -> unit
 val write_file : string -> Table.t -> unit
 
 val read_channel :
-  ?pk:string -> name:string -> Schema.t -> in_channel -> Table.t
+  ?pk:string -> ?columnar:bool -> name:string -> Schema.t -> in_channel -> Table.t
 (** Reads rows into a fresh table. The header must name exactly the schema's
-    columns (case-insensitively, any order). Raises [Failure] on malformed
-    input. *)
+    columns (case-insensitively, any order). [columnar] (default false)
+    loads into the compact columnar backend and then requires [pk] (see
+    {!Table.create_columnar}); empty cells, which would parse as [Null],
+    are rejected there. Raises [Failure] on malformed input. *)
 
-val read_file : ?pk:string -> name:string -> Schema.t -> string -> Table.t
+val read_file :
+  ?pk:string -> ?columnar:bool -> name:string -> Schema.t -> string -> Table.t
 
 val parse_line : string -> string list
 (** One CSV record (no embedded newlines); exposed for tests. *)

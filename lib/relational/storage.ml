@@ -24,7 +24,12 @@ let manifest_line table =
   let idx =
     match indexed_columns table with [] -> "-" | cs -> String.concat "," cs
   in
-  Printf.sprintf "%s|%s|%s|%s" (Table.name table) pk cols idx
+  (* The storage field is appended only for columnar tables, so manifests
+     written by older versions (4 fields) and boxed tables stay
+     byte-identical to what they always were. *)
+  match Table.storage table with
+  | `Boxed -> Printf.sprintf "%s|%s|%s|%s" (Table.name table) pk cols idx
+  | `Columnar -> Printf.sprintf "%s|%s|%s|%s|columnar" (Table.name table) pk cols idx
 
 let save db ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -40,8 +45,7 @@ let save db ~dir =
     tables
 
 let parse_manifest_line line =
-  match String.split_on_char '|' line with
-  | [ name; pk; cols; idx ] ->
+  let parse name pk cols idx columnar =
     let schema =
       Schema.make
         (List.map
@@ -53,7 +57,12 @@ let parse_manifest_line line =
     in
     let pk = if String.equal pk "-" then None else Some pk in
     let indexes = if String.equal idx "-" then [] else String.split_on_char ',' idx in
-    (name, pk, schema, indexes)
+    (name, pk, schema, indexes, columnar)
+  in
+  match String.split_on_char '|' line with
+  | [ name; pk; cols; idx ] -> parse name pk cols idx false
+  | [ name; pk; cols; idx; "columnar" ] -> parse name pk cols idx true
+  | [ name; pk; cols; idx; "boxed" ] -> parse name pk cols idx false
   | _ -> failwith ("Storage: bad manifest line " ^ line)
 
 let load ~dir =
@@ -66,8 +75,10 @@ let load ~dir =
         | None -> ()
         | Some "" -> loop ()
         | Some line ->
-          let name, pk, schema, indexes = parse_manifest_line line in
-          let table = Csv_io.read_file ?pk ~name schema (Filename.concat dir (name ^ ".csv")) in
+          let name, pk, schema, indexes, columnar = parse_manifest_line line in
+          let table =
+            Csv_io.read_file ?pk ~columnar ~name schema (Filename.concat dir (name ^ ".csv"))
+          in
           List.iter (Table.create_index table) indexes;
           Database.add_table db table;
           loop ()

@@ -16,4 +16,7 @@ val load : dir:string -> Database.t
 
 val manifest_line : Table.t -> string
 (** Serialized manifest entry, exposed for tests:
-    [name|pk_or_-|col:ty,col:ty,...|indexed_cols_or_-]. *)
+    [name|pk_or_-|col:ty,col:ty,...|indexed_cols_or_-], with [|columnar]
+    appended when the table uses the compact columnar backend (absent —
+    or the explicit [|boxed] — means boxed, so pre-existing manifests
+    parse unchanged). *)

@@ -8,13 +8,32 @@
     Role in the pipeline (§3): tables hold the single materialized world the
     sampler walks over. An accepted proposal becomes a handful of keyed
     [update] calls, each of which can be captured in a {!Delta.t} for
-    Algorithm 1 (Eq. 6) while Algorithm 3 simply rescans the table. *)
+    Algorithm 1 (Eq. 6) while Algorithm 3 simply rescans the table.
+
+    Two storage backends sit behind this one API. The default {e boxed}
+    backend stores rows as [Value.t array] multisets. The {e columnar}
+    backend ({!create_columnar}, backed by {!Col_store}) keeps one
+    unboxed array per column with text cells as {!Intern} ids — the
+    compact representation ROADMAP item 1 needs for the paper's
+    1M–10M-token corpora (Fig 4a). Columnar tables are stricter: an
+    [int] primary key is mandatory (set semantics), cells must match
+    their declared types and may not be [Null], and {!rows} returns a
+    fresh decoded snapshot rather than the live bag. *)
 
 type t
 
 val create : ?pk:string -> name:string -> Schema.t -> t
 (** [create ~pk ~name schema]: [pk], when given, must name a schema column;
     inserting two rows with the same key then raises. *)
+
+val create_columnar : pk:string -> name:string -> Schema.t -> t
+(** A table on the compact columnar backend. [pk] must name a [T_int]
+    column. Raises [Invalid_argument] otherwise. *)
+
+val storage : t -> [ `Boxed | `Columnar ]
+(** Which backend this table runs on. Consumers that alias {!rows} (the
+    incremental view scanner) use this to decide between aliasing the
+    live bag and owning a decoded copy. *)
 
 val name : t -> string
 val schema : t -> Schema.t
@@ -30,6 +49,11 @@ val delete : t -> Row.t -> unit
 
 val find_by_pk : t -> Value.t -> Row.t option
 
+val cell_by_pk : t -> Value.t -> pos:int -> Value.t option
+(** [cell_by_pk t k ~pos] is column [pos] of the row keyed [k] — on
+    columnar storage this reads the one cell without decoding the row,
+    which is what the sampler's field reads want. *)
+
 val update_by_pk : t -> Value.t -> Row.t -> Row.t
 (** [update_by_pk t k row] replaces the row keyed [k] with [row] (which must
     carry the same key) and returns the replaced row. *)
@@ -38,7 +62,16 @@ val update_field_by_pk : t -> Value.t -> column:string -> Value.t -> Row.t * Row
 (** Point update of one field; returns [(old_row, new_row)]. *)
 
 val rows : t -> Bag.t
-(** The live multiset — callers must not mutate it. *)
+(** Boxed backend: the live multiset — callers must not mutate it.
+    Columnar backend: a fresh decoded snapshot (O(n), caller-owned)
+    that does not track later table mutations. *)
+
+val column_ints : t -> string -> int array option
+(** Columnar backend only: the named column's raw encoding as a fresh
+    int array in storage order — ints as themselves, text as {!Intern}
+    ids, bools as 0/1. [None] on the boxed backend and for float
+    columns. The bulk-read fast path model construction uses to avoid
+    decoding millions of rows. *)
 
 val iter : (Row.t -> int -> unit) -> t -> unit
 

@@ -13,9 +13,17 @@ module RH = Hashtbl.Make (struct
 end)
 
 (* Every node materializes its full current result in [current], maintained
-   in place as deltas flow through (K_scan aliases the live base-table bag
-   instead of copying it — the table is updated before [update] runs, so the
-   alias is always the post-update state the delta rule needs).
+   in place as deltas flow through. K_scan over a *boxed* table aliases the
+   live base-table bag instead of copying it — the table is updated before
+   [update] runs, so the alias is always the post-update state the delta
+   rule needs. A *columnar* table (compact int-coded storage, see
+   Col_store) has no live bag to alias, so a scan node either *owns* a
+   decoded copy it maintains by folding deltas ([sc_owned], set only when
+   some maintenance-time reader exists: a nested-loop join sibling, a
+   DISTINCT parent, or the scan being the whole view) or stays empty, with
+   reset-time readers sourcing a transient decode via [source_bag] — the
+   common indexed plans over a million-row token table never hold a boxed
+   copy of it.
 
    [footprint] is the set of canonical base-table names under the node; a
    delta batch touching none of them cannot change the node's result, so
@@ -31,7 +39,7 @@ type node = {
 }
 
 and kind =
-  | K_scan of string
+  | K_scan of scan_src
   | K_select of (Row.t -> bool) * node
   | K_project of int array * node
   | K_join of join_info
@@ -41,6 +49,7 @@ and kind =
   | K_group of group_info
   | K_count_join of cj_info
 
+and scan_src = { sc_table : string; mutable sc_owned : bool }
 and join_info = { pred : Expr.t option; left : node; right : node; strategy : strategy }
 
 (* J_indexed: both children carry hash indexes on the equi-join key columns,
@@ -107,7 +116,8 @@ let rec build_shell db (alg : Algebra.t) : node =
   | Scan { table; _ } ->
     let t = Database.table db table in
     let name = Table.name t in
-    { alg; schema = Algebra.output_schema db alg; kind = K_scan name;
+    { alg; schema = Algebra.output_schema db alg;
+      kind = K_scan { sc_table = name; sc_owned = false };
       current = empty_bag (); footprint = [ name ] }
   | Select (p, child_alg) ->
     let schema = Algebra.output_schema db alg in
@@ -240,8 +250,11 @@ let rec delta db node (d : Delta.t) : Bag.t =
   if not (touches d node.footprint) then Bag.create ~size:1 ()
   else begin
     let out = delta_node db node d in
-    (* K_scan aliases the live table bag, which already absorbed the batch. *)
-    (match node.kind with K_scan _ -> () | _ -> Bag.add_bag node.current out);
+    (* A boxed K_scan aliases the live table bag, which already absorbed the
+       batch; an owned (columnar) scan copy must fold the delta itself. *)
+    (match node.kind with
+    | K_scan s -> if s.sc_owned then Bag.add_bag node.current out
+    | _ -> Bag.add_bag node.current out);
     if Obs.Metrics.enabled () then
       Obs.Metrics.add vop_delta_rows.(vop_index node.kind) (Bag.distinct_cardinal out);
     out
@@ -249,7 +262,7 @@ let rec delta db node (d : Delta.t) : Bag.t =
 
 and delta_node db node (d : Delta.t) : Bag.t =
   match node.kind with
-  | K_scan table -> (
+  | K_scan { sc_table = table; _ } -> (
     match Delta.for_table d table with
     | Some b -> Bag.copy b
     | None -> Bag.create ~size:1 ())
@@ -418,10 +431,15 @@ let children node =
   | K_count_join cj -> [ cj.c_child; cj.c_sub ]
 
 (* Gauges: total view-owned materialized rows (base-table aliases excluded —
-   they are shared storage, not view memory) and total distinct join-index
-   keys, across the whole tree of the view last updated. *)
+   they are shared storage, not view memory; owned columnar-scan copies
+   count) and total distinct join-index keys, across the whole tree of the
+   view last updated. *)
 let rec record_sizes node (rows, keys) =
-  let rows = match node.kind with K_scan _ -> rows | _ -> rows + Bag.distinct_cardinal node.current in
+  let rows =
+    match node.kind with
+    | K_scan { sc_owned = false; _ } -> rows
+    | _ -> rows + Bag.distinct_cardinal node.current
+  in
   let keys =
     match node.kind with
     | K_join { strategy = J_indexed { left_idx; right_idx; _ }; _ } ->
@@ -447,31 +465,76 @@ let update v d =
     end
   end
 
+(* How a scan node's [current] comes back from the base table: a boxed
+   table's live bag is aliased (free, always post-update); a columnar
+   table is decoded into an owned copy only when [sc_owned], and left
+   empty otherwise. *)
+let reset_scan db node s =
+  let t = Database.table db s.sc_table in
+  match Table.storage t with
+  | `Boxed -> node.current <- Table.rows t
+  | `Columnar -> node.current <- (if s.sc_owned then Table.rows t else empty_bag ())
+
+(* The bag a parent reads a child's post-reset state from. Equal to
+   [child.current] except for non-owned columnar scans, whose rows are
+   decoded transiently for the duration of the (re)build. *)
+let source_bag db child =
+  match child.kind with
+  | K_scan ({ sc_owned = false; _ } as s) -> (
+    let t = Database.table db s.sc_table in
+    match Table.storage t with `Columnar -> Table.rows t | `Boxed -> child.current)
+  | _ -> child.current
+
+(* Mark the scan nodes whose [current] is read while deltas flow (a
+   J_nested sibling, a DISTINCT parent counting child occurrences, or
+   the root, whose [current] is the view's result): over columnar
+   tables those must own a maintained copy. *)
+let mark_scan_owned db node =
+  match node.kind with
+  | K_scan s ->
+    if
+      match Table.storage (Database.table db s.sc_table) with
+      | `Columnar -> true
+      | `Boxed -> false
+    then s.sc_owned <- true
+  | _ -> ()
+
+let rec mark_owned_scans db node =
+  (match node.kind with
+  | K_join { strategy = J_nested; left; right; _ } ->
+    mark_scan_owned db left;
+    mark_scan_owned db right
+  | K_distinct child -> mark_scan_owned db child
+  | _ -> ());
+  List.iter (mark_owned_scans db) (children node)
+
 let rec reset_node db node : unit =
   (* Rebuild [current] and node-local state from the current database. *)
   List.iter (reset_node db) (children node);
   match node.kind with
-  | K_scan table -> node.current <- Table.rows (Database.table db table)
-  | K_select (keep, child) -> node.current <- Bag.filter keep child.current
+  | K_scan s -> reset_scan db node s
+  | K_select (keep, child) -> node.current <- Bag.filter keep (source_bag db child)
   | K_project (positions, child) ->
     node.current <-
-      Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) child.current
+      Bag.map_rows (fun r -> Array.map (fun i -> Row.get r i) positions) (source_bag db child)
   | K_join { pred; left; right; strategy } ->
+    let lbag = source_bag db left in
+    let rbag = source_bag db right in
     (match strategy with
     | J_indexed { left_idx; right_idx; _ } ->
       Key_index.clear left_idx;
-      Key_index.add_bag left_idx left.current;
+      Key_index.add_bag left_idx lbag;
       Key_index.clear right_idx;
-      Key_index.add_bag right_idx right.current
+      Key_index.add_bag right_idx rbag
     | J_nested -> ());
-    node.current <- (Eval.join_bags ?pred left.schema right.schema left.current right.current).Eval.bag
+    node.current <- (Eval.join_bags ?pred left.schema right.schema lbag rbag).Eval.bag
   | K_distinct child ->
     let out = Bag.create () in
-    Bag.iter (fun r c -> if c > 0 then Bag.add out r) child.current;
+    Bag.iter (fun r c -> if c > 0 then Bag.add out r) (source_bag db child);
     node.current <- out
   | K_union (a, b) ->
-    let out = Bag.copy a.current in
-    Bag.add_bag out b.current;
+    let out = Bag.copy (source_bag db a) in
+    Bag.add_bag out (source_bag db b);
     node.current <- out
   | K_recompute -> node.current <- Bag.copy (Eval.eval db node.alg).Eval.bag
   | K_group info ->
@@ -488,7 +551,7 @@ let rec reset_node db node : unit =
             a
         in
         Group_acc.add info.spec acc row c)
-      info.g_child.current;
+      (source_bag db info.g_child);
     if info.global && RH.length info.groups = 0 then
       RH.replace info.groups [||] (Group_acc.create info.spec);
     let out = Bag.create () in
@@ -499,30 +562,34 @@ let rec reset_node db node : unit =
   | K_count_join info ->
     VH.reset info.sub_counts;
     Key_index.clear info.child_idx;
+    let child_bag = source_bag db info.c_child in
     Bag.iter
       (fun row c ->
         let k = Row.get row info.sub_key_pos in
         VH.replace info.sub_counts k (c + cj_count info k))
-      info.c_sub.current;
-    Key_index.add_bag info.child_idx info.c_child.current;
+      (source_bag db info.c_sub);
+    Key_index.add_bag info.child_idx child_bag;
     let out = Bag.create () in
     Bag.iter
       (fun row c ->
         Bag.add ~count:c out
           (Array.append row [| Value.Int (cj_count info (Row.get row info.key_pos)) |]))
-      info.c_child.current;
+      child_bag;
     node.current <- out
 
 let refresh v = reset_node v.db v.root
 
 let create db alg =
   let root = build_shell db alg in
+  mark_owned_scans db root;
+  mark_scan_owned db root;
   reset_node db root;
   { db; alg; root; vschema = root.schema }
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing. A view's restorable state is exactly the materialized
-   bags of its non-scan nodes (scan nodes alias live base tables, which the
+   bags of its non-scan nodes (scan nodes — aliases of or decoded copies
+   of live base tables — are derivable from the tables, which the
    checkpoint stores once, database-side); join indexes, group
    accumulators, and COUNT-subquery maps are all derivable from those bags
    without evaluating anything. Both directions traverse the tree in
@@ -541,8 +608,8 @@ let node_states v =
 let rec fill_states db node states =
   let states =
     match node.kind with
-    | K_scan table ->
-      node.current <- Table.rows (Database.table db table);
+    | K_scan s ->
+      reset_scan db node s;
       states
     | _ -> (
       match states with
@@ -553,17 +620,19 @@ let rec fill_states db node states =
   in
   List.fold_left (fun sts c -> fill_states db c sts) states (children node)
 
-(* Children first, so parent auxiliaries read fully restored child bags. *)
-let rec rebuild_aux node =
-  List.iter rebuild_aux (children node);
+(* Children first, so parent auxiliaries read fully restored child bags
+   ([source_bag] decodes non-owned columnar scans transiently, exactly
+   as reset does). *)
+let rec rebuild_aux db node =
+  List.iter (rebuild_aux db) (children node);
   match node.kind with
   | K_scan _ | K_select _ | K_project _ | K_distinct _ | K_union _ | K_recompute -> ()
   | K_join { strategy = J_nested; _ } -> ()
   | K_join { strategy = J_indexed { left_idx; right_idx; _ }; left; right; _ } ->
     Key_index.clear left_idx;
-    Key_index.add_bag left_idx left.current;
+    Key_index.add_bag left_idx (source_bag db left);
     Key_index.clear right_idx;
-    Key_index.add_bag right_idx right.current
+    Key_index.add_bag right_idx (source_bag db right)
   | K_group info ->
     RH.reset info.groups;
     Bag.iter
@@ -578,7 +647,7 @@ let rec rebuild_aux node =
             a
         in
         Group_acc.add info.spec acc row c)
-      info.g_child.current;
+      (source_bag db info.g_child);
     if info.global && RH.length info.groups = 0 then
       RH.replace info.groups [||] (Group_acc.create info.spec)
   | K_count_join info ->
@@ -587,14 +656,16 @@ let rec rebuild_aux node =
       (fun row c ->
         let k = Row.get row info.sub_key_pos in
         VH.replace info.sub_counts k (c + cj_count info k))
-      info.c_sub.current;
+      (source_bag db info.c_sub);
     Key_index.clear info.child_idx;
-    Key_index.add_bag info.child_idx info.c_child.current
+    Key_index.add_bag info.child_idx (source_bag db info.c_child)
 
 let of_states db alg states =
   let root = build_shell db alg in
+  mark_owned_scans db root;
+  mark_scan_owned db root;
   (match fill_states db root states with
   | [] -> ()
   | _ :: _ -> failwith "View.of_states: too many node states for this plan");
-  rebuild_aux root;
+  rebuild_aux db root;
   { db; alg; root; vschema = root.schema }

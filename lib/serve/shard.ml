@@ -1,0 +1,25 @@
+(* Metrics (docs/OBSERVABILITY.md): "shard.count" is the effective
+   partition width of the last evaluate call; "shard.merge_ns" spans the
+   per-query Marginals.merge_shards union at the end of a run. *)
+let m_count = Obs.Metrics.gauge "shard.count"
+let m_merge_ns = Obs.Metrics.counter "shard.merge_ns"
+
+let evaluate ?(burn_in = 0) ~shards ~make ~queries ~thin ~samples () =
+  if shards < 1 then invalid_arg "Serve.Shard: shards must be >= 1";
+  Obs.Metrics.set_gauge m_count (float_of_int shards);
+  let run i =
+    let pdb = make ~shard:i in
+    if burn_in > 0 then Core.Pdb.walk pdb ~steps:burn_in;
+    let reg = Registry.create pdb in
+    List.iter
+      (fun (name, q) -> ignore (Registry.register ~name reg q : Registry.query_id))
+      queries;
+    Registry.run reg ~thin ~samples;
+    List.map (fun (id, _) -> Registry.marginals reg id) (Registry.queries reg)
+  in
+  let per_shard = Mcmc.Parallel.map ~n:shards run in
+  Obs.Timer.record m_merge_ns (fun () ->
+      List.mapi
+        (fun qi (name, _) ->
+          (name, Core.Marginals.merge_shards (List.map (fun ms -> List.nth ms qi) per_shard)))
+        queries)

@@ -113,6 +113,27 @@ let test_marginals_merge_unequal_counts () =
   Alcotest.(check int) "empty chain adds no z" 4 (Marginals.samples m');
   feq "empty chain leaves rates" 0.75 (Marginals.probability m' (r [ Value.Int 1 ]))
 
+(* Sharded union: shards hold disjoint data, so the normalizer stays the
+   per-shard z and counts add (clamped at z) — a row at probability 1 on
+   its owning shard must stay at 1, where chain-merging would halve it. *)
+let test_marginals_merge_shards () =
+  let a = Marginals.create () and b = Marginals.create () in
+  Marginals.observe a (Bag.of_rows [ r [ Value.Int 1 ] ]);
+  Marginals.observe a (Bag.of_rows [ r [ Value.Int 1 ]; r [ Value.Int 3 ] ]);
+  Marginals.observe b (Bag.of_rows [ r [ Value.Int 2 ] ]);
+  Marginals.observe b (Bag.of_rows [ r [ Value.Int 1 ] ]);
+  let m = Marginals.merge_shards [ a; b ] in
+  Alcotest.(check int) "z stays per-shard" 2 (Marginals.samples m);
+  feq "shard-exclusive row keeps its rate" 1.0 (Marginals.probability m (r [ Value.Int 1 ]))
+    (* 2/2 from shard a, 1/2 from shard b → clamped union bound 2/2 *);
+  feq "p(2) from its shard" 0.5 (Marginals.probability m (r [ Value.Int 2 ]));
+  feq "p(3) from its shard" 0.5 (Marginals.probability m (r [ Value.Int 3 ]));
+  Alcotest.(check int) "empty list is empty" 0 (Marginals.samples (Marginals.merge_shards []));
+  Marginals.observe b (Bag.of_rows []);
+  Alcotest.check_raises "unequal z rejected"
+    (Invalid_argument "Marginals.merge_shards: shards observed different sample counts")
+    (fun () -> ignore (Marginals.merge_shards [ a; b ] : Marginals.t))
+
 let test_marginals_squared_error () =
   let a = Marginals.create () in
   Marginals.observe a (Bag.of_rows [ r [ Value.Int 1 ] ]);
@@ -384,6 +405,7 @@ let () =
          Alcotest.test_case "multiset-membership" `Quick test_marginals_multiset_membership;
          Alcotest.test_case "merge" `Quick test_marginals_merge;
          Alcotest.test_case "merge-unequal-counts" `Quick test_marginals_merge_unequal_counts;
+         Alcotest.test_case "merge-shards" `Quick test_marginals_merge_shards;
          Alcotest.test_case "squared-error" `Quick test_marginals_squared_error ]);
       ("graph-pdb",
        [ Alcotest.test_case "write-through" `Quick test_graph_pdb_write_through;

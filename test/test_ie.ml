@@ -674,9 +674,82 @@ let test_query_targeted_no_constants_is_global () =
   Mcmc.Metropolis.run ~stats rng proposal world ~steps:1_000;
   Alcotest.(check bool) "proposals happen" true (stats.Mcmc.Metropolis.accepted > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Sharding *)
+
+let shard_doc id strings =
+  { Corpus.id;
+    tokens = Array.of_list (List.map (fun s -> { Corpus.string = s; truth = Labels.O }) strings) }
+
+let doc_ids l = List.map (fun d -> d.Corpus.id) l
+
+let test_sharding_clusters_exact () =
+  (* Two string-disjoint clusters — {0,1} share "Alice", {2,3} share
+     "Bob"; the lowercase "the" overlap must not link them. *)
+  let docs =
+    [ shard_doc 0 [ "Alice"; "ran"; "the" ]; shard_doc 1 [ "the"; "Alice" ];
+      shard_doc 2 [ "Bob"; "sat" ]; shard_doc 3 [ "Bob"; "the"; "fox" ] ]
+  in
+  let plan = Sharding.plan ~shards:2 docs in
+  Alcotest.(check int) "two clusters" 2 plan.Sharding.clusters;
+  Alcotest.(check int) "factor-exact: no cut strings" 0 plan.Sharding.cut_strings;
+  Alcotest.(check int) "two shards" 2 plan.Sharding.n_shards;
+  let a = plan.Sharding.assignment in
+  Alcotest.(check bool) "cluster mates co-located" true
+    (a.(0) = a.(1) && a.(2) = a.(3) && a.(0) <> a.(2));
+  Alcotest.(check int) "weights cover all tokens" (Corpus.total_tokens docs)
+    (Array.fold_left ( + ) 0 plan.Sharding.weights);
+  let subs = Sharding.split plan docs in
+  Alcotest.(check int) "split arity" 2 (Array.length subs);
+  Array.iteri
+    (fun s sub ->
+      let expect = List.filteri (fun i _ -> a.(i) = s) docs in
+      Alcotest.(check (list int)) "split preserves corpus order" (doc_ids expect) (doc_ids sub))
+    subs
+
+let test_sharding_fallback_and_clamp () =
+  (* Every doc shares "Hub": one giant cluster forces the doc-granularity
+     fallback, which must cut the string rather than leave shards empty. *)
+  let docs =
+    [ shard_doc 0 [ "Hub"; "a" ]; shard_doc 1 [ "Hub"; "b"; "c" ];
+      shard_doc 2 [ "Hub" ]; shard_doc 3 [ "Hub"; "d" ] ]
+  in
+  let plan = Sharding.plan ~shards:3 docs in
+  Alcotest.(check int) "one cluster" 1 plan.Sharding.clusters;
+  Alcotest.(check int) "still three shards" 3 plan.Sharding.n_shards;
+  Alcotest.(check bool) "no empty shard" true
+    (Array.for_all (fun w -> w > 0) plan.Sharding.weights);
+  Alcotest.(check bool) "the shared string is cut" true (plan.Sharding.cut_strings >= 1);
+  let plan2 = Sharding.plan ~shards:10 docs in
+  Alcotest.(check int) "width clamped to #docs" 4 plan2.Sharding.n_shards;
+  Alcotest.(check bool) "shards=0 rejected" true
+    (match Sharding.plan ~shards:0 docs with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty corpus rejected" true
+    (match Sharding.plan ~shards:2 [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sharding_balance () =
+  (* Greedy largest-first packing keeps token weights balanced on the
+     synthetic corpus (single shared-lexicon cluster, so this also
+     exercises the fallback on realistic data). *)
+  let docs = Corpus.generate_tokens ~seed:5 ~n_tokens:4_000 in
+  let plan = Sharding.plan ~shards:4 docs in
+  Alcotest.(check int) "weights cover corpus" (Corpus.total_tokens docs)
+    (Array.fold_left ( + ) 0 plan.Sharding.weights);
+  let mx = Array.fold_left max 0 plan.Sharding.weights in
+  let mn = Array.fold_left min max_int plan.Sharding.weights in
+  Alcotest.(check bool) "balanced within 2x" true (mx <= 2 * mn)
+
 let () =
   Alcotest.run "ie"
-    [ ("labels",
+    [ ("sharding",
+       [ Alcotest.test_case "clusters-exact" `Quick test_sharding_clusters_exact;
+         Alcotest.test_case "fallback-and-clamp" `Quick test_sharding_fallback_and_clamp;
+         Alcotest.test_case "balance" `Quick test_sharding_balance ]);
+      ("labels",
        [ Alcotest.test_case "roundtrip" `Quick test_labels_roundtrip;
          Alcotest.test_case "index-roundtrip" `Quick test_labels_index_roundtrip;
          Alcotest.test_case "transitions" `Quick test_labels_transitions;

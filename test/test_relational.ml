@@ -1098,6 +1098,189 @@ let test_empty_table_queries () =
   View.update view delta;
   check_bag "view after first insert" (Bag.of_rows [ r [ Int 1 ] ]) (View.result view)
 
+(* ------------------------------------------------------------------ *)
+(* Intern pool *)
+
+let test_intern_basics () =
+  let a = Intern.intern "intern-test-alpha" in
+  let b = Intern.intern "intern-test-beta" in
+  Alcotest.(check bool) "distinct strings, distinct ids" true (a <> b);
+  Alcotest.(check int) "re-intern is stable" a (Intern.intern "intern-test-alpha");
+  Alcotest.(check string) "resolve inverts intern" "intern-test-alpha" (Intern.resolve a);
+  Alcotest.(check (option int)) "find_opt finds" (Some b) (Intern.find_opt "intern-test-beta");
+  Alcotest.(check (option int)) "find_opt does not allocate ids" None
+    (Intern.find_opt "intern-test-never-seen");
+  (match Intern.value a with
+  | Value.Text s -> Alcotest.(check string) "value wraps resolve" "intern-test-alpha" s
+  | _ -> Alcotest.fail "Intern.value not a Text");
+  (* The R7 contract: the boxed Value is allocated once per id, so the
+     per-sample decode path can return it without allocating. *)
+  Alcotest.(check bool) "value physically shared" true (Intern.value a == Intern.value a)
+
+(* Bijectivity under duplicates: equal strings share an id, distinct
+   strings never do, and resolve/intern stay inverses under re-interning. *)
+let prop_intern_roundtrip =
+  QCheck.Test.make ~name:"intern: id assignment is bijective and stable" ~count:200
+    QCheck.(small_list (int_range 0 40))
+    (fun ns ->
+      let ss = List.map (fun n -> "iq-" ^ string_of_int n) ns in
+      let ids = List.map Intern.intern ss in
+      List.for_all2
+        (fun s id ->
+          String.equal (Intern.resolve id) s
+          && Intern.intern s = id
+          && (match Intern.find_opt s with Some id' -> id' = id | None -> false))
+        ss ids
+      && List.for_all2
+           (fun s id ->
+             List.for_all2 (fun s' id' -> String.equal s s' = (id = id')) ss ids)
+           ss ids)
+
+let test_intern_collision_stress () =
+  (* 10k fresh strings through one pool: ids must be dense, distinct, and
+     the count gauge must advance by exactly the number of new strings —
+     a hash collision that aliased two strings would break one of these. *)
+  let n = 10_000 in
+  let before = Intern.count () in
+  let ids = Array.init n (fun i -> Intern.intern (Printf.sprintf "stress-%d" i)) in
+  Alcotest.(check int) "count advanced by n" (before + n) (Intern.count ());
+  let seen = Hashtbl.create n in
+  Array.iteri
+    (fun i id ->
+      Alcotest.(check bool) "id in dense range" true (id >= before && id < before + n);
+      if Hashtbl.mem seen id then Alcotest.failf "id %d assigned twice" id;
+      Hashtbl.replace seen id ();
+      Alcotest.(check string) "resolves" (Printf.sprintf "stress-%d" i) (Intern.resolve id))
+    ids;
+  (* Re-interning the whole batch mints nothing new. *)
+  Array.iteri
+    (fun i id -> Alcotest.(check int) "stable" id (Intern.intern (Printf.sprintf "stress-%d" i)))
+    ids;
+  Alcotest.(check int) "count unchanged" (before + n) (Intern.count ())
+
+(* ------------------------------------------------------------------ *)
+(* Columnar storage backend *)
+
+let mk_columnar_token_table ?(name = "TOKEN") rows =
+  let t = Table.create_columnar ~pk:"tok_id" ~name (token_schema ()) in
+  List.iter (fun (id, doc, s, l) -> Table.insert t (r [ Int id; Int doc; Text s; Text l ])) rows;
+  t
+
+let sample_rows =
+  [ (1, 1, "Bill", "B-PER"); (2, 1, "saw", "O"); (3, 1, "IBM", "B-ORG");
+    (4, 2, "Boston", "B-ORG"); (5, 2, "Ramirez", "B-PER"); (6, 2, "played", "O") ]
+
+let test_columnar_matches_boxed () =
+  let b = mk_token_table sample_rows in
+  let c = mk_columnar_token_table sample_rows in
+  Alcotest.(check bool) "storage kinds" true
+    (Table.storage b = `Boxed && Table.storage c = `Columnar);
+  check_bag "same rows" (Table.rows b) (Table.rows c);
+  Alcotest.(check int) "cardinal" (Table.cardinal b) (Table.cardinal c);
+  (* keyed access and point update behave identically *)
+  (match (Table.find_by_pk b (Int 4), Table.find_by_pk c (Int 4)) with
+  | Some rb, Some rc -> Alcotest.(check bool) "find_by_pk" true (Row.equal rb rc)
+  | _ -> Alcotest.fail "find_by_pk lost a row");
+  Alcotest.(check bool) "float key unifies with int key" true
+    (match Table.find_by_pk c (Float 4.) with Some _ -> true | None -> false);
+  let ob, nb = Table.update_field_by_pk b (Int 2) ~column:"label" (Text "B-LOC") in
+  let oc, nc = Table.update_field_by_pk c (Int 2) ~column:"label" (Text "B-LOC") in
+  Alcotest.(check bool) "update old rows agree" true (Row.equal ob oc);
+  Alcotest.(check bool) "update new rows agree" true (Row.equal nb nc);
+  check_bag "rows after update" (Table.rows b) (Table.rows c);
+  (* delete (swap-with-last internally) keeps contents and keys aligned *)
+  Table.delete b (r [ Int 1; Int 1; Text "Bill"; Text "B-PER" ]);
+  Table.delete c (r [ Int 1; Int 1; Text "Bill"; Text "B-PER" ]);
+  check_bag "rows after delete" (Table.rows b) (Table.rows c);
+  Alcotest.(check (option Alcotest.reject)) "deleted key gone" None
+    (Option.map (fun _ -> ()) (Table.find_by_pk c (Int 1)));
+  (* secondary index agrees across backends, including the miss cases *)
+  Table.create_index b "label";
+  Table.create_index c "label";
+  check_bag "indexed lookup" (Table.lookup b ~column:"label" (Text "B-ORG"))
+    (Table.lookup c ~column:"label" (Text "B-ORG"));
+  Alcotest.(check int) "lookup of un-interned text is empty" 0
+    (Bag.total (Table.lookup c ~column:"label" (Text "never-a-label")));
+  (* the raw int encoding round-trips through the pool *)
+  match Table.column_ints c "string" with
+  | None -> Alcotest.fail "column_ints missing on columnar backend"
+  | Some ids ->
+    Alcotest.(check int) "one id per row" (Table.cardinal c) (Array.length ids);
+    Alcotest.(check bool) "ids resolve to strings" true
+      (Array.for_all (fun id -> String.length (Intern.resolve id) > 0) ids)
+
+let test_columnar_strictness () =
+  let c = mk_columnar_token_table [ (1, 1, "a", "O") ] in
+  Alcotest.check_raises "duplicate pk"
+    (Invalid_argument "Table.insert(TOKEN): duplicate key 1")
+    (fun () -> Table.insert c (r [ Int 1; Int 9; Text "b"; Text "O" ]));
+  Alcotest.(check bool) "type mismatch rejected" true
+    (match Table.insert c (r [ Int 2; Text "not-an-int"; Text "b"; Text "O" ]) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "Null rejected" true
+    (match Table.insert c (r [ Int 2; Null; Text "b"; Text "O" ]) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.check_raises "delete of absent row"
+    Not_found
+    (fun () -> Table.delete c (r [ Int 7; Int 7; Text "zz"; Text "O" ]));
+  Alcotest.(check bool) "rejected inserts left no trace" true (Table.cardinal c = 1);
+  Alcotest.(check bool) "non-int pk rejected at create" true
+    (match Table.create_columnar ~pk:"string" ~name:"BAD" (token_schema ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_columnar_view_maintenance () =
+  (* The IVM = full-requery property must survive the backend swap: a
+     view over a columnar table, driven by deltas, equals re-evaluation. *)
+  let db = Database.create () in
+  let t = mk_columnar_token_table sample_rows in
+  Database.add_table db t;
+  Table.create_index t "label";
+  let q = Sql.parse "SELECT string FROM TOKEN WHERE label='B-PER'" in
+  let view = View.create db q in
+  let step delta =
+    View.update view delta;
+    check_bag "view = full requery" (Eval.eval db q).Eval.bag (View.result view)
+  in
+  let d1 = Delta.create () in
+  let row = r [ Int 10; Int 3; Text "Smith"; Text "B-PER" ] in
+  Table.insert t row;
+  Delta.record_insert d1 ~table:"TOKEN" row;
+  step d1;
+  let d2 = Delta.create () in
+  let old_row, new_row = Table.update_field_by_pk t (Int 5) ~column:"label" (Text "O") in
+  Delta.record_update d2 ~table:"TOKEN" ~old_row ~new_row;
+  step d2;
+  let d3 = Delta.create () in
+  Table.delete t row;
+  Delta.record_delete d3 ~table:"TOKEN" row;
+  step d3
+
+let test_columnar_storage_roundtrip () =
+  (* Save/load must preserve the backend choice and the contents. *)
+  let db = Database.create () in
+  Database.add_table db (mk_columnar_token_table sample_rows);
+  Table.create_index (Database.table db "TOKEN") "doc_id";
+  let dir = Filename.temp_file "pdb_store_col" "" in
+  Sys.remove dir;
+  Storage.save db ~dir;
+  let db2 = Storage.load ~dir in
+  let t1 = Database.table db "TOKEN" and t2 = Database.table db2 "TOKEN" in
+  Alcotest.(check bool) "still columnar" true (Table.storage t2 = `Columnar);
+  Alcotest.(check bool) "rows preserved" true (Bag.equal (Table.rows t1) (Table.rows t2));
+  Alcotest.(check (option string)) "pk preserved" (Some "tok_id") (Table.pk_column t2);
+  Alcotest.(check bool) "index preserved" true (Table.has_index t2 "doc_id");
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_columnar_manifest_format () =
+  let t = mk_columnar_token_table [ (1, 1, "a", "O") ] in
+  Alcotest.(check string) "columnar manifest line"
+    "TOKEN|tok_id|tok_id:int,doc_id:int,string:text,label:text|-|columnar"
+    (Storage.manifest_line t)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "relational"
@@ -1172,6 +1355,16 @@ let () =
       ("storage",
        [ Alcotest.test_case "roundtrip" `Quick test_storage_roundtrip;
          Alcotest.test_case "manifest" `Quick test_storage_manifest_format ]);
+      ("intern",
+       [ Alcotest.test_case "basics" `Quick test_intern_basics;
+         Alcotest.test_case "collision-stress" `Quick test_intern_collision_stress;
+         qc prop_intern_roundtrip ]);
+      ("columnar",
+       [ Alcotest.test_case "matches-boxed" `Quick test_columnar_matches_boxed;
+         Alcotest.test_case "strictness" `Quick test_columnar_strictness;
+         Alcotest.test_case "view-maintenance" `Quick test_columnar_view_maintenance;
+         Alcotest.test_case "storage-roundtrip" `Quick test_columnar_storage_roundtrip;
+         Alcotest.test_case "manifest" `Quick test_columnar_manifest_format ]);
       ("index-path",
        [ Alcotest.test_case "agrees-with-scan" `Quick test_indexed_selection_agrees;
          Alcotest.test_case "empty-key" `Quick test_indexed_selection_empty_key ]);

@@ -188,6 +188,105 @@ let test_serve_metrics () =
   | Some (Obs.Metrics.Gauge g) -> Alcotest.(check (float 1e-9)) "gauge follows unregister" 1. g
   | _ -> Alcotest.fail "serve.queries missing"
 
+(* ------------------------------------------------------------------ *)
+(* Sharded serving (Serve.Shard over Ie.Sharding partitions) *)
+
+let ner_doc id strings truths =
+  { Ie.Corpus.id;
+    tokens =
+      Array.of_list (List.map2 (fun s l -> { Ie.Corpus.string = s; truth = l }) strings truths) }
+
+(* An NER chain over one corpus slice — the same construction the CLI's
+   --shards path uses, with a per-shard RNG seed. *)
+let ner_pdb_of_docs ~seed docs =
+  let db = Database.create () in
+  ignore (Ie.Token_table.load db docs : Table.t);
+  let world = World.create db in
+  let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
+  let rng = Mcmc.Rng.create seed in
+  Pdb.create ~world ~proposal:(Ie.Proposals.batched_flip ~rng crf) ~rng
+
+let shard_queries =
+  [ ("bper", Sql.parse "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'");
+    ("o-count", Sql.parse "SELECT COUNT(*) FROM TOKEN WHERE LABEL='O'") ]
+
+(* The exactness contract: on a corpus whose string clusters split
+   cleanly (cut_strings = 0), Shard.evaluate must be bit-identical to
+   running each shard's registry sequentially and unioning with
+   Marginals.merge_shards — domains, scheduling, and merge order must
+   not perturb a single float. *)
+let test_shard_bit_identical () =
+  let p = Ie.Labels.B Ie.Labels.Per and o = Ie.Labels.O in
+  let docs =
+    [ ner_doc 0 [ "Alice"; "ran"; "home" ] [ p; o; o ];
+      ner_doc 1 [ "then"; "Alice"; "slept" ] [ o; p; o ];
+      ner_doc 2 [ "Bob"; "sat"; "down" ] [ p; o; o ];
+      ner_doc 3 [ "and"; "Bob"; "left" ] [ o; p; o ] ]
+  in
+  let plan = Ie.Sharding.plan ~shards:2 docs in
+  Alcotest.(check int) "factor-exact split" 0 plan.Ie.Sharding.cut_strings;
+  let subs = Ie.Sharding.split plan docs in
+  let make ~shard = ner_pdb_of_docs ~seed:(900 + shard) subs.(shard) in
+  let sharded =
+    Serve.Shard.evaluate ~shards:2 ~make ~queries:shard_queries ~thin:20 ~samples:60 ()
+  in
+  let per_shard =
+    List.init 2 (fun i ->
+        let reg = Serve.Registry.create (make ~shard:i) in
+        let ids =
+          List.map (fun (name, q) -> Serve.Registry.register ~name reg q) shard_queries
+        in
+        Serve.Registry.run reg ~thin:20 ~samples:60;
+        List.map (Serve.Registry.marginals reg) ids)
+  in
+  List.iteri
+    (fun qi (name, m) ->
+      let reference = Marginals.merge_shards (List.map (fun ms -> List.nth ms qi) per_shard) in
+      check_estimates_equal name (Marginals.estimates reference) (Marginals.estimates m))
+    sharded
+
+(* With cut strings the partition is no longer exactly the single-chain
+   setup, so we only require the sharded estimates to track a pooled
+   whole-corpus chain within a loose, deterministic (fixed seeds) bound. *)
+let test_shard_bounded_divergence () =
+  let docs = Ie.Corpus.generate_tokens ~seed:11 ~n_tokens:600 in
+  let shards = 3 in
+  let plan = Ie.Sharding.plan ~shards docs in
+  Alcotest.(check bool) "synthetic corpus has cut strings" true
+    (plan.Ie.Sharding.cut_strings > 0);
+  let subs = Ie.Sharding.split plan docs in
+  let n_tokens = Ie.Corpus.total_tokens docs in
+  let samples = 80 in
+  let sharded =
+    Serve.Shard.evaluate ~shards:plan.Ie.Sharding.n_shards
+      ~make:(fun ~shard ->
+        let pdb = ner_pdb_of_docs ~seed:(40 + shard) subs.(shard) in
+        Pdb.walk pdb ~steps:(4 * plan.Ie.Sharding.weights.(shard));
+        pdb)
+      ~queries:shard_queries ~thin:(n_tokens / plan.Ie.Sharding.n_shards) ~samples ()
+  in
+  let single =
+    let pdb = ner_pdb_of_docs ~seed:77 docs in
+    Pdb.walk pdb ~steps:(4 * n_tokens);
+    let reg = Serve.Registry.create pdb in
+    let ids =
+      List.map (fun (name, q) -> Serve.Registry.register ~name reg q) shard_queries
+    in
+    Serve.Registry.run reg ~thin:n_tokens ~samples;
+    List.map (Serve.Registry.marginals reg) ids
+  in
+  List.iteri
+    (fun qi (name, m) ->
+      let reference = List.nth single qi in
+      let support =
+        max 1 (max (List.length (Marginals.estimates m))
+                 (List.length (Marginals.estimates reference)))
+      in
+      let mse = Marginals.squared_error ~reference m /. float_of_int support in
+      if mse > 0.05 then
+        Alcotest.failf "%s: sharded estimates diverged from single chain (mse %.4f)" name mse)
+    sharded
+
 let () =
   Alcotest.run "serve"
     [ ("registry",
@@ -195,4 +294,7 @@ let () =
          Alcotest.test_case "late-registration" `Quick test_late_registration;
          Alcotest.test_case "unregister" `Quick test_unregister ]);
       ("pool", [ Alcotest.test_case "matches-parallel-eval" `Quick test_pool_matches_parallel_eval ]);
+      ("shard",
+       [ Alcotest.test_case "bit-identical-union" `Quick test_shard_bit_identical;
+         Alcotest.test_case "bounded-divergence" `Quick test_shard_bounded_divergence ]);
       ("metrics", [ Alcotest.test_case "serve-metrics" `Quick test_serve_metrics ]) ]

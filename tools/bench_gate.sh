@@ -1,13 +1,13 @@
 #!/bin/sh
 # Perf-regression gate over the machine-readable bench outputs.
 #
-#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON WAL_JSON]
+#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON WAL_JSON SHARD_JSON]
 #   tools/bench_gate.sh --self-test
 #
-# Reads BENCH_view.json, BENCH_serve.json, and BENCH_wal.json (the
-# regenerated working-tree copies by default), extracts the headline
-# ratios at the largest size each file carries, and fails (exit 1) when
-# any drops below its floor:
+# Reads BENCH_view.json, BENCH_serve.json, BENCH_wal.json, and
+# BENCH_shard.json (the regenerated working-tree copies by default),
+# extracts the headline ratios at the largest size each file carries,
+# and fails (exit 1) when any drops below its floor:
 #
 #   view  — naive-rerun / view-update at the largest size present:
 #             >= 10x when that size is >= 10k tuples (the paper-scale claim)
@@ -20,6 +20,10 @@
 #           tokens / 100x at 10k / 10x at the 1k smoke size; any
 #           marginals_equal:false or crash_recovery_equal:false fails
 #           outright — durability must never change the answer.
+#   shard — the columnar TOKEN table must be >= 2x smaller than the boxed
+#           bag (mem_ratio), and when the scale grid reaches more than
+#           one shard, the widest shard count must deliver >= 1.2x the
+#           1-shard samples/s at the same total MH work.
 #
 # On top of the absolute floors, when the committed baseline (git show
 # HEAD:<file>) carries the same largest size, the fresh ratio must stay
@@ -164,6 +168,47 @@ check_wal() {
   fi
 }
 
+# ---- shard: columnar storage + sharded chains ---------------------------
+
+shard_largest_n() {
+  grep -o '"shards":[0-9]*' "$1" | cut -d: -f2 | sort -n | tail -n 1
+}
+
+check_shard() {
+  f=$1
+  [ -s "$f" ] || fail "$f missing or empty"
+  ratio=$(json_num "$f" "mem_ratio")
+  [ -n "$ratio" ] || fail "$f: missing mem_ratio"
+  echo "bench_gate: shard storage: boxed/columnar ${ratio}x (floor 2x)"
+  ge "$ratio" 2 || fail "columnar storage ratio ${ratio}x below floor 2x"
+  n=$(shard_largest_n "$f")
+  [ -n "$n" ] || fail "$f: no scale entries"
+  if [ "$n" -gt 1 ]; then
+    # scale rows ascend in shard count: the first samples_per_s is the
+    # 1-shard baseline, the last belongs to the widest grid point.
+    one=$(json_num "$f" "samples_per_s")
+    wide=$(json_num_last "$f" "samples_per_s")
+    [ -n "$one" ] && [ -n "$wide" ] || fail "$f: missing samples_per_s"
+    scaling=$(awk -v w="$wide" -v o="$one" 'BEGIN { printf "%.3f", w / o }')
+    echo "bench_gate: shard scale: ${n} shards deliver ${scaling}x the 1-shard samples/s (floor 1.2x)"
+    ge "$scaling" 1.2 \
+      || fail "sharded samples/s scaling ${scaling}x at ${n} shards below floor 1.2x"
+  fi
+  base=$(git show "HEAD:$(basename "$f")" 2>/dev/null || true)
+  if [ -n "$base" ]; then
+    tmp=$(mktemp); printf '%s\n' "$base" > "$tmp"
+    bmem=$(json_num "$tmp" "mem_tokens")
+    if [ "$bmem" = "$(json_num "$f" "mem_tokens")" ]; then
+      bratio=$(json_num "$tmp" "mem_ratio")
+      slack=$(awk -v b="$bratio" 'BEGIN { printf "%.3f", b * 0.5 }')
+      echo "bench_gate: shard storage: committed baseline ${bratio}x (slack floor ${slack}x)"
+      ge "$ratio" "$slack" \
+        || { rm -f "$tmp"; fail "storage ratio ${ratio}x regressed >50% from baseline ${bratio}x"; }
+    fi
+    rm -f "$tmp"
+  fi
+}
+
 # ---- self-test ----------------------------------------------------------
 
 self_test() {
@@ -217,6 +262,26 @@ EOF
   fi
   echo "bench_gate: self-test: diverged crash recovery rejected"
 
+  # Seeded regression: columnar storage barely smaller than the boxed bag
+  # (floor is 2x).
+  cp BENCH_wal.json "$dir/BENCH_wal.json"
+  cat > "$dir/BENCH_shard.json" <<'EOF'
+{"config":{"mem_tokens":100000,"scale_tokens":1000000,"samples":8,"domains":1},"mem":{"boxed_bytes_per_token":200.0,"columnar_bytes_per_token":133.0,"mem_ratio":1.5},"scale":[{"shards":1,"thin":1000000,"wall_ns":100,"worlds":9,"samples_per_s":10.0,"clusters":1,"cut_strings":0},{"shards":8,"thin":125000,"wall_ns":100,"worlds":72,"samples_per_s":80.0,"clusters":1,"cut_strings":50}]}
+EOF
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 1.5x columnar storage ratio (floor is 2x)"
+  fi
+  echo "bench_gate: self-test: seeded storage regression rejected"
+
+  # Seeded regression: samples/s flat as the shard count grows (floor 1.2x).
+  cat > "$dir/BENCH_shard.json" <<'EOF'
+{"config":{"mem_tokens":100000,"scale_tokens":1000000,"samples":8,"domains":1},"mem":{"boxed_bytes_per_token":200.0,"columnar_bytes_per_token":50.0,"mem_ratio":4.0},"scale":[{"shards":1,"thin":1000000,"wall_ns":100,"worlds":9,"samples_per_s":10.0,"clusters":1,"cut_strings":0},{"shards":8,"thin":125000,"wall_ns":100,"worlds":72,"samples_per_s":10.5,"clusters":1,"cut_strings":50}]}
+EOF
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 1.05x shard scaling (floor is 1.2x)"
+  fi
+  echo "bench_gate: self-test: seeded shard-scaling regression rejected"
+
   # The committed baselines themselves must pass.
   git show HEAD:BENCH_view.json > "$dir/BENCH_view.json"
   git show HEAD:BENCH_serve.json > "$dir/BENCH_serve.json"
@@ -225,7 +290,12 @@ EOF
   else
     cp BENCH_wal.json "$dir/BENCH_wal.json"
   fi
-  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" >/dev/null \
+  if git cat-file -e HEAD:BENCH_shard.json 2>/dev/null; then
+    git show HEAD:BENCH_shard.json > "$dir/BENCH_shard.json"
+  else
+    cp BENCH_shard.json "$dir/BENCH_shard.json"
+  fi
+  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" >/dev/null \
     || fail "self-test: gate rejected the committed baselines"
   echo "bench_gate: self-test: committed baselines accepted"
   echo "bench_gate: self-test OK"
@@ -239,4 +309,5 @@ fi
 check_view "${1:-BENCH_view.json}"
 check_serve "${2:-BENCH_serve.json}"
 check_wal "${3:-BENCH_wal.json}"
+check_shard "${4:-BENCH_shard.json}"
 echo "bench_gate: OK"

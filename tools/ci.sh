@@ -32,6 +32,13 @@ echo "ci: wal durability bench (smoke)"
 # assertions) and regenerates BENCH_wal.json for the gate below.
 dune exec bench/main.exe -- wal-smoke
 test -s BENCH_wal.json
+echo "ci: sharded-chain bench (smoke)"
+# Smallest-size run of the shard group: measures boxed-vs-columnar
+# bytes/token and the samples/s shard sweep end to end (including the
+# merged-marginals sample-count assertion) and regenerates
+# BENCH_shard.json for the gate below.
+dune exec bench/main.exe -- shard-smoke
+test -s BENCH_shard.json
 echo "ci: bench gate self-test"
 # The gate must be able to reject a seeded regression before its pass on
 # the real numbers means anything.

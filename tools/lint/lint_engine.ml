@@ -15,6 +15,10 @@
      R5 no-obj-magic      any use of Obj.*
      R6 metrics-catalogue metric/trace names in code and docs/OBSERVABILITY.md
                           must agree in both directions (names and kinds)
+     R7 no-hot-text-alloc Value.Text construction in per-sample hot paths
+                          (decode/proposal/fan-out files and lib/serve,
+                          lib/mcmc) — interned text must flow through
+                          Intern.value's shared boxes
 
    Everything here is syntactic — no typing pass — so R1's =/<> check
    uses an immediacy heuristic: a comparison is exempt when either
@@ -31,7 +35,7 @@ open Ppxlib
 (* ------------------------------------------------------------------ *)
 
 type rule = {
-  id : string;  (** machine-readable, "R1".."R6" *)
+  id : string;  (** machine-readable, "R1".."R7" *)
   rname : string;  (** kebab-case name, accepted in allowlist comments *)
   hint : string;  (** one-line fix hint, shown with every violation *)
   blurb : string;  (** one-line rationale for --list-rules *)
@@ -85,6 +89,16 @@ let rules =
       blurb =
         "docs/OBSERVABILITY.md is the contract dashboards read; uncatalogued or \
          stale names make every perf claim unverifiable";
+    };
+    { id = "R7";
+      rname = "no-hot-text-alloc";
+      hint =
+        "return the pool's shared box via Relational.Intern.value (or a cached \
+         Labels.value) instead of constructing Value.Text";
+      blurb =
+        "a Value.Text allocation in the per-sample decode/proposal/fan-out path \
+         costs one box per row per sample — at 10M tokens that is the difference \
+         between interned columnar storage paying off and the GC eating it";
     }
   ]
 
@@ -143,6 +157,17 @@ let compare_violation a b =
 
 let scan_dirs = [ "lib"; "bin"; "bench"; "test" ]
 let r1_dirs = [ "lib/relational"; "lib/mcmc"; "lib/serve"; "lib/checkpoint" ]
+
+(* R7 scope: the files a Metropolis–Hastings sample actually flows
+   through (columnar decode, view fan-out, proposals, world writes) plus
+   all of lib/serve and lib/mcmc. Cold-path boundaries that legitimately
+   box text once — Intern itself, Labels' cached table, Token_table and
+   Csv_io load — stay out of scope. *)
+let r7_files =
+  [ "lib/relational/col_store.ml"; "lib/relational/view.ml"; "lib/relational/key_index.ml";
+    "lib/ie/crf.ml"; "lib/ie/proposals.ml"; "lib/core/world.ml" ]
+
+let r7_dirs = [ "lib/serve"; "lib/mcmc" ]
 let r2_exempt_file = "lib/obs/timer.ml"
 let default_doc = "docs/OBSERVABILITY.md"
 
@@ -427,6 +452,7 @@ let defines_toplevel_compare str =
 
 let check_structure ~rel str =
   let in_r1 = under_any r1_dirs rel in
+  let r7_on = List.exists (fun f -> String.equal f rel) r7_files || under_any r7_dirs rel in
   let r2_on = not (String.equal rel r2_exempt_file) in
   let r3_on = under "lib" rel in
   let r6_on = under_any r6_dirs rel in
@@ -470,6 +496,12 @@ let check_structure ~rel str =
           | [ "Obs"; "Trace"; "emit" ] | [ "Trace"; "emit" ] ->
             record_metric "event" e.pexp_loc args
           | _ -> ())
+        | Pexp_construct ({ txt = Lident "Text" | Ldot (_, "Text"); _ }, Some _)
+          when r7_on ->
+          (* Patterns (Ppat_construct) are untouched: destructuring a
+             Text is free, only building one allocates. *)
+          add (rule_exn "R7") e.pexp_loc
+            "Value.Text constructed in a per-sample hot path"
         | Pexp_try (_, cases) ->
           List.iter
             (fun c ->

@@ -61,7 +61,13 @@ let seeds =
       "R6",
       "let m = Obs.Metrics.counter \"seed.uncatalogued\"\n\
        let g = Obs.Metrics.gauge \"seed.kind\"\n\
-       let ping () = Obs.Trace.emit \"seed.event\"\n" )
+       let ping () = Obs.Trace.emit \"seed.event\"\n" );
+    (* In lib/serve so the seed sits in R7's directory scope; the
+       destructuring match must NOT fire (patterns are free). *)
+    ( "lib/serve/seed_r7.ml",
+      "R7",
+      "let box s = Relational.Value.Text s\n\
+       let unbox v = match v with Relational.Value.Text s -> s | _ -> \"\"\n" )
   ]
 
 (* The same violations under allowlist comments must be silent. *)
