@@ -14,7 +14,7 @@
    multi-query shared-chain comparison (BENCH_serve.json); "serve-smoke"
    is its tiny CI variant. *)
 
-let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro"; "serve"; "checkpoint"; "wal"; "shard" ]
+let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro"; "serve"; "mqo"; "checkpoint"; "wal"; "shard" ]
 
 let run ~full = function
   | "e1" -> Experiments.e1 ~full ()
@@ -34,6 +34,7 @@ let run ~full = function
   | "a8" -> Experiments.a8 ~full ()
   | "micro" -> Micro.run ()
   | "serve" -> Micro.run_serve ()
+  | "mqo" -> Micro.run_mqo ()
   | "checkpoint" -> Micro.run_checkpoint ()
   | "wal" -> Micro.run_wal ()
   | "shard" -> Shard_bench.run ()
@@ -41,6 +42,7 @@ let run ~full = function
   (* Tiny-scale smokes for CI (tools/ci.sh): same code paths, still write
      their BENCH_*.json, seconds instead of minutes. Not part of "all". *)
   | "serve-smoke" -> Micro.run_serve ~smoke:true ()
+  | "mqo-smoke" -> Micro.run_mqo ~smoke:true ()
   | "view-smoke" -> Micro.run_view ~smoke:true ()
   | "checkpoint-smoke" -> Micro.run_checkpoint ~smoke:true ()
   | "wal-smoke" -> Micro.run_wal ~smoke:true ()

@@ -562,6 +562,206 @@ let run_wal ?(smoke = false) () =
   in
   write_wal_bench_json "BENCH_wal.json" ~thin ~samples ~fsync_every rows
 
+(* ------------------------------------------------------------------ *)
+(* Multi-query optimization: 64 overlapping queries (8 self-join cores x
+   8 tops) on ONE chain, with subplan sharing (the registry's hash-cons
+   cache) versus the same compiled views maintained independently off an
+   identical delta stream. Both sides pay the identical MH walk, so the
+   measured quantity is the per-delta fan-out alone — the speedup
+   isolates what sharing buys: each join core is probed once per batch
+   instead of once per query that contains it. At 8 queries every core
+   appears once (no overlap) and the ratio must sit near 1x; at 64 each
+   core serves 8 tops. *)
+
+let mqo_corpus_seed = 330
+let mqo_chain_seed = 13
+
+let mqo_cores =
+  [| ("B-PER", "B-ORG"); ("B-ORG", "B-PER"); ("B-PER", "B-LOC"); ("B-LOC", "B-PER");
+     ("B-ORG", "B-LOC"); ("B-LOC", "B-ORG"); ("B-PER", "B-MISC"); ("B-MISC", "B-PER") |]
+
+(* Tops vary only above the join, so the optimizer-normalized core stays
+   structurally equal across all queries that share a label pair. *)
+let mqo_tops =
+  [| (fun c -> "SELECT T1.STRING " ^ c);
+     (fun c -> "SELECT T2.STRING " ^ c);
+     (fun c -> "SELECT T1.STRING, T2.STRING " ^ c);
+     (fun c -> "SELECT DISTINCT T1.STRING " ^ c);
+     (fun c -> "SELECT DISTINCT T2.STRING " ^ c);
+     (fun c -> "SELECT COUNT(*) " ^ c);
+     (fun c -> "SELECT T1.STRING, COUNT(*) AS N " ^ c ^ " GROUP BY T1.STRING");
+     (fun c -> "SELECT T2.STRING, COUNT(*) AS N " ^ c ^ " GROUP BY T2.STRING") |]
+
+let mqo_queries n =
+  List.init n (fun i ->
+      let l1, l2 = mqo_cores.(i mod 8) in
+      let core =
+        Printf.sprintf
+          "FROM TOKEN T1, TOKEN T2 WHERE T1.DOC_ID=T2.DOC_ID AND T1.LABEL='%s' AND \
+           T2.LABEL='%s'"
+          l1 l2
+      in
+      mqo_tops.(i / 8) core)
+
+let mqo_instance ~n_tokens =
+  (Harness.make_instance ~corpus_seed:mqo_corpus_seed ~chain_seed:mqo_chain_seed
+     ~n_tokens ())
+    .Harness.pdb
+
+let mqo_counter name =
+  match Obs.Metrics.find Obs.Metrics.global name with
+  | Some (Obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+(* Unshared baseline: the registry's own compile (optimize + reorder) and
+   its own step loop (walk, drain, update, observe), minus the cache —
+   every view maintains its whole tree itself. *)
+let run_mqo_unshared ~n_tokens ~queries ~thin ~samples =
+  let pdb = mqo_instance ~n_tokens in
+  let db = Core.Pdb.db pdb in
+  let world = Core.Pdb.world pdb in
+  ignore (Core.World.drain_delta world : Relational.Delta.t);
+  let reg_ns = ref 0 in
+  let views =
+    List.map
+      (fun sql ->
+        let q = Relational.Optimizer.reorder db (Relational.Sql.parse sql) in
+        let t0 = Obs.Timer.start () in
+        let v = Relational.View.create db q in
+        let m = Core.Marginals.create () in
+        Core.Marginals.observe m (Relational.View.result v);
+        reg_ns := !reg_ns + Obs.Timer.elapsed_ns t0;
+        (v, m))
+      queries
+  in
+  let fan_ns = ref 0 in
+  for _ = 1 to samples do
+    Core.Pdb.walk pdb ~steps:thin;
+    let d = Core.World.drain_delta world in
+    let t0 = Obs.Timer.start () in
+    List.iter
+      (fun (v, m) ->
+        Relational.View.update v d;
+        Core.Marginals.observe m (Relational.View.result v))
+      views;
+    fan_ns := !fan_ns + Obs.Timer.elapsed_ns t0
+  done;
+  (List.map (fun (_, m) -> Core.Marginals.estimates m) views, !reg_ns, !fan_ns)
+
+let run_mqo_shared ~n_tokens ~queries ~thin ~samples =
+  let reg = Serve.Registry.create (mqo_instance ~n_tokens) in
+  let reg_ns = ref 0 and first_ns = ref 0 and last_ns = ref 0 in
+  let ids =
+    List.mapi
+      (fun i sql ->
+        let t0 = Obs.Timer.start () in
+        let id = Serve.Registry.register ~name:sql reg (Relational.Sql.parse sql) in
+        let ns = Obs.Timer.elapsed_ns t0 in
+        reg_ns := !reg_ns + ns;
+        if i = 0 then first_ns := ns;
+        last_ns := ns;
+        id)
+      queries
+  in
+  let fan0 = mqo_counter "serve.fanout_ns" in
+  let dedup0 = mqo_counter "serve.dedup_hits" in
+  Serve.Registry.run reg ~thin ~samples;
+  let fan_ns = mqo_counter "serve.fanout_ns" - fan0 in
+  let dedup = mqo_counter "serve.dedup_hits" - dedup0 in
+  ( List.map (fun id -> Core.Marginals.estimates (Serve.Registry.marginals reg id)) ids,
+    !reg_ns, !first_ns, !last_ns, fan_ns, dedup, Serve.Registry.shared_nodes reg,
+    Serve.Registry.cached_nodes reg )
+
+type mqo_row = {
+  mqo_n : int;
+  mqo_shared_fan : int;
+  mqo_unshared_fan : int;
+  mqo_shared_reg : int;
+  mqo_unshared_reg : int;
+  mqo_first_reg : int;
+  mqo_last_reg : int;
+  mqo_shared_nodes : int;
+  mqo_cached_nodes : int;
+  mqo_dedup : int;
+  mqo_equal : bool;
+}
+
+let write_mqo_bench_json path ~n_tokens ~thin ~samples rows =
+  let group r =
+    Obs.Jsonx.obj
+      [ ("queries", Obs.Jsonx.int r.mqo_n);
+        ("shared_fanout_ns", Obs.Jsonx.int r.mqo_shared_fan);
+        ("unshared_fanout_ns", Obs.Jsonx.int r.mqo_unshared_fan);
+        ("fanout_speedup",
+         Obs.Jsonx.float (float_of_int r.mqo_unshared_fan /. float_of_int r.mqo_shared_fan));
+        ("shared_register_ns", Obs.Jsonx.int r.mqo_shared_reg);
+        ("unshared_register_ns", Obs.Jsonx.int r.mqo_unshared_reg);
+        ("first_register_ns", Obs.Jsonx.int r.mqo_first_reg);
+        ("last_register_ns", Obs.Jsonx.int r.mqo_last_reg);
+        ("shared_nodes", Obs.Jsonx.int r.mqo_shared_nodes);
+        ("cached_nodes", Obs.Jsonx.int r.mqo_cached_nodes);
+        ("dedup_hits", Obs.Jsonx.int r.mqo_dedup);
+        ("marginals_equal", if r.mqo_equal then "true" else "false") ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (Obs.Jsonx.obj
+       [ ("config",
+          Obs.Jsonx.obj
+            [ ("n_tokens", Obs.Jsonx.int n_tokens);
+              ("thin", Obs.Jsonx.int thin);
+              ("samples", Obs.Jsonx.int samples) ]);
+         ("mqo", Obs.Jsonx.arr (List.map group rows)) ]);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nmqo bench written to %s\n%!" path
+
+let run_mqo ?(smoke = false) () =
+  Harness.print_header
+    (if smoke then "multi-query optimization (smoke)"
+     else "multi-query optimization (shared subplans vs unshared views)");
+  (* The shared side's fan-out cost is read off the serve.fanout_ns /
+     serve.dedup_hits counters, so metrics must be on for this group. *)
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was_enabled) @@ fun () ->
+  let n_tokens = if smoke then 2_000 else 10_000 in
+  let thin = if smoke then 50 else 100 in
+  let samples = if smoke then 10 else 40 in
+  let sizes = [ 8; 64 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let queries = mqo_queries n in
+        let shared, s_reg, s_first, s_last, s_fan, dedup, shared_nodes, cached_nodes =
+          run_mqo_shared ~n_tokens ~queries ~thin ~samples
+        in
+        let unshared, u_reg, u_fan = run_mqo_unshared ~n_tokens ~queries ~thin ~samples in
+        let equal = wal_marginals_equal shared unshared in
+        Printf.printf
+          "  %3d queries: fanout shared %8.1f ms vs unshared %8.1f ms (%5.2fx), register \
+           shared %6.1f ms (1st %6.2f, %dth %6.2f) vs unshared %6.1f ms, %d/%d shared \
+           nodes, %d dedup hits, marginals %s\n%!"
+          n
+          (float_of_int s_fan /. 1e6)
+          (float_of_int u_fan /. 1e6)
+          (float_of_int u_fan /. float_of_int s_fan)
+          (float_of_int s_reg /. 1e6)
+          (float_of_int s_first /. 1e6)
+          n
+          (float_of_int s_last /. 1e6)
+          (float_of_int u_reg /. 1e6)
+          shared_nodes cached_nodes dedup
+          (if equal then "equal" else "DIVERGED");
+        if not equal then failwith "mqo bench: shared-subplan marginals diverged";
+        { mqo_n = n; mqo_shared_fan = s_fan; mqo_unshared_fan = u_fan;
+          mqo_shared_reg = s_reg; mqo_unshared_reg = u_reg; mqo_first_reg = s_first;
+          mqo_last_reg = s_last; mqo_shared_nodes = shared_nodes;
+          mqo_cached_nodes = cached_nodes; mqo_dedup = dedup; mqo_equal = equal })
+      sizes
+  in
+  write_mqo_bench_json "BENCH_mqo.json" ~n_tokens ~thin ~samples rows
+
 let run () =
   Harness.print_header "A2 / micro-benchmarks (Bechamel)";
   ignore (run_group "mh-step-constant-in-n" (mh_step_tests ()) : (string * float) list);

@@ -20,12 +20,19 @@ let observe m answer =
 
 let samples m = m.z
 
-let probability m row =
-  if m.z = 0 then 0.
-  else float_of_int (Option.value ~default:0 (RH.find_opt m.counts row)) /. float_of_int m.z
+(* The one z = 0 convention (marginals.mli): no samples means no
+   evidence, so every probability is 0. Each deriving function below goes
+   through this helper — [probability], [estimates] and
+   [squared_error_to] previously disagreed ([max 1 z] vs an explicit
+   0-at-zero branch), which is invisible through the public API (counts
+   are empty whenever z = 0) but made the checkpoint-restored path
+   depend on which accessor a caller picked. *)
+let ratio m c = if Int.equal m.z 0 then 0. else float_of_int c /. float_of_int m.z
+
+let probability m row = ratio m (Option.value ~default:0 (RH.find_opt m.counts row))
 
 let estimates m =
-  RH.fold (fun row c acc -> (row, float_of_int c /. float_of_int (max 1 m.z)) :: acc) m.counts []
+  RH.fold (fun row c acc -> (row, ratio m c) :: acc) m.counts []
   |> List.sort (fun (a, _) (b, _) -> Row.compare a b)
 
 let counts m =
@@ -95,7 +102,7 @@ let squared_error_to ~reference m =
   RH.iter
     (fun row c ->
       if not (RH.mem seen row) then begin
-        let q = float_of_int c /. float_of_int (max 1 m.z) in
+        let q = ratio m c in
         acc := !acc +. (q ** 2.)
       end)
     m.counts;

@@ -3,7 +3,13 @@
 
     Membership uses the multiset convention of the paper's remark on
     projections: a tuple is in the answer of a sampled world iff its
-    maintained count is positive. *)
+    maintained count is positive.
+
+    Zero-sample convention: with z = 0 observed worlds there is no
+    evidence, so {!probability} is 0. for every tuple, {!estimates} is
+    empty, and {!squared_error_to} charges nothing for the estimator's
+    own (empty) support. Every probability-deriving accessor shares this
+    convention — none substitutes a fake z = 1 normalizer. *)
 
 type t
 

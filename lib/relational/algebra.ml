@@ -74,6 +74,91 @@ let rec output_schema db = function
     List.iter (fun (k, _) -> ignore (Schema.index_of cs k)) keys;
     cs
 
+let agg_equal a b =
+  match a, b with
+  | Count_star, Count_star -> true
+  | Count x, Count y | Sum x, Sum y | Avg x, Avg y | Min x, Min y | Max x, Max y ->
+    String.equal x y
+  | (Count_star | Count _ | Sum _ | Avg _ | Min _ | Max _), _ -> false
+
+let agg_item_equal a b = String.equal a.as_name b.as_name && agg_equal a.agg b.agg
+let dir_equal a b = match a, b with Asc, Asc | Desc, Desc -> true | (Asc | Desc), _ -> false
+
+let str_opt_equal a b =
+  match a, b with
+  | None, None -> true
+  | Some x, Some y -> String.equal x y
+  | (None | Some _), _ -> false
+
+let rec equal p q =
+  match p, q with
+  | Scan { table = t1; alias = a1 }, Scan { table = t2; alias = a2 } ->
+    String.equal t1 t2 && str_opt_equal a1 a2
+  | Select (e1, c1), Select (e2, c2) -> Expr.equal e1 e2 && equal c1 c2
+  | Project (cols1, c1), Project (cols2, c2) ->
+    List.equal String.equal cols1 cols2 && equal c1 c2
+  | Product (a1, b1), Product (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Join (e1, a1, b1), Join (e2, a2, b2) -> Expr.equal e1 e2 && equal a1 a2 && equal b1 b2
+  | Distinct c1, Distinct c2 -> equal c1 c2
+  | Union (a1, b1), Union (a2, b2) | Diff (a1, b1), Diff (a2, b2) ->
+    equal a1 a2 && equal b1 b2
+  | Group_by g1, Group_by g2 ->
+    List.equal String.equal g1.keys g2.keys
+    && List.equal agg_item_equal g1.aggs g2.aggs
+    && equal g1.child g2.child
+  | Count_join c1, Count_join c2 ->
+    String.equal c1.key c2.key && String.equal c1.sub_key c2.sub_key
+    && String.equal c1.as_name c2.as_name
+    && equal c1.child c2.child && equal c1.sub c2.sub
+  | Order_by o1, Order_by o2 ->
+    List.equal
+      (fun (k1, d1) (k2, d2) -> String.equal k1 k2 && dir_equal d1 d2)
+      o1.keys o2.keys
+    && Option.equal Int.equal o1.limit o2.limit
+    && equal o1.child o2.child
+  | ( ( Scan _ | Select _ | Project _ | Product _ | Join _ | Distinct _ | Union _ | Diff _
+      | Group_by _ | Count_join _ | Order_by _ ),
+      _ ) ->
+    false
+
+let mix h k = (h * 0x01000193) lxor k
+
+let agg_hash = function
+  | Count_star -> 1
+  | Count c -> mix 2 (String.hash c)
+  | Sum c -> mix 3 (String.hash c)
+  | Avg c -> mix 4 (String.hash c)
+  | Min c -> mix 5 (String.hash c)
+  | Max c -> mix 6 (String.hash c)
+
+let rec hash = function
+  | Scan { table; alias } ->
+    mix (mix 1 (String.hash table))
+      (match alias with None -> 0 | Some a -> mix 1 (String.hash a))
+  | Select (e, c) -> mix (mix 2 (Expr.hash e)) (hash c)
+  | Project (cols, c) -> mix (List.fold_left (fun h s -> mix h (String.hash s)) 3 cols) (hash c)
+  | Product (a, b) -> mix (mix 4 (hash a)) (hash b)
+  | Join (e, a, b) -> mix (mix (mix 5 (Expr.hash e)) (hash a)) (hash b)
+  | Distinct c -> mix 6 (hash c)
+  | Union (a, b) -> mix (mix 7 (hash a)) (hash b)
+  | Diff (a, b) -> mix (mix 8 (hash a)) (hash b)
+  | Group_by { keys; aggs; child } ->
+    let h = List.fold_left (fun h s -> mix h (String.hash s)) 9 keys in
+    let h =
+      List.fold_left (fun h i -> mix (mix h (agg_hash i.agg)) (String.hash i.as_name)) h aggs
+    in
+    mix h (hash child)
+  | Count_join { child; key; sub; sub_key; as_name } ->
+    let h = mix (mix (mix 10 (String.hash key)) (String.hash sub_key)) (String.hash as_name) in
+    mix (mix h (hash child)) (hash sub)
+  | Order_by { keys; limit; child } ->
+    let h =
+      List.fold_left
+        (fun h (k, d) -> mix (mix h (String.hash k)) (match d with Asc -> 0 | Desc -> 1))
+        11 keys
+    in
+    mix (mix h (match limit with None -> 0 | Some n -> mix 1 n)) (hash child)
+
 let base_tables q =
   let seen = Str_tbl.create 4 in
   let out = ref [] in

@@ -57,4 +57,15 @@ val base_tables : t -> string list
 (** Names of base tables read anywhere in the expression, without
     duplicates. *)
 
+val equal : t -> t -> bool
+(** Canonical structural identity, monomorphic throughout. Two plans that
+    are [equal] produce identical answers over any database, so the
+    multi-query optimizer treats them as the {e same} plan: the serving
+    registry's subplan cache maintains one shared view node per
+    equivalence class. Plans should be normalized ({!Optimizer.optimize})
+    before comparison so syntactic variants of the same query coincide. *)
+
+val hash : t -> int
+(** Consistent with {!equal}: [equal a b] implies [hash a = hash b]. *)
+
 val pp : Format.formatter -> t -> unit

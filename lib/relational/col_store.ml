@@ -322,6 +322,13 @@ let create_index t col =
 
 let has_index t col = List.exists (fun idx -> Int.equal idx.icol col) t.indexes
 
+let distinct_in_index t col =
+  if Int.equal col t.pk then Some t.len
+  else
+    match List.find_opt (fun idx -> Int.equal idx.icol col) t.indexes with
+    | Some idx -> Some (IT.length idx.buckets)
+    | None -> None
+
 let lookup t ~col v =
   match List.find_opt (fun idx -> Int.equal idx.icol col) t.indexes with
   | None -> raise Not_found

@@ -68,6 +68,12 @@ val create_index : t -> int -> unit
 
 val has_index : t -> int -> bool
 
+val distinct_in_index : t -> int -> int option
+(** Number of distinct keys the column holds, when knowable for free:
+    the row count for the primary key (set semantics), the bucket count
+    for an indexed column, [None] otherwise. Feeds the optimizer's
+    join-selectivity estimates. *)
+
 val lookup : t -> col:int -> Value.t -> Bag.t
 (** Decoded rows whose column equals the probe value, via the secondary
     index. Raises [Not_found] if the column has no index. A probe value

@@ -163,6 +163,39 @@ let equi_join_pairs pred ~left ~right =
     in
     Some (List.rev ps, res)
 
+let cmp_tag = function Eq -> 0 | Neq -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+let arith_tag = function Add -> 0 | Sub -> 1 | Mul -> 2
+
+(* [&&] is shadowed above as the expression conjunction constructor;
+   restore the boolean one locally. *)
+let rec equal a b =
+  let ( && ) = Stdlib.( && ) in
+  match a, b with
+  | Col x, Col y -> String.equal x y
+  | Const x, Const y -> Value.equal x y
+  | Cmp (op1, a1, b1), Cmp (op2, a2, b2) ->
+    Int.equal (cmp_tag op1) (cmp_tag op2) && equal a1 a2 && equal b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Not x, Not y -> equal x y
+  | Arith (op1, a1, b1), Arith (op2, a2, b2) ->
+    Int.equal (arith_tag op1) (arith_tag op2) && equal a1 a2 && equal b1 b2
+  | Like (x, p), Like (y, q) -> String.equal p q && equal x y
+  | Is_null x, Is_null y -> equal x y
+  | (Col _ | Const _ | Cmp _ | And _ | Or _ | Not _ | Arith _ | Like _ | Is_null _), _ -> false
+
+let mix h k = (h * 0x01000193) lxor k
+
+let rec hash = function
+  | Col c -> mix 1 (String.hash c)
+  | Const v -> mix 2 (Value.hash v)
+  | Cmp (op, a, b) -> mix (mix (mix 3 (cmp_tag op)) (hash a)) (hash b)
+  | And (a, b) -> mix (mix 4 (hash a)) (hash b)
+  | Or (a, b) -> mix (mix 5 (hash a)) (hash b)
+  | Not a -> mix 6 (hash a)
+  | Arith (op, a, b) -> mix (mix (mix 7 (arith_tag op)) (hash a)) (hash b)
+  | Like (a, pattern) -> mix (mix 8 (String.hash pattern)) (hash a)
+  | Is_null a -> mix 9 (hash a)
+
 let rec pp fmt = function
   | Col c -> Format.pp_print_string fmt c
   | Const v -> Value.pp fmt v

@@ -64,4 +64,15 @@ val equi_join_pairs : t -> left:Schema.t -> right:Schema.t -> ((int * int) list 
     [(left_pos, right_pos)] usable for hash join, plus a residual predicate
     over the concatenated schema. [None] when no equality pair exists. *)
 
+val equal : t -> t -> bool
+(** Structural equality, monomorphic throughout (constants compare via
+    {!Value.equal}). This is the identity the multi-query optimizer's
+    subplan cache keys on: two predicates that are [equal] compile to
+    the same maintained view node. *)
+
+val hash : t -> int
+(** Consistent with {!equal}: [equal a b] implies [hash a = hash b]
+    (constants hash via {!Value.hash}, which collides exactly where
+    {!Value.compare} unifies). *)
+
 val pp : Format.formatter -> t -> unit

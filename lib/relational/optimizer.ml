@@ -16,19 +16,22 @@ let alias_of_col c =
 (* Which side of (left_aliases, right_aliases) does a conjunct's column set
    fall on?  [`Neither] means some column is unqualified or unknown. *)
 let side_of ~left ~right conj =
-  let cols = Expr.columns conj in
-  if cols = [] then `Either
-  else
+  match Expr.columns conj with
+  | [] -> `Either
+  | cols ->
     let side c =
       match alias_of_col c with
-      | Some a when List.mem a left -> `L
-      | Some a when List.mem a right -> `R
+      | Some a when List.exists (String.equal a) left -> `L
+      | Some a when List.exists (String.equal a) right -> `R
       | _ -> `Unknown
     in
+    let is_left s = match s with `L -> true | `R | `Unknown -> false in
+    let is_right s = match s with `R -> true | `L | `Unknown -> false in
+    let is_known s = match s with `L | `R -> true | `Unknown -> false in
     let sides = List.map side cols in
-    if List.for_all (fun s -> s = `L) sides then `Left
-    else if List.for_all (fun s -> s = `R) sides then `Right
-    else if List.for_all (fun s -> s <> `Unknown) sides then `Mixed
+    if List.for_all is_left sides then `Left
+    else if List.for_all is_right sides then `Right
+    else if List.for_all is_known sides then `Mixed
     else `Neither
 
 let rec conjuncts = function
@@ -75,3 +78,242 @@ let rec optimize (q : Algebra.t) : Algebra.t =
   | Count_join cj ->
     Count_join { cj with child = optimize cj.child; sub = optimize cj.sub }
   | Order_by ob -> Order_by { ob with child = optimize ob.child }
+
+(* ---------------- cost-based join ordering ---------------- *)
+
+(* The pass below is the optimizer's first stats-driven rewrite: flatten a
+   maximal Join/Product cluster into leaves + conjuncts, estimate leaf
+   cardinalities from [Table.cardinal] and index distinct-key counts
+   ([Table.distinct_keys]), and rebuild a greedy left-deep order that
+   starts from the smallest leaf and prefers equi-connected extensions.
+   Reordering permutes the cluster's output columns, so it only runs in
+   contexts that address columns by name (under a projection, grouping,
+   or Count_join sub) — never where positions are observable (query root,
+   Union/Diff arms, LIMIT's full-row tie-breaking). Any resolution
+   surprise (unknown or ambiguous column) bails back to the input plan. *)
+
+let m_reorders = Obs.Metrics.counter "optimizer.join_reorders"
+
+exception Bail
+
+(* The single Scan a leaf bottoms out at, if any — the handle for index
+   statistics. *)
+let rec scan_of (q : Algebra.t) =
+  match q with
+  | Scan { table; alias } -> Some (table, alias)
+  | Select (_, c) | Distinct c -> scan_of c
+  | Project _ | Product _ | Join _ | Union _ | Diff _ | Group_by _ | Count_join _ | Order_by _
+    ->
+    None
+
+let strip_alias ~alias col =
+  let p = alias ^ "." in
+  let lp = String.length p in
+  if String.length col > lp && String.equal (String.sub col 0 lp) p then
+    String.sub col lp (String.length col - lp)
+  else col
+
+(* Distinct-value count of [col] when the leaf bottoms out at one scan
+   whose table can answer from pk/index metadata. *)
+let ndv db leaf col =
+  match scan_of leaf with
+  | None -> None
+  | Some (table, alias) ->
+    let t = Database.table db table in
+    let a = Option.value ~default:table alias in
+    Table.distinct_keys t (strip_alias ~alias:a col)
+
+let sel_of_conjunct db leaf (c : Expr.t) =
+  match c with
+  | Cmp (Eq, Col col, Const _) | Cmp (Eq, Const _, Col col) -> (
+    match ndv db leaf col with
+    | Some n when n > 0 -> 1. /. float_of_int n
+    | Some _ | None -> 0.1)
+  | Cmp (Eq, _, _) -> 0.1
+  | Cmp ((Neq | Lt | Le | Gt | Ge), _, _) -> 0.3
+  | _ -> 0.5
+
+(* Rough output-cardinality estimate; only relative order matters. *)
+let rec estimate db (q : Algebra.t) =
+  match q with
+  | Scan { table; _ } -> float_of_int (Table.cardinal (Database.table db table))
+  | Select (p, c) ->
+    List.fold_left (fun acc cj -> acc *. sel_of_conjunct db c cj) (estimate db c) (conjuncts p)
+  | Project (_, c) | Distinct c | Order_by { child = c; _ } -> estimate db c
+  | Product (a, b) -> estimate db a *. estimate db b
+  | Join (p, a, b) ->
+    List.fold_left
+      (fun acc cj -> acc *. join_sel db a b cj)
+      (estimate db a *. estimate db b)
+      (conjuncts p)
+  | Union (a, b) -> estimate db a +. estimate db b
+  | Diff (a, _) -> estimate db a
+  | Group_by { child; _ } -> (estimate db child *. 0.1) +. 1.
+  | Count_join { child; _ } -> estimate db child
+
+and join_sel db a b (c : Expr.t) =
+  match c with
+  | Cmp (Eq, Col x, Col y) -> (
+    match List.filter_map Fun.id [ ndv db a x; ndv db b x; ndv db a y; ndv db b y ] with
+    | [] -> 0.1
+    | ns -> 1. /. float_of_int (List.fold_left Int.max 1 ns))
+  | c -> sel_of_conjunct db a c
+
+let resolve_unique schema col =
+  match Schema.index_of schema col with
+  | i -> i
+  | exception Not_found -> raise Bail
+  | exception Schema.Ambiguous_column _ -> raise Bail
+
+(* Flatten one Join/Product cluster, recurse into its leaves with
+   [recurse], and rebuild greedily. Raises [Bail] to keep the input
+   (unknown/ambiguous columns, or the greedy order matches the input). *)
+let rebuild_cluster db (q : Algebra.t) ~recurse =
+  let rev_leaves = ref [] and rev_conjs = ref [] in
+  let rec flat (q : Algebra.t) =
+    match q with
+    | Join (p, a, b) ->
+      flat a;
+      flat b;
+      List.iter (fun c -> rev_conjs := c :: !rev_conjs) (conjuncts p)
+    | Product (a, b) ->
+      flat a;
+      flat b
+    | leaf -> rev_leaves := recurse leaf :: !rev_leaves
+  in
+  flat q;
+  let leaf_arr = Array.of_list (List.rev !rev_leaves) in
+  let conj_arr = Array.of_list (List.rev !rev_conjs) in
+  let n = Array.length leaf_arr in
+  if n < 2 then raise Bail;
+  let schemas = Array.map (Algebra.output_schema db) leaf_arr in
+  let ests = Array.map (estimate db) leaf_arr in
+  let full = Array.fold_left Schema.concat schemas.(0) (Array.sub schemas 1 (n - 1)) in
+  (* Owning leaf of a conjunct column. Requiring unambiguous resolution in
+     the full cluster schema makes name resolution independent of the
+     assembly order, so a conjunct attached at the earliest join where its
+     columns resolve binds exactly the columns it bound in the input. *)
+  let owner col =
+    ignore (resolve_unique full col : int);
+    let rec find i =
+      if i >= n then raise Bail
+      else
+        match Schema.index_of schemas.(i) col with
+        | _ -> i
+        | exception Not_found -> find (i + 1)
+        | exception Schema.Ambiguous_column _ -> raise Bail
+    in
+    find 0
+  in
+  let owners = Array.map (fun c -> List.map owner (Expr.columns c)) conj_arr in
+  let placed = Array.make (Array.length conj_arr) false in
+  let used = Array.make n false in
+  let rev_order = ref [] in
+  let pick i =
+    used.(i) <- true;
+    rev_order := i :: !rev_order
+  in
+  let argmin_est () =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i u ->
+        if not u then
+          match !best with
+          | -1 -> best := i
+          | b -> if Float.compare ests.(i) ests.(b) < 0 then best := i)
+      used;
+    !best
+  in
+  let attachable j =
+    let ks = ref [] in
+    Array.iteri
+      (fun k os ->
+        if (not placed.(k)) && List.for_all (fun o -> used.(o) || Int.equal o j) os then
+          ks := k :: !ks)
+      owners;
+    List.rev !ks
+  in
+  let connects j ks =
+    List.exists
+      (fun k ->
+        let os = owners.(k) in
+        List.exists (fun o -> Int.equal o j) os && List.exists (fun o -> used.(o)) os)
+      ks
+  in
+  let first = argmin_est () in
+  pick first;
+  let cur = ref leaf_arr.(first) and cur_est = ref ests.(first) in
+  for _ = 2 to n do
+    let best = ref (-1) and best_cost = ref infinity and best_conn = ref false in
+    for j = 0 to n - 1 do
+      if not used.(j) then begin
+        let ks = attachable j in
+        let conn = connects j ks in
+        let sel =
+          List.fold_left (fun acc k -> acc *. join_sel db !cur leaf_arr.(j) conj_arr.(k)) 1. ks
+        in
+        let cost = !cur_est *. ests.(j) *. (if conn then sel else 1.) in
+        let better =
+          match !best with
+          | -1 -> true
+          | _ ->
+            if Bool.equal conn !best_conn then Float.compare cost !best_cost < 0 else conn
+        in
+        if better then begin
+          best := j;
+          best_cost := cost;
+          best_conn := conn
+        end
+      end
+    done;
+    let j = !best in
+    let ks = attachable j in
+    List.iter (fun k -> placed.(k) <- true) ks;
+    (cur :=
+       match List.map (fun k -> conj_arr.(k)) ks with
+       | [] -> Algebra.Product (!cur, leaf_arr.(j))
+       | ps -> Algebra.Join (Expr.conj ps, !cur, leaf_arr.(j)));
+    cur_est := Float.max 1. !best_cost;
+    pick j
+  done;
+  (* Column-free conjuncts attach at the first join; everything else has
+     attached by the final one. Belt and braces: keep any stragglers. *)
+  let leftovers = ref [] in
+  Array.iteri (fun k p -> if not p then leftovers := conj_arr.(k) :: !leftovers) placed;
+  let result = select_opt (List.rev !leftovers) !cur in
+  let order = List.rev !rev_order in
+  if List.for_all2 (fun i j -> Int.equal i j) (List.init n (fun i -> i)) order then raise Bail;
+  Obs.Metrics.incr m_reorders;
+  result
+
+let reorder db (q : Algebra.t) : Algebra.t =
+  let rec go ~reorderable (q : Algebra.t) : Algebra.t =
+    match q with
+    | Scan _ -> q
+    | Select (p, c) -> Select (p, go ~reorderable c)
+    | Project (cols, c) -> Project (cols, go ~reorderable:true c)
+    | Distinct c -> Distinct (go ~reorderable c)
+    | Group_by g -> Group_by { g with child = go ~reorderable:true g.child }
+    | Count_join cj ->
+      Count_join { cj with child = go ~reorderable cj.child; sub = go ~reorderable:true cj.sub }
+    | Order_by ob ->
+      let r = match ob.limit with Some _ -> false | None -> reorderable in
+      Order_by { ob with child = go ~reorderable:r ob.child }
+    | Union (a, b) -> Union (go ~reorderable:false a, go ~reorderable:false b)
+    | Diff (a, b) -> Diff (go ~reorderable:false a, go ~reorderable:false b)
+    | (Product _ | Join _) as cluster ->
+      let keep () =
+        (* The cluster itself stays put; deeper name-addressed contexts
+           inside its leaves still get their shot. *)
+        match cluster with
+        | Product (a, b) -> Algebra.Product (go ~reorderable:false a, go ~reorderable:false b)
+        | Join (p, a, b) -> Algebra.Join (p, go ~reorderable:false a, go ~reorderable:false b)
+        | _ -> assert false
+      in
+      if not reorderable then keep ()
+      else (
+        try rebuild_cluster db cluster ~recurse:(go ~reorderable:true) with
+        | Bail | Not_found | Schema.Ambiguous_column _ | Failure _ | Invalid_argument _ ->
+          keep ())
+  in
+  go ~reorderable:false q

@@ -13,5 +13,21 @@
 
 val optimize : Algebra.t -> Algebra.t
 
+val reorder : Database.t -> Algebra.t -> Algebra.t
+(** Stats-driven join ordering, the optimizer's one database-dependent
+    pass. Flattens each maximal [Join]/[Product] cluster into leaves and
+    join conjuncts, estimates leaf cardinalities from {!Table.cardinal}
+    and {!Table.distinct_keys}, and rebuilds a greedy left-deep order
+    starting from the smallest leaf, preferring equi-connected
+    extensions so the bootstrap evaluation probes indexes instead of
+    building cross products. Because reordering permutes the cluster's
+    output columns, it fires only where columns are addressed by name
+    (under [Project]/[Group_by]/[Count_join] sub) and never where
+    positions are observable (the query root, [Union]/[Diff] arms,
+    [Order_by] with LIMIT). Bails back to the input plan on any unknown
+    or ambiguous column. Increments [optimizer.join_reorders] per
+    cluster actually changed. Run after {!optimize}; the result is
+    answer-equivalent to its input on every database. *)
+
 val exposed_aliases : Algebra.t -> string list
 (** Alias (or table-name) prefixes a subtree's columns may carry. *)

@@ -547,8 +547,9 @@ let compile (q : query) : Algebra.t =
       (fun c -> if cond_has_subquery c then subq_preds := c :: !subq_preds else plain := c :: !plain)
       (conjuncts_of w));
   let plan = ref base in
-  if !plain <> [] then
-    plan := Algebra.Select (Expr.conj (List.map cond_expr (List.rev !plain)), !plan);
+  (match !plain with
+  | [] -> ()
+  | _ :: _ -> plan := Algebra.Select (Expr.conj (List.map cond_expr (List.rev !plain)), !plan));
   (* Decorrelate: each subquery becomes a Count_join over the current plan,
      and the comparison becomes a plain predicate over the appended column. *)
   let fresh =
@@ -587,13 +588,15 @@ let compile (q : query) : Algebra.t =
     | None -> false
     | Some items -> List.exists (function S_agg _ -> true | S_col _ -> false) items
   in
-  if q.having <> None && not has_agg && q.group_by = [] then
-    fail "HAVING requires GROUP BY or aggregates";
+  let grouped_by = match q.group_by with [] -> false | _ :: _ -> true in
+  (match q.having, has_agg, grouped_by with
+  | Some _, false, false -> fail "HAVING requires GROUP BY or aggregates"
+  | _ -> ());
   let plan =
-    if has_agg || q.group_by <> [] then begin
+    if has_agg || grouped_by then begin
       let items = Option.value ~default:[] q.select in
       let keys =
-        if q.group_by <> [] then q.group_by
+        if grouped_by then q.group_by
         else
           List.filter_map (function S_col c -> Some c | S_agg _ -> None) items
       in
@@ -615,10 +618,9 @@ let compile (q : query) : Algebra.t =
         Algebra.Project (cols, !plan)
   in
   let plan = if q.distinct then Algebra.Distinct plan else plan in
-  if q.order_by = [] && q.limit_n = None then plan
-  else
-    Algebra.Order_by
-      { keys = q.order_by; limit = q.limit_n; child = plan }
+  match q.order_by, q.limit_n with
+  | [], None -> plan
+  | keys, limit -> Algebra.Order_by { keys; limit; child = plan }
 
 let parse src =
   let cur = { toks = lex src } in

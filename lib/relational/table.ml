@@ -157,6 +157,21 @@ let create_index t column =
     let idx = { col; entries = Key_index.of_bag ~size:256 [| col |] b.rows } in
     b.indexes <- idx :: b.indexes
 
+let distinct_keys t column =
+  match Schema.index_of t.schema column with
+  | exception Not_found -> None
+  | exception Schema.Ambiguous_column _ -> None
+  | col -> (
+    let is_pk = match t.pk with Some k -> Int.equal k col | None -> false in
+    match t.store with
+    | Columnar c -> Col_store.distinct_in_index c col
+    | Boxed b ->
+      if is_pk then Some (VH.length b.by_pk)
+      else
+        Option.map
+          (fun idx -> Key_index.distinct_keys idx.entries)
+          (List.find_opt (fun idx -> Int.equal idx.col col) b.indexes))
+
 let has_index t column =
   match Schema.index_of t.schema column with
   | col -> (

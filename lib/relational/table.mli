@@ -80,6 +80,14 @@ val create_index : t -> string -> unit
 
 val has_index : t -> string -> bool
 
+val distinct_keys : t -> string -> int option
+(** [distinct_keys t column] is the number of distinct values in
+    [column] when the table already knows it for free — via the primary
+    key or a hash index — and [None] otherwise (including unknown
+    columns). The optimizer's cost-based join-order pass divides
+    {!cardinal} by this to estimate equi-join selectivity without ever
+    scanning. *)
+
 val lookup : t -> column:string -> Value.t -> Bag.t
 (** Index lookup; raises [Invalid_argument] if no index exists on [column].
     The returned bag must not be mutated. *)

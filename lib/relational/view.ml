@@ -30,12 +30,25 @@ end)
    propagation short-circuits the whole subtree — this is what keeps
    K_recompute fallbacks (Diff, Order_by+limit) from re-running on every
    batch. *)
+(* [live] tracks whether the node's state has been initialized (reset or
+   checkpoint-filled); a shared node acquired from a subplan cache is
+   already live and registration skips re-initializing it — that is what
+   makes registering the Nth overlapping query cost O(new nodes).
+
+   [last_d]/[last_out] memoize the last delta batch processed, keyed by
+   the {e physical} identity of the [Delta.t] (each drained batch is a
+   fresh object, see [World.drain_delta]): when several views share a
+   node, the first fan-out computes and folds the batch, and every other
+   parent gets the cached output bag without touching [current]. *)
 type node = {
   alg : Algebra.t;
   schema : Schema.t;
   kind : kind;
   mutable current : Bag.t;
   footprint : string list;
+  mutable live : bool;
+  mutable last_d : Delta.t option;
+  mutable last_out : Bag.t;
 }
 
 and kind =
@@ -111,36 +124,93 @@ let canonical_footprint db alg =
 
 let empty_bag () = Bag.create ~size:1 ()
 
-let rec build_shell db (alg : Algebra.t) : node =
+let mk_node alg ~schema ~kind ~footprint =
+  { alg; schema; kind; current = empty_bag (); footprint; live = false; last_d = None;
+    last_out = empty_bag () }
+
+(* ------------------------------------------------------------------ *)
+(* Subplan cache (multi-query optimization). A cache maps the canonical
+   structural key of a subtree — its algebra, under [Algebra.equal] — to
+   the one shared node maintaining it, with a reference count of direct
+   parents (enclosing cache entries plus registered views whose root it
+   is). Sharing is sound because every view attached to one registry sees
+   exactly the same delta stream, so a shared node's state is equally
+   current for all its parents. *)
+
+module AH = Hashtbl.Make (struct
+  type t = Algebra.t
+
+  let equal = Algebra.equal
+  let hash = Algebra.hash
+end)
+
+type centry = { cnode : node; mutable refs : int }
+type cache = centry AH.t
+
+let cache_create () : cache = AH.create 64
+let cache_nodes (c : cache) = AH.length c
+let cache_shared (c : cache) = AH.fold (fun _ e acc -> if e.refs > 1 then acc + 1 else acc) c 0
+
+(* The sub-plans [build_shell] recurses into, mirrored exactly: the
+   release cascade walks keys, not nodes, so this must stay in lockstep
+   with the construction below (K_recompute leaves build no children;
+   limit-less Order_by aliases its child's node). *)
+let sub_algs (alg : Algebra.t) : Algebra.t list =
+  match alg with
+  | Scan _ | Diff _ | Order_by { limit = Some _; _ } -> []
+  | Select (_, c) | Project (_, c) | Distinct c | Order_by { limit = None; child = c; _ } ->
+    [ c ]
+  | Product (a, b) | Join (_, a, b) | Union (a, b) -> [ a; b ]
+  | Group_by { child; _ } -> [ child ]
+  | Count_join { child; sub; _ } -> [ child; sub ]
+
+let rec build_shell ?cache db (alg : Algebra.t) : node =
+  let hit =
+    match cache with
+    | None -> None
+    | Some c -> (
+      match AH.find_opt c alg with
+      | Some e ->
+        e.refs <- e.refs + 1;
+        Some e.cnode
+      | None -> None)
+  in
+  match hit with
+  | Some node -> node
+  | None ->
+    let node = build_fresh ?cache db alg in
+    (match cache with None -> () | Some c -> AH.replace c alg { cnode = node; refs = 1 });
+    node
+
+and build_fresh ?cache db (alg : Algebra.t) : node =
   match alg with
   | Scan { table; _ } ->
     let t = Database.table db table in
     let name = Table.name t in
-    { alg; schema = Algebra.output_schema db alg;
-      kind = K_scan { sc_table = name; sc_owned = false };
-      current = empty_bag (); footprint = [ name ] }
+    mk_node alg ~schema:(Algebra.output_schema db alg)
+      ~kind:(K_scan { sc_table = name; sc_owned = false })
+      ~footprint:[ name ]
   | Select (p, child_alg) ->
     let schema = Algebra.output_schema db alg in
-    let child = build_shell db child_alg in
+    let child = build_shell ?cache db child_alg in
     let keep = Expr.bind_pred child.schema p in
-    { alg; schema; kind = K_select (keep, child); current = empty_bag ();
-      footprint = child.footprint }
+    mk_node alg ~schema ~kind:(K_select (keep, child)) ~footprint:child.footprint
   | Project (cols, child_alg) ->
     let schema = Algebra.output_schema db alg in
-    let child = build_shell db child_alg in
+    let child = build_shell ?cache db child_alg in
     let _, positions = Schema.project child.schema cols in
-    { alg; schema; kind = K_project (positions, child); current = empty_bag ();
-      footprint = child.footprint }
+    mk_node alg ~schema ~kind:(K_project (positions, child)) ~footprint:child.footprint
   | Product (a, b) ->
     let schema = Algebra.output_schema db alg in
-    let left = build_shell db a in
-    let right = build_shell db b in
-    { alg; schema; kind = K_join { pred = None; left; right; strategy = J_nested };
-      current = empty_bag (); footprint = union_fp left.footprint right.footprint }
+    let left = build_shell ?cache db a in
+    let right = build_shell ?cache db b in
+    mk_node alg ~schema
+      ~kind:(K_join { pred = None; left; right; strategy = J_nested })
+      ~footprint:(union_fp left.footprint right.footprint)
   | Join (p, a, b) ->
     let schema = Algebra.output_schema db alg in
-    let left = build_shell db a in
-    let right = build_shell db b in
+    let left = build_shell ?cache db a in
+    let right = build_shell ?cache db b in
     let strategy =
       match Expr.equi_join_pairs p ~left:left.schema ~right:right.schema with
       | Some (pairs, residual) ->
@@ -156,54 +226,51 @@ let rec build_shell db (alg : Algebra.t) : node =
             keep }
       | None -> J_nested
     in
-    { alg; schema; kind = K_join { pred = Some p; left; right; strategy };
-      current = empty_bag (); footprint = union_fp left.footprint right.footprint }
+    mk_node alg ~schema
+      ~kind:(K_join { pred = Some p; left; right; strategy })
+      ~footprint:(union_fp left.footprint right.footprint)
   | Distinct child_alg ->
     let schema = Algebra.output_schema db alg in
-    let child = build_shell db child_alg in
-    { alg; schema; kind = K_distinct child; current = empty_bag ();
-      footprint = child.footprint }
+    let child = build_shell ?cache db child_alg in
+    mk_node alg ~schema ~kind:(K_distinct child) ~footprint:child.footprint
   | Union (a, b) ->
     let schema = Algebra.output_schema db alg in
-    let left = build_shell db a in
-    let right = build_shell db b in
-    { alg; schema; kind = K_union (left, right); current = empty_bag ();
-      footprint = union_fp left.footprint right.footprint }
+    let left = build_shell ?cache db a in
+    let right = build_shell ?cache db b in
+    mk_node alg ~schema ~kind:(K_union (left, right))
+      ~footprint:(union_fp left.footprint right.footprint)
   | Diff _ ->
     let schema = Algebra.output_schema db alg in
-    { alg; schema; kind = K_recompute; current = empty_bag ();
-      footprint = canonical_footprint db alg }
+    mk_node alg ~schema ~kind:K_recompute ~footprint:(canonical_footprint db alg)
   | Group_by { keys; aggs; child = child_alg } ->
     let schema = Algebra.output_schema db alg in
-    let child = build_shell db child_alg in
+    let child = build_shell ?cache db child_alg in
     let keys_pos = Array.of_list (List.map (Schema.index_of child.schema) keys) in
     let spec = Group_acc.spec_of child.schema aggs in
-    { alg; schema;
-      kind =
-        K_group
-          { g_child = child; keys_pos; spec; groups = RH.create 64; global = keys = [] };
-      current = empty_bag (); footprint = child.footprint }
+    let global = match keys with [] -> true | _ :: _ -> false in
+    mk_node alg ~schema
+      ~kind:(K_group { g_child = child; keys_pos; spec; groups = RH.create 64; global })
+      ~footprint:child.footprint
   | Order_by { limit = None; child = child_alg; _ } ->
     (* Without a limit, ordering does not change the multiset; validate the
        sort keys eagerly, then maintain the child directly. *)
     ignore (Algebra.output_schema db alg : Schema.t);
-    build_shell db child_alg
+    build_shell ?cache db child_alg
   | Order_by { limit = Some _; _ } ->
     let schema = Algebra.output_schema db alg in
-    { alg; schema; kind = K_recompute; current = empty_bag ();
-      footprint = canonical_footprint db alg }
+    mk_node alg ~schema ~kind:K_recompute ~footprint:(canonical_footprint db alg)
   | Count_join { child = child_alg; key; sub = sub_alg; sub_key; _ } ->
     let schema = Algebra.output_schema db alg in
-    let child = build_shell db child_alg in
-    let sub = build_shell db sub_alg in
+    let child = build_shell ?cache db child_alg in
+    let sub = build_shell ?cache db sub_alg in
     let key_pos = Schema.index_of child.schema key in
     let sub_key_pos = Schema.index_of sub.schema sub_key in
-    { alg; schema;
-      kind =
-        K_count_join
-          { c_child = child; c_sub = sub; key_pos; sub_key_pos;
-            sub_counts = VH.create 64; child_idx = Key_index.create [| key_pos |] };
-      current = empty_bag (); footprint = union_fp child.footprint sub.footprint }
+    mk_node alg ~schema
+      ~kind:
+        (K_count_join
+           { c_child = child; c_sub = sub; key_pos; sub_key_pos;
+             sub_counts = VH.create 64; child_idx = Key_index.create [| key_pos |] })
+      ~footprint:(union_fp child.footprint sub.footprint)
 
 (* ------------------------------------------------------------------ *)
 (* Delta propagation.  [delta db node d] returns the signed change of the
@@ -240,6 +307,12 @@ let m_probe_rows = Obs.Metrics.counter "view.join.probe_rows"
 let g_index_size = Obs.Metrics.gauge "view.join.index_size"
 let g_materialized_rows = Obs.Metrics.gauge "view.node.materialized_rows"
 
+(* Counted here because the per-batch memo lives on the node, but the
+   serving registry's shared-plan fan-out is the only producer of hits:
+   each hit is one subtree maintenance another registered query got for
+   free this batch. *)
+let m_dedup_hits = Obs.Metrics.counter "serve.dedup_hits"
+
 let touches d footprint =
   List.exists
     (fun t ->
@@ -247,18 +320,32 @@ let touches d footprint =
     footprint
 
 let rec delta db node (d : Delta.t) : Bag.t =
-  if not (touches d node.footprint) then Bag.create ~size:1 ()
-  else begin
-    let out = delta_node db node d in
-    (* A boxed K_scan aliases the live table bag, which already absorbed the
-       batch; an owned (columnar) scan copy must fold the delta itself. *)
-    (match node.kind with
-    | K_scan s -> if s.sc_owned then Bag.add_bag node.current out
-    | _ -> Bag.add_bag node.current out);
-    if Obs.Metrics.enabled () then
-      Obs.Metrics.add vop_delta_rows.(vop_index node.kind) (Bag.distinct_cardinal out);
+  match node.last_d with
+  | Some d0 when d0 == d ->
+    (* Batch already processed through this (shared) node by another
+       parent: its effect is folded into [current]; hand back the output
+       bag. Callers must treat it as read-only. *)
+    Obs.Metrics.incr m_dedup_hits;
+    node.last_out
+  | Some _ | None ->
+    let out =
+      if not (touches d node.footprint) then Bag.create ~size:1 ()
+      else begin
+        let out = delta_node db node d in
+        (* A boxed K_scan aliases the live table bag, which already absorbed
+           the batch; an owned (columnar) scan copy must fold the delta
+           itself. *)
+        (match node.kind with
+        | K_scan s -> if s.sc_owned then Bag.add_bag node.current out
+        | _ -> Bag.add_bag node.current out);
+        if Obs.Metrics.enabled () then
+          Obs.Metrics.add vop_delta_rows.(vop_index node.kind) (Bag.distinct_cardinal out);
+        out
+      end
+    in
+    node.last_d <- Some d;
+    node.last_out <- out;
     out
-  end
 
 and delta_node db node (d : Delta.t) : Bag.t =
   match node.kind with
@@ -333,7 +420,9 @@ and delta_node db node (d : Delta.t) : Bag.t =
       dc;
     out
   | K_union (a, b) ->
-    let out = delta db a d in
+    (* The child's bag may be a memoized result other parents will read —
+       never mutate it in place. *)
+    let out = Bag.copy (delta db a d) in
     Bag.add_bag out (delta db b d);
     out
   | K_recompute ->
@@ -491,12 +580,18 @@ let source_bag db child =
    tables those must own a maintained copy. *)
 let mark_scan_owned db node =
   match node.kind with
-  | K_scan s ->
-    if
-      match Table.storage (Database.table db s.sc_table) with
-      | `Columnar -> true
-      | `Boxed -> false
-    then s.sc_owned <- true
+  | K_scan s -> (
+    let t = Database.table db s.sc_table in
+    match Table.storage t with
+    | `Boxed -> ()
+    | `Columnar ->
+      if not s.sc_owned then begin
+        s.sc_owned <- true;
+        (* A shared scan already live as non-owned flips mid-flight: it
+           must start maintaining a decoded copy, seeded from the current
+           table state (equally current for every view sharing it). *)
+        if node.live then node.current <- Table.rows t
+      end)
   | _ -> ()
 
 let rec mark_owned_scans db node =
@@ -508,9 +603,19 @@ let rec mark_owned_scans db node =
   | _ -> ());
   List.iter (mark_owned_scans db) (children node)
 
-let rec reset_node db node : unit =
-  (* Rebuild [current] and node-local state from the current database. *)
-  List.iter (reset_node db) (children node);
+let rec reset_node ?(force = false) db node : unit =
+  (* Rebuild [current] and node-local state from the current database. A
+     node that is already [live] — shared from the subplan cache and
+     maintained by its existing parents — is skipped unless forced, so a
+     new registration only pays for the nodes it actually adds. *)
+  if force || not node.live then begin
+    List.iter (reset_node ~force db) (children node);
+    node.live <- true;
+    node.last_d <- None;
+    reset_kind db node
+  end
+
+and reset_kind db node : unit =
   match node.kind with
   | K_scan s -> reset_scan db node s
   | K_select (keep, child) -> node.current <- Bag.filter keep (source_bag db child)
@@ -577,14 +682,33 @@ let rec reset_node db node : unit =
       child_bag;
     node.current <- out
 
-let refresh v = reset_node v.db v.root
+let refresh v = reset_node ~force:true v.db v.root
 
-let create db alg =
-  let root = build_shell db alg in
+let create ?cache db alg =
+  let root = build_shell ?cache db alg in
   mark_owned_scans db root;
   mark_scan_owned db root;
   reset_node db root;
   { db; alg; root; vschema = root.schema }
+
+(* Drop one parent reference from every cache entry the view's plan
+   acquired at build time. An entry whose count reaches zero has no
+   enclosing entry and is no view's root, so nothing will route deltas to
+   it again — evicting it both frees the memory and guarantees a later
+   registration of the same subplan rebuilds from the live database
+   instead of adopting stale state. *)
+let release (cache : cache) v =
+  let rec drop alg =
+    match AH.find_opt cache alg with
+    | None -> ()
+    | Some e ->
+      e.refs <- e.refs - 1;
+      if e.refs <= 0 then begin
+        AH.remove cache alg;
+        List.iter drop (sub_algs alg)
+      end
+  in
+  drop v.alg
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing. A view's restorable state is exactly the materialized
@@ -605,7 +729,12 @@ let node_states v =
          match node.kind with K_scan _ -> acc | _ -> Bag.copy node.current :: acc)
        [] v.root)
 
+(* Shared nodes are filled once per view holding them; every view's
+   snapshot captured the same sample point, so later fills overwrite a
+   node with an identical bag — idempotent by construction. *)
 let rec fill_states db node states =
+  node.live <- true;
+  node.last_d <- None;
   let states =
     match node.kind with
     | K_scan s ->
@@ -660,8 +789,8 @@ let rec rebuild_aux db node =
     Key_index.clear info.child_idx;
     Key_index.add_bag info.child_idx (source_bag db info.c_child)
 
-let of_states db alg states =
-  let root = build_shell db alg in
+let of_states ?cache db alg states =
+  let root = build_shell ?cache db alg in
   mark_owned_scans db root;
   mark_scan_owned db root;
   (match fill_states db root states with

@@ -32,8 +32,37 @@
 
 type t
 
-val create : Database.t -> Algebra.t -> t
-(** Runs the full query once against the current database state. *)
+type cache
+(** A subplan table for multi-query optimization: canonical algebra
+    subtree ({!Algebra.equal}/{!Algebra.hash}) → the one shared node
+    maintaining it, refcounted by direct parents. Views built over the
+    same cache share every structurally-equal subtree: the shared node
+    is maintained exactly once per delta batch (the first parent
+    computes and folds it; the others reuse the memoized result bag —
+    counted as [serve.dedup_hits]), and a new registration initializes
+    only the nodes it adds. Sharing is only sound among views fed the
+    {e same} delta stream — one cache per serving registry, never across
+    independently-stepped chains. *)
+
+val cache_create : unit -> cache
+
+val cache_nodes : cache -> int
+(** Live entries (distinct cached subplans). *)
+
+val cache_shared : cache -> int
+(** Entries currently referenced by more than one parent — the
+    [serve.shared_nodes] gauge. *)
+
+val create : ?cache:cache -> Database.t -> Algebra.t -> t
+(** Runs the full query once against the current database state. With
+    [cache], subtrees already present are adopted live (no
+    re-initialization) and new subtrees are added to the cache. *)
+
+val release : cache -> t -> unit
+(** Drop the view's references from the cache; entries orphaned by the
+    drop are evicted so they can never leak stale state into a later
+    {!create}. Required when unregistering a cache-built view; harmless
+    for views the cache never saw. *)
 
 val schema : t -> Schema.t
 
@@ -59,7 +88,7 @@ val node_states : t -> Bag.t list
     accumulators are derivable and deliberately excluded. The returned
     bags are copies — safe to serialize while the view keeps updating. *)
 
-val of_states : Database.t -> Algebra.t -> Bag.t list -> t
+val of_states : ?cache:cache -> Database.t -> Algebra.t -> Bag.t list -> t
 (** Rebuild a view over [db] from {!node_states} of an identical plan
     captured when [db] was in its current state — {e without} evaluating
     the query: structure comes from the algebra, materialized results from

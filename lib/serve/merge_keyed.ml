@@ -1,0 +1,19 @@
+module Str_tbl = Relational.Str_tbl
+
+let marginals_by_name ~who reg =
+  let tbl = Str_tbl.create 16 in
+  List.iter
+    (fun (id, name) ->
+      if Str_tbl.mem tbl name then
+        invalid_arg (Printf.sprintf "%s: duplicate query name %S" who name);
+      Str_tbl.replace tbl name (Registry.marginals reg id))
+    (Registry.queries reg);
+  tbl
+
+let across ~who by_name name =
+  List.map
+    (fun tbl ->
+      match Str_tbl.find_opt tbl name with
+      | Some m -> m
+      | None -> invalid_arg (Printf.sprintf "%s: chain is missing query %S" who name))
+    by_name

@@ -1,0 +1,25 @@
+(** Name-keyed cross-chain marginal pairing for {!Pool} and {!Shard}.
+
+    Both evaluators register the same query list on every chain (or shard)
+    and must pair each chain's per-query marginals back up for the final
+    merge. Pairing positionally ([List.nth] per query) is O(Q²) and
+    silently miscombines results if any chain's registered order ever
+    drifts from the caller's list; instead each chain's marginals are
+    indexed by query {e name} once, and lookups are O(1) with loud
+    failures. *)
+
+val marginals_by_name :
+  who:string -> Registry.t -> Core.Marginals.t Relational.Str_tbl.t
+(** One chain's live marginals keyed by registered query name. Raises
+    [Invalid_argument] if the chain registered two queries under the same
+    name — name-keyed pairing would be ambiguous. [who] prefixes the
+    error (["Serve.Pool"] / ["Serve.Shard"]). *)
+
+val across :
+  who:string ->
+  Core.Marginals.t Relational.Str_tbl.t list ->
+  string ->
+  Core.Marginals.t list
+(** The named query's marginals from every chain, in chain order. Raises
+    [Invalid_argument] naming [who] and the query if some chain never
+    registered it. *)

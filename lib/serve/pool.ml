@@ -104,11 +104,12 @@ let evaluate ?(burn_in = 0) ?durability ~chains ~make ~queries ~thin ~samples ()
         Mcmc.Parallel.map ~retries:d.retries ~backoff_s:d.backoff_s ~on_retry
           ~n:chains run_durable
   in
-  let marginals_of reg =
-    List.map (fun (id, _) -> Registry.marginals reg id) (Registry.queries reg)
-  in
-  let per_chain = List.map marginals_of per_chain in
-  List.mapi
-    (fun qi (name, _) ->
-      (name, Core.Marginals.merge (List.map (fun ms -> List.nth ms qi) per_chain)))
+  (* Cross-chain merge keyed by query name: each chain reports its
+     registered queries by name, so a reordered or missing registration in
+     one chain is an error, not a silent mispairing (and the lookup is
+     O(1) per query instead of a positional List.nth scan). *)
+  let by_name = List.map (Merge_keyed.marginals_by_name ~who:"Serve.Pool") per_chain in
+  List.map
+    (fun (name, _) ->
+      (name, Core.Marginals.merge (Merge_keyed.across ~who:"Serve.Pool" by_name name)))
     queries

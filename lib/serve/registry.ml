@@ -4,11 +4,15 @@ open Relational
    One walked world costs one "serve.fanout_ns" span covering every
    registered view's maintenance + observation; "serve.bootstrap_evals"
    counts the full evaluations paid by late registrations — the only
-   non-incremental query work this layer ever does. *)
+   non-incremental query work this layer ever does. "serve.shared_nodes"
+   gauges how many cached subplans are currently multi-parent (the
+   multi-query-optimization win; its per-batch payoff is the
+   "serve.dedup_hits" counter the shared nodes themselves emit). *)
 let m_queries = Obs.Metrics.gauge "serve.queries"
 let m_fanout_ns = Obs.Metrics.counter "serve.fanout_ns"
 let m_bootstrap_evals = Obs.Metrics.counter "serve.bootstrap_evals"
 let m_samples = Obs.Metrics.counter "serve.samples"
+let m_shared_nodes = Obs.Metrics.gauge "serve.shared_nodes"
 
 (* Records applied on top of a snapshot during a WAL replay
    (docs/OBSERVABILITY.md, docs/DURABILITY.md §recovery). *)
@@ -23,21 +27,44 @@ type entry = {
   marginals : Core.Marginals.t;
 }
 
+module IT = Hashtbl.Make (Int)
+
+(* [entries] gives O(1) find/insert/remove/count; [rev_order] preserves
+   registration order (newest first — registration prepends in O(1), the
+   ordered read side reverses). Every view is compiled over the one
+   [cache], so structurally-equal subplans across queries resolve to
+   shared nodes maintained once per delta batch. *)
 type t = {
   pdb : Core.Pdb.t;
-  mutable entries : entry list;  (* registration order *)
+  entries : entry IT.t;
+  mutable rev_order : query_id list;
+  cache : View.cache;
   mutable next_id : int;
   mutable samples : int;
   mutable journal : (Checkpoint.Wal.record -> unit) option;
 }
 
 let record_queries t =
-  if Obs.Metrics.enabled () then
-    Obs.Metrics.set_gauge m_queries (float_of_int (List.length t.entries))
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.set_gauge m_queries (float_of_int (IT.length t.entries));
+    Obs.Metrics.set_gauge m_shared_nodes (float_of_int (View.cache_shared t.cache))
+  end
+
+(* Registered entries in registration order ([rev_order] is newest-first,
+   so one rev_map both maps and restores the order). *)
+let in_order t =
+  List.rev_map
+    (fun id -> match IT.find_opt t.entries id with Some e -> e | None -> assert false)
+    t.rev_order
+
+let iter_entries t f = List.iter f (in_order t)
 
 let create pdb =
   ignore (Core.World.drain_delta (Core.Pdb.world pdb) : Delta.t);
-  let t = { pdb; entries = []; next_id = 0; samples = 0; journal = None } in
+  let t =
+    { pdb; entries = IT.create 64; rev_order = []; cache = View.cache_create ();
+      next_id = 0; samples = 0; journal = None }
+  in
   record_queries t;
   t
 
@@ -75,21 +102,34 @@ let absorb_pending t =
        the restored database and views to exactly the state the event
        that follows it (usually a [Register]) was performed under. *)
     emit t (Checkpoint.Wal.Absorb { delta = wal_delta delta });
-    List.iter (fun e -> View.update e.view delta) t.entries
+    iter_entries t (fun e -> View.update e.view delta)
   end
+
+(* Normalize once, at registration: syntactic rewrites put equal queries
+   in one canonical spelling, then the stats-driven join order picks the
+   cheap bootstrap plan. The *compiled* plan is what the WAL Register
+   record and the snapshot carry, so replay and restore rebuild the
+   identical tree (and the identical cache keys) without consulting
+   statistics that may since have drifted. *)
+let compile t algebra = Optimizer.reorder (Core.Pdb.db t.pdb) (Optimizer.optimize algebra)
+
+let add_entry t e =
+  IT.replace t.entries e.id e;
+  t.rev_order <- e.id :: t.rev_order
 
 let register ?name t algebra =
   absorb_pending t;
   let id = t.next_id in
   t.next_id <- id + 1;
   let name = match name with Some n -> n | None -> Printf.sprintf "q%d" id in
-  let view = View.create (Core.Pdb.db t.pdb) algebra in
+  let algebra = compile t algebra in
+  let view = View.create ~cache:t.cache (Core.Pdb.db t.pdb) algebra in
   Obs.Metrics.incr m_bootstrap_evals;
   let marginals = Core.Marginals.create () in
   (* The world the query was registered under is its first sample, matching
      Core.Evaluator's sample-0 observation. *)
   Core.Marginals.observe marginals (View.result view);
-  t.entries <- t.entries @ [ { id; name; view; marginals } ];
+  add_entry t { id; name; view; marginals };
   record_queries t;
   emit t (Checkpoint.Wal.Register { id; name; algebra });
   id
@@ -99,31 +139,36 @@ let register_sql ?name t sql =
   register ~name t (Sql.parse sql)
 
 let find t id =
-  match List.find_opt (fun e -> Int.equal e.id id) t.entries with
+  match IT.find_opt t.entries id with
   | Some e -> e
   | None -> invalid_arg (Printf.sprintf "Serve.Registry: unknown query id %d" id)
 
 let unregister t id =
   let e = find t id in
-  t.entries <- List.filter (fun e -> not (Int.equal e.id id)) t.entries;
+  IT.remove t.entries id;
+  t.rev_order <- List.filter (fun i -> not (Int.equal i id)) t.rev_order;
+  View.release t.cache e.view;
   record_queries t;
   emit t (Checkpoint.Wal.Unregister { id });
   e.marginals
 
-let query_count t = List.length t.entries
-let queries t = List.map (fun e -> (e.id, e.name)) t.entries
+let query_count t = IT.length t.entries
+let queries t = List.map (fun e -> (e.id, e.name)) (in_order t)
 let marginals t id = (find t id).marginals
 let samples t = t.samples
+let shared_nodes t = View.cache_shared t.cache
+let cached_nodes t = View.cache_nodes t.cache
 
 let step t ~thin =
   Core.Pdb.walk t.pdb ~steps:thin;
   let delta = Core.World.drain_delta (Core.Pdb.world t.pdb) in
+  let ordered = in_order t in
   Obs.Timer.record m_fanout_ns (fun () ->
       List.iter
         (fun e ->
           View.update e.view delta;
           Core.Marginals.observe e.marginals (View.result e.view))
-        t.entries);
+        ordered);
   t.samples <- t.samples + 1;
   Obs.Metrics.incr m_samples;
   (match t.journal with
@@ -144,7 +189,7 @@ let step t ~thin =
   if Obs.Trace.enabled () then
     Obs.Trace.emit
       ~args:
-        [ ("queries", string_of_int (List.length t.entries));
+        [ ("queries", string_of_int (IT.length t.entries));
           ("sample", string_of_int t.samples);
           ("delta_rows", string_of_int (Delta.total_magnitude delta)) ]
       "serve.sample"
@@ -181,13 +226,27 @@ let snapshot t =
             q_z = Core.Marginals.samples e.marginals;
             q_nodes = List.map Bag.to_list (View.node_states e.view);
           })
-        t.entries;
+        (in_order t);
   }
 
 let bag_of_entries entries =
   let b = Bag.create () in
   List.iter (fun (row, count) -> Bag.add ~count b row) entries;
   b
+
+(* Restored entries share one cache exactly like registered ones: each
+   query's snapshot carries the (identical) bags of any shared node, and
+   View.of_states overwrites idempotently, so the shared-plan world comes
+   back deterministically from the recorded plans alone. *)
+let restore_entry ~cache db q =
+  let view =
+    View.of_states ~cache db q.Checkpoint.State.q_algebra
+      (List.map bag_of_entries q.Checkpoint.State.q_nodes)
+  in
+  let marginals =
+    Core.Marginals.of_counts ~samples:q.Checkpoint.State.q_z q.Checkpoint.State.q_counts
+  in
+  { id = q.Checkpoint.State.q_id; name = q.Checkpoint.State.q_name; view; marginals }
 
 let restore ~make_pdb snap =
   let db = Checkpoint.State.restore_db snap.Checkpoint.State.tables in
@@ -204,31 +263,15 @@ let restore ~make_pdb snap =
     ~proposed:snap.Checkpoint.State.proposed
     ~accepted:snap.Checkpoint.State.accepted;
   ignore (Core.World.drain_delta (Core.Pdb.world pdb) : Delta.t);
-  let entries =
-    List.map
-      (fun q ->
-        (* View.of_states: structure from the plan, materialized results
-           from the snapshot — no bootstrap evaluation. *)
-        let view =
-          View.of_states db q.Checkpoint.State.q_algebra
-            (List.map bag_of_entries q.Checkpoint.State.q_nodes)
-        in
-        let marginals =
-          Core.Marginals.of_counts ~samples:q.Checkpoint.State.q_z
-            q.Checkpoint.State.q_counts
-        in
-        { id = q.Checkpoint.State.q_id; name = q.Checkpoint.State.q_name; view; marginals })
-      snap.Checkpoint.State.queries
-  in
+  let cache = View.cache_create () in
   let t =
-    {
-      pdb;
-      entries;
-      next_id = snap.Checkpoint.State.next_id;
-      samples = snap.Checkpoint.State.samples;
-      journal = None;
-    }
+    { pdb; entries = IT.create 64; rev_order = []; cache;
+      next_id = snap.Checkpoint.State.next_id; samples = snap.Checkpoint.State.samples;
+      journal = None }
   in
+  List.iter
+    (fun q -> add_entry t (restore_entry ~cache db q))
+    snap.Checkpoint.State.queries;
   record_queries t;
   t
 
@@ -287,21 +330,14 @@ let restore_wal ~make_pdb snap ~base_samples ~records =
             base_samples snap.Checkpoint.State.samples));
   let snap_samples = snap.Checkpoint.State.samples in
   let db = Checkpoint.State.restore_db snap.Checkpoint.State.tables in
-  let entries =
-    ref
-      (List.map
-         (fun q ->
-           let view =
-             View.of_states db q.Checkpoint.State.q_algebra
-               (List.map bag_of_entries q.Checkpoint.State.q_nodes)
-           in
-           let marginals =
-             Core.Marginals.of_counts ~samples:q.Checkpoint.State.q_z
-               q.Checkpoint.State.q_counts
-           in
-           { id = q.Checkpoint.State.q_id; name = q.Checkpoint.State.q_name; view; marginals })
-         snap.Checkpoint.State.queries)
+  let cache = View.cache_create () in
+  let entries = IT.create 64 in
+  let rev_order = ref [] in
+  let add e =
+    IT.replace entries e.id e;
+    rev_order := e.id :: !rev_order
   in
+  List.iter (fun q -> add (restore_entry ~cache db q)) snap.Checkpoint.State.queries;
   let next_id = ref snap.Checkpoint.State.next_id in
   let samples = ref snap_samples in
   (* Running sample ordinal within the log. Records at or below the
@@ -315,14 +351,17 @@ let restore_wal ~make_pdb snap ~base_samples ~records =
   let event_live () =
     !seen > snap_samples || (Int.equal !seen snap_samples && Int.equal base_samples snap_samples)
   in
+  let each_entry f =
+    List.iter
+      (fun id -> match IT.find_opt entries id with Some e -> f e | None -> assert false)
+      (List.rev !rev_order)
+  in
   let fan_out delta ~observe =
     apply_wal_delta db delta;
     let d = delta_of_wal delta in
-    List.iter
-      (fun e ->
+    each_entry (fun e ->
         View.update e.view d;
         if observe then Core.Marginals.observe e.marginals (View.result e.view))
-      !entries
   in
   let last_sample = ref None in
   List.iter
@@ -341,18 +380,25 @@ let restore_wal ~make_pdb snap ~base_samples ~records =
             (* Replaying a late registration repeats its bootstrap
                evaluation — the one full-query cost a WAL restore can
                pay, and only for queries registered after the last
-               compaction. *)
-            let view = View.create db algebra in
+               compaction. The record carries the already-compiled plan,
+               so the rebuilt view shares the same cached subtrees the
+               original did. *)
+            let view = View.create ~cache db algebra in
             Obs.Metrics.incr m_bootstrap_evals;
             let marginals = Core.Marginals.create () in
             Core.Marginals.observe marginals (View.result view);
-            entries := !entries @ [ { id; name; view; marginals } ];
-            next_id := max !next_id (id + 1);
+            add { id; name; view; marginals };
+            next_id := Int.max !next_id (id + 1);
             Obs.Metrics.incr m_replay
           end
       | Unregister { id } ->
           if event_live () then begin
-            entries := List.filter (fun e -> not (Int.equal e.id id)) !entries;
+            (match IT.find_opt entries id with
+            | Some e ->
+                IT.remove entries id;
+                rev_order := List.filter (fun i -> not (Int.equal i id)) !rev_order;
+                View.release cache e.view
+            | None -> ());
             Obs.Metrics.incr m_replay
           end
       | Absorb { delta } ->
@@ -377,7 +423,8 @@ let restore_wal ~make_pdb snap ~base_samples ~records =
         ~accepted:snap.Checkpoint.State.accepted);
   ignore (Core.World.drain_delta (Core.Pdb.world pdb) : Delta.t);
   let t =
-    { pdb; entries = !entries; next_id = !next_id; samples = !samples; journal = None }
+    { pdb; entries; rev_order = !rev_order; cache; next_id = !next_id; samples = !samples;
+      journal = None }
   in
   record_queries t;
   t

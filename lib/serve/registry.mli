@@ -20,12 +20,24 @@
     the pending world delta into the already-registered views first, so
     every view always believes in the same database state.
 
+    Queries are not maintained in isolation: every registration is
+    normalized ({!Relational.Optimizer.optimize}, then the stats-driven
+    {!Relational.Optimizer.reorder}) and compiled over one shared
+    {!Relational.View.cache}, so structurally-equal subplans across
+    queries — same scans, same join predicates, same selections — resolve
+    to {e one} shared view node maintained once per delta batch and
+    fanned out to every parent (classic multi-query optimization;
+    DESIGN.md §11). Unregistering decrements subplan refcounts and tears
+    down only orphaned nodes. The compiled plan is what the WAL
+    [Register] record and the snapshot carry, making replay and restore
+    deterministic and cache-key-compatible with the original run.
+
     Estimates are sample-path identical to running {!Core.Evaluator} per
     query on an identically seeded chain: both observe the initial world
     once and then each of the [samples] walked worlds (the test suite
     pins this equality down). Metrics: [serve.queries],
-    [serve.fanout_ns], [serve.bootstrap_evals], [serve.samples]
-    (docs/OBSERVABILITY.md). *)
+    [serve.fanout_ns], [serve.bootstrap_evals], [serve.samples],
+    [serve.shared_nodes], [serve.dedup_hits] (docs/OBSERVABILITY.md). *)
 
 type t
 
@@ -65,6 +77,13 @@ val marginals : t -> query_id -> Core.Marginals.t
 
 val samples : t -> int
 (** Worlds sampled (i.e. {!step} calls) since the registry was created. *)
+
+val shared_nodes : t -> int
+(** Cached subplans currently referenced by more than one parent — the
+    [serve.shared_nodes] gauge, read directly. *)
+
+val cached_nodes : t -> int
+(** All live cached subplans (shared or not). *)
 
 val step : t -> thin:int -> unit
 (** Walk the chain [thin] MH steps, drain the world's delta, fan it out

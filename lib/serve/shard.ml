@@ -15,11 +15,14 @@ let evaluate ?(burn_in = 0) ~shards ~make ~queries ~thin ~samples () =
       (fun (name, q) -> ignore (Registry.register ~name reg q : Registry.query_id))
       queries;
     Registry.run reg ~thin ~samples;
-    List.map (fun (id, _) -> Registry.marginals reg id) (Registry.queries reg)
+    reg
   in
   let per_shard = Mcmc.Parallel.map ~n:shards run in
+  (* Keyed by query name, like Pool's cross-chain merge: a shard missing a
+     query raises instead of silently pairing the wrong marginals. *)
+  let by_name = List.map (Merge_keyed.marginals_by_name ~who:"Serve.Shard") per_shard in
   Obs.Timer.record m_merge_ns (fun () ->
-      List.mapi
-        (fun qi (name, _) ->
-          (name, Core.Marginals.merge_shards (List.map (fun ms -> List.nth ms qi) per_shard)))
+      List.map
+        (fun (name, _) ->
+          (name, Core.Marginals.merge_shards (Merge_keyed.across ~who:"Serve.Shard" by_name name)))
         queries)

@@ -141,6 +141,24 @@ let test_marginals_squared_error () =
   let reference = [ (r [ Value.Int 1 ], 0.5); (r [ Value.Int 2 ], 1.0) ] in
   feq "squared error" 1.25 (Marginals.squared_error_to ~reference a)
 
+(* The z = 0 convention (marginals.mli): zero observed worlds means no
+   evidence — every probability-deriving accessor agrees on 0., none
+   substitutes a fake z = 1 normalizer. *)
+let test_marginals_zero_samples () =
+  let m = Marginals.create () in
+  Alcotest.(check int) "z" 0 (Marginals.samples m);
+  feq "probability" 0.0 (Marginals.probability m (r [ Value.Int 1 ]));
+  Alcotest.(check int) "estimates empty" 0 (List.length (Marginals.estimates m));
+  (* squared_error_to charges only the reference's own mass. *)
+  let reference = [ (r [ Value.Int 1 ], 0.5); (r [ Value.Int 2 ], 1.0) ] in
+  feq "error = sum of reference squares" 1.25 (Marginals.squared_error_to ~reference m);
+  feq "error vs empty reference" 0.0 (Marginals.squared_error_to ~reference:[] m);
+  (* Same convention survives the checkpoint codec path. *)
+  let m' = Marginals.of_counts ~samples:0 [] in
+  feq "restored probability" 0.0 (Marginals.probability m' (r [ Value.Int 1 ]));
+  Alcotest.(check int) "restored estimates empty" 0 (List.length (Marginals.estimates m'));
+  feq "restored error" 1.25 (Marginals.squared_error_to ~reference m')
+
 (* ------------------------------------------------------------------ *)
 (* Graph-backed PDB: a 4-field model with pairwise dependencies, validated
    against exact inference. *)
@@ -406,7 +424,8 @@ let () =
          Alcotest.test_case "merge" `Quick test_marginals_merge;
          Alcotest.test_case "merge-unequal-counts" `Quick test_marginals_merge_unequal_counts;
          Alcotest.test_case "merge-shards" `Quick test_marginals_merge_shards;
-         Alcotest.test_case "squared-error" `Quick test_marginals_squared_error ]);
+         Alcotest.test_case "squared-error" `Quick test_marginals_squared_error;
+         Alcotest.test_case "zero-samples" `Quick test_marginals_zero_samples ]);
       ("graph-pdb",
        [ Alcotest.test_case "write-through" `Quick test_graph_pdb_write_through;
          Alcotest.test_case "bind-errors" `Quick test_graph_pdb_bind_errors ]);

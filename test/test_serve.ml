@@ -28,8 +28,9 @@ let small_db () =
   done;
   db
 
-let build_pdb ~seed () =
-  let db = small_db () in
+(* The chain constructor over an existing ITEM database — doubles as the
+   [make_pdb] restore-side constructor for snapshot/WAL resume tests. *)
+let pdb_over_db ~seed db =
   let world = World.create db in
   let gp = Graph_pdb.create world in
   let vars = Array.init 4 (fun i -> Graph_pdb.bind gp (color_field i) color_domain) in
@@ -41,6 +42,8 @@ let build_pdb ~seed () =
          [| 1.0; 0.; 0.; 1.0 |])
   done;
   Pdb.create ~world ~proposal:(Graph_pdb.flip_proposal gp) ~rng:(Mcmc.Rng.create seed)
+
+let build_pdb ~seed () = pdb_over_db ~seed (small_db ())
 
 let test_queries =
   [ "SELECT id FROM ITEM WHERE color='blue'";
@@ -287,12 +290,226 @@ let test_shard_bounded_divergence () =
         Alcotest.failf "%s: sharded estimates diverged from single chain (mse %.4f)" name mse)
     sharded
 
+(* ------------------------------------------------------------------ *)
+(* Shared subplans (DESIGN.md §11): structurally-equal subtrees across
+   registered queries are hash-consed into one maintained node. The
+   contract under test is twofold — sharing must be invisible in every
+   marginal (bit-identical to unshared single-query registries), and
+   registration must cost O(nodes the new plan actually adds). *)
+
+let join_sql = List.nth test_queries 3
+let variant_sql = "SELECT T2.id FROM ITEM T1, ITEM T2 WHERE T1.color=T2.color AND T1.id=0"
+
+let check_estimates_bitwise msg a b =
+  let ea = Marginals.estimates a and eb = Marginals.estimates b in
+  Alcotest.(check int) (msg ^ ": same support") (List.length ea) (List.length eb);
+  List.iter2
+    (fun (ra, pa) (rb, pb) ->
+      if
+        not (Row.equal ra rb)
+        || not (Int64.equal (Int64.bits_of_float pa) (Int64.bits_of_float pb))
+      then
+        Alcotest.failf "%s: estimates differ at %s (%.17g vs %.17g)" msg (Row.to_string ra)
+          pa pb)
+    ea eb;
+  Alcotest.(check int) (msg ^ ": same z") (Marginals.samples a) (Marginals.samples b)
+
+let test_shared_subplans () =
+  let reg = Serve.Registry.create (build_pdb ~seed:67 ()) in
+  let a = Serve.Registry.register_sql ~name:"a" reg join_sql in
+  let c1 = Serve.Registry.cached_nodes reg in
+  (* An exact duplicate resolves entirely inside the cache. *)
+  let b = Serve.Registry.register_sql ~name:"b" reg join_sql in
+  Alcotest.(check int) "duplicate plan adds zero cached nodes" c1
+    (Serve.Registry.cached_nodes reg);
+  Alcotest.(check bool) "sharing visible in the gauge" true
+    (Serve.Registry.shared_nodes reg > 0);
+  (* A different projection over the same join core re-creates only its
+     own top. *)
+  let v = Serve.Registry.register_sql ~name:"v" reg variant_sql in
+  let added = Serve.Registry.cached_nodes reg - c1 in
+  if added > 2 then
+    Alcotest.failf "variant top re-created %d nodes (expected the top only, <= 2)" added;
+  Serve.Registry.run reg ~thin:5 ~samples:60;
+  check_estimates_bitwise "duplicate tracks its twin bit-for-bit"
+    (Serve.Registry.marginals reg a) (Serve.Registry.marginals reg b);
+  (* Every query — shared or not — matches a fresh single-query registry
+     on an identically seeded chain, float for float. *)
+  List.iter
+    (fun (sql, id) ->
+      let solo = Serve.Registry.create (build_pdb ~seed:67 ()) in
+      let sid = Serve.Registry.register_sql solo sql in
+      Serve.Registry.run solo ~thin:5 ~samples:60;
+      check_estimates_bitwise sql (Serve.Registry.marginals solo sid)
+        (Serve.Registry.marginals reg id))
+    [ (join_sql, a); (variant_sql, v) ];
+  (* Tearing down both join twins evicts their exclusive nodes but leaves
+     the core the variant still references — which must keep answering. *)
+  ignore (Serve.Registry.unregister reg a : Marginals.t);
+  ignore (Serve.Registry.unregister reg b : Marginals.t);
+  Alcotest.(check bool) "teardown shrinks the cache" true
+    (Serve.Registry.cached_nodes reg < c1 + added);
+  Serve.Registry.run reg ~thin:5 ~samples:10;
+  let solo = Serve.Registry.create (build_pdb ~seed:67 ()) in
+  let sid = Serve.Registry.register_sql solo variant_sql in
+  Serve.Registry.run solo ~thin:5 ~samples:70;
+  check_estimates_bitwise "survivor unaffected by twin teardown"
+    (Serve.Registry.marginals solo sid) (Serve.Registry.marginals reg v)
+
+(* Quadratic-registration regression: a thousand registrations (plus a
+   mid-list unregistration sweep) must keep order, O(1) lookups, and a
+   cache bounded by the number of distinct plans, not registrations. *)
+let test_mass_registration () =
+  let reg = Serve.Registry.create (build_pdb ~seed:55 ()) in
+  let n = 1000 in
+  let ids =
+    List.init n (fun i ->
+        let q =
+          Algebra.Select
+            ( Expr.Cmp (Expr.Eq, Expr.Col "id", Expr.Const (Value.Int (i mod 16))),
+              Algebra.Scan { table = "ITEM"; alias = None } )
+        in
+        Serve.Registry.register ~name:(Printf.sprintf "q%d" i) reg q)
+  in
+  Alcotest.(check int) "all registered" n (Serve.Registry.query_count reg);
+  let names = List.map snd (Serve.Registry.queries reg) in
+  Alcotest.(check string) "registration order kept (head)" "q0" (List.hd names);
+  Alcotest.(check string) "registration order kept (tail)" "q999" (List.nth names (n - 1));
+  (* 16 distinct plans over one shared scan: the cache stays tiny. *)
+  Alcotest.(check bool) "cache deduplicates across 1000 registrations" true
+    (Serve.Registry.cached_nodes reg < 40);
+  Serve.Registry.run reg ~thin:2 ~samples:2;
+  List.iteri
+    (fun i id ->
+      if i >= 400 && i < 600 then ignore (Serve.Registry.unregister reg id : Marginals.t))
+    ids;
+  Alcotest.(check int) "middle slice removed" (n - 200) (Serve.Registry.query_count reg);
+  Serve.Registry.run reg ~thin:2 ~samples:1;
+  Alcotest.(check int) "survivor keeps sampling" 4
+    (Marginals.samples (Serve.Registry.marginals reg (List.hd ids)))
+
+(* qcheck: for ANY pair of the canonical queries (an equal pair forces
+   whole-tree sharing), a shared registry with a mid-run registration, an
+   unregister, and a snapshot-restore resume stays bit-identical to fresh
+   single-query registries over identically seeded chains. *)
+let prop_sharing_bit_identical =
+  QCheck.Test.make ~name:"serve: subplan sharing is invisible in the marginals" ~count:20
+    QCheck.(
+      quad (int_range 0 10_000)
+        (pair (int_range 0 3) (int_range 0 3))
+        (int_range 1 6) (int_range 1 6))
+    (fun (seed, (qi, qj), n1, n2) ->
+      let sql_i = List.nth test_queries qi and sql_j = List.nth test_queries qj in
+      let thin = 3 in
+      (* Shared run: [i] and [j] together; [k] (same plan as [j]) joins
+         mid-run; [i] leaves; the registry is snapshot-restored and
+         continues. *)
+      let reg0 = Serve.Registry.create (build_pdb ~seed ()) in
+      let id_i = Serve.Registry.register_sql ~name:"i" reg0 sql_i in
+      ignore (Serve.Registry.register_sql ~name:"j" reg0 sql_j : Serve.Registry.query_id);
+      Serve.Registry.run reg0 ~thin ~samples:n1;
+      ignore (Serve.Registry.register_sql ~name:"k" reg0 sql_j : Serve.Registry.query_id);
+      Serve.Registry.run reg0 ~thin ~samples:n2;
+      let m_i = Serve.Registry.unregister reg0 id_i in
+      let reg =
+        Serve.Registry.restore ~make_pdb:(pdb_over_db ~seed) (Serve.Registry.snapshot reg0)
+      in
+      Serve.Registry.run reg ~thin ~samples:n1;
+      let find name =
+        match List.find_opt (fun (_, n) -> String.equal n name) (Serve.Registry.queries reg) with
+        | Some (id, _) -> id
+        | None -> QCheck.Test.fail_reportf "query %s lost across restore" name
+      in
+      (* Unshared oracles: one fresh registry per query, same seed, same
+         registration schedule. *)
+      let solo_j = Serve.Registry.create (build_pdb ~seed ()) in
+      let sj = Serve.Registry.register_sql solo_j sql_j in
+      Serve.Registry.run solo_j ~thin ~samples:(n1 + n2 + n1);
+      check_estimates_bitwise "j" (Serve.Registry.marginals solo_j sj)
+        (Serve.Registry.marginals reg (find "j"));
+      let solo_k = Serve.Registry.create (build_pdb ~seed ()) in
+      Serve.Registry.run solo_k ~thin ~samples:n1;
+      let sk = Serve.Registry.register_sql solo_k sql_j in
+      Serve.Registry.run solo_k ~thin ~samples:(n2 + n1);
+      check_estimates_bitwise "k" (Serve.Registry.marginals solo_k sk)
+        (Serve.Registry.marginals reg (find "k"));
+      let solo_i = Serve.Registry.create (build_pdb ~seed ()) in
+      let si = Serve.Registry.register_sql solo_i sql_i in
+      Serve.Registry.run solo_i ~thin ~samples:(n1 + n2);
+      check_estimates_bitwise "i (frozen at unregister)"
+        (Serve.Registry.marginals solo_i si) m_i;
+      true)
+
+(* WAL crash-resume lands in the shared-plan world: a durable shared
+   registry resumed from its log stays bit-identical to its uninterrupted
+   twin, and the replayed registry actually shares. *)
+let fresh_dir () =
+  let path = Filename.temp_file "serve_wal" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_wal_resume_shared () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let seed = 97 in
+  let schedule reg step =
+    (* register twins -> walk -> variant joins -> walk -> one twin leaves
+       -> walk; [step] advances one sample (durably or not). *)
+    let a = Serve.Registry.register_sql ~name:"a" reg join_sql in
+    let _b = Serve.Registry.register_sql ~name:"b" reg join_sql in
+    for _ = 1 to 2 do step reg done;
+    ignore (Serve.Registry.register_sql ~name:"v" reg variant_sql : Serve.Registry.query_id);
+    for _ = 1 to 2 do step reg done;
+    ignore (Serve.Registry.unregister reg a : Marginals.t);
+    step reg
+  in
+  let twin = Serve.Registry.create (build_pdb ~seed ()) in
+  schedule twin (fun reg -> Serve.Registry.step reg ~thin:3);
+  Serve.Registry.step twin ~thin:3;
+  (* Durable copy of the same schedule, crashed after the last scheduled
+     sample (every record fsynced), then resumed and stepped once more. *)
+  let snap_path = Filename.concat dir "chain.ckpt" in
+  let wal_path = Filename.concat dir "chain.wal" in
+  let policy = { Serve.Durable.fsync_every = 1; compact_ratio = 1e9 } in
+  let reg = Serve.Registry.create (build_pdb ~seed ()) in
+  let dur = Serve.Durable.start ~snap_path ~wal_path policy reg in
+  schedule reg (fun reg ->
+      Serve.Registry.step reg ~thin:3;
+      Serve.Durable.after_sample dur);
+  let dur2 =
+    Serve.Durable.resume ~snap_path ~wal_path policy ~make_pdb:(pdb_over_db ~seed)
+  in
+  let reg' = Serve.Durable.registry dur2 in
+  Alcotest.(check bool) "replay reshares" true (Serve.Registry.shared_nodes reg' > 0);
+  Serve.Registry.step reg' ~thin:3;
+  Serve.Durable.after_sample dur2;
+  Serve.Durable.close dur2;
+  let find reg name =
+    fst (List.find (fun (_, n) -> String.equal n name) (Serve.Registry.queries reg))
+  in
+  List.iter
+    (fun name ->
+      check_estimates_bitwise name
+        (Serve.Registry.marginals twin (find twin name))
+        (Serve.Registry.marginals reg' (find reg' name)))
+    [ "b"; "v" ]
+
 let () =
   Alcotest.run "serve"
     [ ("registry",
        [ Alcotest.test_case "matches-evaluator" `Quick test_registry_matches_evaluator;
          Alcotest.test_case "late-registration" `Quick test_late_registration;
          Alcotest.test_case "unregister" `Quick test_unregister ]);
+      ("sharing",
+       [ Alcotest.test_case "shared-subplans" `Quick test_shared_subplans;
+         Alcotest.test_case "mass-registration" `Quick test_mass_registration;
+         QCheck_alcotest.to_alcotest prop_sharing_bit_identical;
+         Alcotest.test_case "wal-resume-shared" `Quick test_wal_resume_shared ]);
       ("pool", [ Alcotest.test_case "matches-parallel-eval" `Quick test_pool_matches_parallel_eval ]);
       ("shard",
        [ Alcotest.test_case "bit-identical-union" `Quick test_shard_bit_identical;

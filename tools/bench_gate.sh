@@ -1,13 +1,13 @@
 #!/bin/sh
 # Perf-regression gate over the machine-readable bench outputs.
 #
-#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON WAL_JSON SHARD_JSON]
+#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON WAL_JSON SHARD_JSON MQO_JSON]
 #   tools/bench_gate.sh --self-test
 #
-# Reads BENCH_view.json, BENCH_serve.json, BENCH_wal.json, and
-# BENCH_shard.json (the regenerated working-tree copies by default),
-# extracts the headline ratios at the largest size each file carries,
-# and fails (exit 1) when any drops below its floor:
+# Reads BENCH_view.json, BENCH_serve.json, BENCH_wal.json,
+# BENCH_shard.json, and BENCH_mqo.json (the regenerated working-tree
+# copies by default), extracts the headline ratios at the largest size
+# each file carries, and fails (exit 1) when any drops below its floor:
 #
 #   view  — naive-rerun / view-update at the largest size present:
 #             >= 10x when that size is >= 10k tuples (the paper-scale claim)
@@ -24,6 +24,11 @@
 #           bag (mem_ratio), and when the scale grid reaches more than
 #           one shard, the widest shard count must deliver >= 1.2x the
 #           1-shard samples/s at the same total MH work.
+#   mqo   — shared-subplan fan-out speedup at the largest query count:
+#           >= 1.5x at 64 overlapping queries (8 join cores x 8 tops,
+#           each core maintained once instead of 8 times); any
+#           marginals_equal:false fails outright — sharing must be
+#           invisible in the answers.
 #
 # On top of the absolute floors, when the committed baseline (git show
 # HEAD:<file>) carries the same largest size, the fresh ratio must stay
@@ -209,6 +214,43 @@ check_shard() {
   fi
 }
 
+# ---- mqo: shared subplans vs unshared views ------------------------------
+
+mqo_largest_n() {
+  grep -o '"queries":[0-9]*' "$1" | cut -d: -f2 | sort -n | tail -n 1
+}
+
+mqo_last_speedup() {
+  # mqo rows ascend in query count; the last fanout_speedup belongs to the
+  # largest (the overlapping-queries point the floor is about).
+  grep -o '"fanout_speedup":[0-9.eE+-]*' "$1" | tail -n 1 | cut -d: -f2
+}
+
+check_mqo() {
+  f=$1
+  [ -s "$f" ] || fail "$f missing or empty"
+  grep -q '"marginals_equal":false' "$f" && fail "$f: shared-subplan marginals diverged"
+  n=$(mqo_largest_n "$f")
+  speedup=$(mqo_last_speedup "$f")
+  [ -n "$n" ] && [ -n "$speedup" ] || fail "$f: no mqo entries"
+  if [ "$n" -ge 64 ]; then floor=1.5; else floor=0.5; fi
+  echo "bench_gate: mqo $n queries: shared-subplan fanout ${speedup}x (floor ${floor}x)"
+  ge "$speedup" "$floor" || fail "mqo fanout speedup ${speedup}x at $n queries below floor ${floor}x"
+  base=$(git show "HEAD:$(basename "$f")" 2>/dev/null || true)
+  if [ -n "$base" ]; then
+    tmp=$(mktemp); printf '%s\n' "$base" > "$tmp"
+    bn=$(mqo_largest_n "$tmp")
+    if [ "$bn" = "$n" ]; then
+      bspeedup=$(mqo_last_speedup "$tmp")
+      slack=$(awk -v b="$bspeedup" 'BEGIN { printf "%.3f", b * 0.5 }')
+      echo "bench_gate: mqo $n queries: committed baseline ${bspeedup}x (slack floor ${slack}x)"
+      ge "$speedup" "$slack" \
+        || { rm -f "$tmp"; fail "mqo fanout speedup ${speedup}x regressed >50% from baseline ${bspeedup}x"; }
+    fi
+    rm -f "$tmp"
+  fi
+}
+
 # ---- self-test ----------------------------------------------------------
 
 self_test() {
@@ -282,6 +324,26 @@ EOF
   fi
   echo "bench_gate: self-test: seeded shard-scaling regression rejected"
 
+  # Seeded regression: shared subplans no faster than unshared fan-out at
+  # 64 overlapping queries (floor 1.5x).
+  cp BENCH_shard.json "$dir/BENCH_shard.json"
+  cat > "$dir/BENCH_mqo.json" <<'EOF'
+{"config":{"n_tokens":10000,"thin":100,"samples":40},"mqo":[{"queries":64,"shared_fanout_ns":10,"unshared_fanout_ns":11,"fanout_speedup":1.1,"shared_register_ns":1,"unshared_register_ns":1,"first_register_ns":1,"last_register_ns":1,"shared_nodes":32,"cached_nodes":82,"dedup_hits":100,"marginals_equal":true}]}
+EOF
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 1.1x mqo fanout speedup at 64 queries (floor is 1.5x)"
+  fi
+  echo "bench_gate: self-test: seeded mqo regression rejected"
+
+  # Shared-subplan answers that diverge from unshared must fail regardless
+  # of speed.
+  sed 's/"marginals_equal":true/"marginals_equal":false/' BENCH_mqo.json \
+    > "$dir/BENCH_mqo.json"
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted diverged shared-subplan marginals"
+  fi
+  echo "bench_gate: self-test: diverged mqo marginals rejected"
+
   # The committed baselines themselves must pass.
   git show HEAD:BENCH_view.json > "$dir/BENCH_view.json"
   git show HEAD:BENCH_serve.json > "$dir/BENCH_serve.json"
@@ -295,7 +357,12 @@ EOF
   else
     cp BENCH_shard.json "$dir/BENCH_shard.json"
   fi
-  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" >/dev/null \
+  if git cat-file -e HEAD:BENCH_mqo.json 2>/dev/null; then
+    git show HEAD:BENCH_mqo.json > "$dir/BENCH_mqo.json"
+  else
+    cp BENCH_mqo.json "$dir/BENCH_mqo.json"
+  fi
+  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" >/dev/null \
     || fail "self-test: gate rejected the committed baselines"
   echo "bench_gate: self-test: committed baselines accepted"
   echo "bench_gate: self-test OK"
@@ -310,4 +377,5 @@ check_view "${1:-BENCH_view.json}"
 check_serve "${2:-BENCH_serve.json}"
 check_wal "${3:-BENCH_wal.json}"
 check_shard "${4:-BENCH_shard.json}"
+check_mqo "${5:-BENCH_mqo.json}"
 echo "bench_gate: OK"

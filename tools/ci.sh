@@ -39,6 +39,12 @@ echo "ci: sharded-chain bench (smoke)"
 # BENCH_shard.json for the gate below.
 dune exec bench/main.exe -- shard-smoke
 test -s BENCH_shard.json
+echo "ci: shared-subplan bench (smoke)"
+# Smallest-size run of the mqo group: registers overlapping query
+# batches shared and unshared, asserts their marginals bit-identical,
+# and regenerates BENCH_mqo.json for the gate below.
+dune exec bench/main.exe -- mqo-smoke
+test -s BENCH_mqo.json
 echo "ci: bench gate self-test"
 # The gate must be able to reject a seeded regression before its pass on
 # the real numbers means anything.

@@ -357,12 +357,24 @@ let parse_doc path =
 
 let flatten_longident l = try Longident.flatten_exn l with _ -> []
 
-(* Operands for which polymorphic =/<> is exact and allocation-free. *)
+(* Operands for which polymorphic =/<> is exact and allocation-free.
+   Deliberately narrow: the empty list and 0-ary polymorphic variants are
+   NOT exempt even though comparing them is O(1) today — [xs = []] and
+   [s = `L] silently become deep structural compares the moment the
+   value's type is generalized (a list of boxed rows, a variant that
+   grows a payload), so the hot-path dirs must pattern-match them
+   instead. Nullary nominal constructors other than the built-ins stay
+   exempt: the type checker pins their type, and a payload added later
+   changes the constructor's arity, which is a compile error at the
+   compare site rather than a silent deep compare. *)
 let rec immediate_operand e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
-  | Pexp_construct (_, None) -> true (* true/false/None/[]/() and 0-ary variants *)
-  | Pexp_variant (_, None) -> true
+  | Pexp_construct ({ txt; _ }, None) -> (
+    match flatten_longident txt with
+    | [ "[]" ] -> false (* match on the list shape instead *)
+    | _ -> true (* true/false/None/() and 0-ary nominal variants *))
+  | Pexp_variant (_, None) -> false (* match on the polymorphic tag instead *)
   | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> immediate_operand e
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (Nolabel, _) ]) -> (
     (* arity/cardinality reads are ints by construction *)

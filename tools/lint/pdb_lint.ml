@@ -45,6 +45,18 @@ let seeds =
        let bad_sort xs = List.sort Stdlib.compare xs\n\
        let bad_hash x = Hashtbl.hash x\n\
        let bad_tbl () : (string, int) Hashtbl.t = Hashtbl.create 8\n" );
+    (* The narrowed immediate-operand exemptions: comparing against [] or a
+       0-ary polymorphic variant must fire (pattern-match instead), while
+       true/false/None/() comparisons stay exempt — the exact-count check
+       below pins both directions. *)
+    ( "lib/relational/seed_r1_immediate.ml",
+      "R1",
+      "let bad_nil xs = xs = []\n\
+       let bad_nonnil xs = xs <> []\n\
+       let bad_tag s = s = `L\n\
+       let ok_none o = o = None\n\
+       let ok_bool b = b = true\n\
+       let ok_unit u = u = ()\n" );
     ( "lib/relational/seed_r2.ml",
       "R2",
       "let wall () = Unix.gettimeofday ()\nlet cpu () = Sys.time ()\n" );
@@ -130,6 +142,11 @@ let self_test () =
                 v.Lint_engine.rule_id v.Lint_engine.msg)
           vs)
     seeds;
+  (* exactly the bad_* lines of the immediate-operand seed fire: more would
+     mean an ok_* exemption regressed, fewer that a narrowing was lost *)
+  (let imm = by_file "lib/relational/seed_r1_immediate.ml" in
+   if not (Int.equal (List.length imm) 3) then
+     fail "seed_r1_immediate: expected exactly 3 R1 violations, got %d" (List.length imm));
   (* the stale doc entry is reported against the doc file *)
   let doc_vs = by_file Lint_engine.default_doc in
   if
