@@ -14,7 +14,7 @@
    multi-query shared-chain comparison (BENCH_serve.json); "serve-smoke"
    is its tiny CI variant. *)
 
-let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro"; "serve"; "mqo"; "checkpoint"; "wal"; "shard" ]
+let all_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "micro"; "serve"; "mqo"; "checkpoint"; "wal"; "shard"; "daemon" ]
 
 let run ~full = function
   | "e1" -> Experiments.e1 ~full ()
@@ -38,6 +38,7 @@ let run ~full = function
   | "checkpoint" -> Micro.run_checkpoint ()
   | "wal" -> Micro.run_wal ()
   | "shard" -> Shard_bench.run ()
+  | "daemon" -> Daemon_bench.run ()
   | "view" -> Micro.run_view ()
   (* Tiny-scale smokes for CI (tools/ci.sh): same code paths, still write
      their BENCH_*.json, seconds instead of minutes. Not part of "all". *)
@@ -47,6 +48,7 @@ let run ~full = function
   | "checkpoint-smoke" -> Micro.run_checkpoint ~smoke:true ()
   | "wal-smoke" -> Micro.run_wal ~smoke:true ()
   | "shard-smoke" -> Shard_bench.run ~smoke:true ()
+  | "daemon-smoke" -> Daemon_bench.run ~smoke:true ()
   | id ->
     Printf.eprintf "unknown experiment %S (known: %s, all)\n" id (String.concat ", " all_ids);
     exit 2

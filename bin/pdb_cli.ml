@@ -471,9 +471,385 @@ let coref_cmd =
     (Cmd.info "coref" ~doc:"Entity resolution over mention strings.")
     Term.(const run $ seed_arg $ mentions_arg $ samples_arg $ metrics_out_arg $ trace_out_arg)
 
+(* ------------------------------------------------------------------ *)
+
+(* Long-lived daemon + its line client (docs/SERVER.md). The [attach]
+   client doubles as the test/bench driver: tools/daemon_smoke.sh runs a
+   fleet of them against a daemon, SIGKILLs the daemon mid-stream, and
+   compares the frozen marginals each client prints against an
+   uninterrupted twin. *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon.")
+
+let max_clients_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-clients" ] ~docv:"N"
+        ~doc:"Admission cap on concurrent connections (excess get a typed error).")
+
+let max_plans_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-plans" ] ~docv:"N"
+        ~doc:"Admission cap on registered standing queries (rejected, never queued).")
+
+let max_bootstraps_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-bootstraps" ] ~docv:"N"
+        ~doc:"Full bootstrap evaluations admitted per serving tick.")
+
+let slow_client_bytes_arg =
+  Arg.(
+    value
+    & opt int (64 * 1024)
+    & info [ "slow-client-bytes" ] ~docv:"B"
+        ~doc:
+          "Unflushed-output threshold beyond which a client's stream updates coalesce \
+           drop-oldest instead of queueing unboundedly.")
+
+let max_samples_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-samples" ] ~docv:"S"
+        ~doc:"Stop sampling after $(docv) worlds but keep serving (0 = unbounded).")
+
+let await_queries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "await-queries" ] ~docv:"N"
+        ~doc:
+          "Hold sampling until $(docv) queries are registered, so a fleet of clients \
+           all attach at sample 0 (the determinism knob the kill/resume smoke relies \
+           on).")
+
+(* The daemon's chain constructor, fresh- and restore-side. The batched
+   proposal keeps a cursor (current document batch, proposals remaining)
+   that no snapshot captures; aligning [proposals_per_batch] with [thin]
+   makes batch reloads land exactly on sample boundaries — where
+   snapshots are taken and WAL replay resumes — so a resumed daemon is
+   sample-path identical to an uninterrupted one (the property
+   tools/daemon_smoke.sh asserts bit-for-bit). Same trick as the WAL
+   bench's chain. *)
+let daemon_pdb_of_db ~seed ~thin db =
+  let world = Core.World.create db in
+  let crf = Ie.Crf.create ~params:(Ie.Crf.default_params ()) world in
+  let rng = Mcmc.Rng.create (seed + 2) in
+  let proposal = Ie.Proposals.batched_flip ~proposals_per_batch:thin ~rng crf in
+  Core.Pdb.create ~world ~proposal ~rng
+
+let make_daemon_pdb ~seed ~tokens ~thin =
+  let docs = Ie.Corpus.generate_tokens ~seed ~n_tokens:tokens in
+  let db = Relational.Database.create () in
+  ignore (Ie.Token_table.load db docs : Relational.Table.t);
+  let pdb = daemon_pdb_of_db ~seed ~thin db in
+  (* Round burn-in up to a whole number of batches so the post-burn-in
+     snapshot point is also a batch boundary. *)
+  let burn = (((4 * tokens) + thin - 1) / thin) * thin in
+  Core.Pdb.walk pdb ~steps:burn;
+  pdb
+
+let daemon_cmd =
+  let run seed tokens socket thin max_samples await_queries max_clients max_plans
+      max_bootstraps slow_bytes wal_dir wal_fsync_every wal_compact_ratio resume
+      metrics_out trace_out =
+    with_obs "daemon" metrics_out trace_out @@ fun () ->
+    if resume && wal_dir = None then begin
+      Printf.eprintf "error: --resume requires --wal-dir\n";
+      exit 1
+    end;
+    if wal_fsync_every < 0 then begin
+      Printf.eprintf "error: --wal-fsync-every must be >= 0\n";
+      exit 1
+    end;
+    if wal_compact_ratio <= 0. then begin
+      Printf.eprintf "error: --wal-compact-ratio must be > 0\n";
+      exit 1
+    end;
+    let cfg =
+      {
+        (Serve.Daemon.default_config ~socket_path:socket) with
+        Serve.Daemon.max_clients;
+        max_plans;
+        max_bootstraps_per_tick = max_bootstraps;
+        thin;
+        max_samples;
+        await_queries;
+        slow_client_bytes = slow_bytes;
+      }
+    in
+    let daemon =
+      match wal_dir with
+      | None ->
+        Serve.Daemon.of_registry cfg
+          (Serve.Registry.create (make_daemon_pdb ~seed ~tokens ~thin))
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let snap_path = Filename.concat dir "daemon.ckpt" in
+        let wal_path = Filename.concat dir "daemon.wal" in
+        let policy =
+          { Serve.Durable.fsync_every = wal_fsync_every; compact_ratio = wal_compact_ratio }
+        in
+        let durable =
+          if resume then
+            Serve.Durable.resume ~snap_path ~wal_path policy
+              ~make_pdb:(daemon_pdb_of_db ~seed ~thin)
+          else
+            Serve.Durable.start ~snap_path ~wal_path policy
+              (Serve.Registry.create (make_daemon_pdb ~seed ~tokens ~thin))
+        in
+        Serve.Daemon.of_durable cfg durable
+    in
+    Printf.printf "daemon listening on %s\n%!" socket;
+    Serve.Daemon.run daemon;
+    Printf.printf "daemon: clean shutdown after %d samples (%d rejected, %d coalesced, %d thinned)\n"
+      (Serve.Daemon.samples daemon) (Serve.Daemon.rejected daemon)
+      (Serve.Daemon.coalesced daemon) (Serve.Daemon.thinned daemon)
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Run the long-lived query daemon: one shared MCMC chain served over a \
+          Unix-domain socket (protocol: docs/SERVER.md).")
+    Term.(
+      const run $ seed_arg $ tokens_arg $ socket_arg $ thin_arg $ max_samples_arg
+      $ await_queries_arg $ max_clients_arg $ max_plans_arg $ max_bootstraps_arg
+      $ slow_client_bytes_arg $ wal_dir_arg $ wal_fsync_every_arg $ wal_compact_ratio_arg
+      $ resume_arg $ metrics_out_arg $ trace_out_arg)
+
+(* ---------- attach: the line client ---------- *)
+
+let connect_with_retry ~socket ~retries =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go tries =
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when tries > 0
+      ->
+      Unix.sleepf 0.1;
+      go (tries - 1)
+  in
+  go retries
+
+let send_request oc req =
+  output_string oc (Serve.Protocol.encode_request req);
+  output_char oc '\n';
+  flush oc
+
+let read_response ic =
+  match input_line ic with
+  | exception End_of_file ->
+    Printf.eprintf "error: daemon closed the connection\n";
+    exit 2
+  | line -> (
+    match Serve.Protocol.decode_response line with
+    | Result.Ok resp -> resp
+    | Result.Error msg ->
+      Printf.eprintf "error: undecodable frame %S: %s\n" line msg;
+      exit 2)
+
+let exit_on_error resp =
+  match resp with
+  | Serve.Protocol.Error { code; msg } ->
+    Printf.eprintf "error: daemon refused (%s): %s\n"
+      (Serve.Protocol.error_code_to_string code)
+      msg;
+    exit 3
+  | _ -> resp
+
+(* Frozen results in a twin-comparable form: the query is identified by
+   name (ids may differ across runs when registrations race), floats are
+   %.17g (round-trip exact). *)
+let print_frozen ~name ~samples estimates =
+  Printf.printf "query %s samples=%d tuples=%d\n" name samples (List.length estimates);
+  List.iter (fun (row, p) -> Printf.printf "  %s %.17g\n" row p) estimates
+
+let attach_cmd =
+  let run socket sql name stream updates wait_samples sleep_per_update detach stats_only
+      list_only shutdown_only =
+    let fd = connect_with_retry ~socket ~retries:100 in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    if shutdown_only then begin
+      send_request oc Serve.Protocol.Shutdown;
+      let rec await () =
+        match exit_on_error (read_response ic) with
+        | Serve.Protocol.Bye -> print_endline "daemon: bye"
+        | _ -> await ()
+      in
+      await ()
+    end
+    else if stats_only then begin
+      send_request oc Serve.Protocol.Stats;
+      let rec await () =
+        match exit_on_error (read_response ic) with
+        | Serve.Protocol.Stats_reply
+            { clients; queries; samples; max_samples; rejected; coalesced; thinned } ->
+          Printf.printf
+            "stats clients=%d queries=%d samples=%d max_samples=%d rejected=%d \
+             coalesced=%d thinned=%d\n"
+            clients queries samples max_samples rejected coalesced thinned
+        | _ -> await ()
+      in
+      await ()
+    end
+    else if list_only then begin
+      send_request oc Serve.Protocol.List_queries;
+      let rec await () =
+        match exit_on_error (read_response ic) with
+        | Serve.Protocol.Queries_reply qs ->
+          List.iter (fun (id, n) -> Printf.printf "query %d %s\n" id n) qs
+        | _ -> await ()
+      in
+      await ()
+    end
+    else begin
+      (* Register (or find by name after a daemon resume), then
+         optionally stream, wait, and detach. *)
+      send_request oc (Serve.Protocol.Register { sql; name });
+      let query, _qname =
+        let rec await () =
+          match exit_on_error (read_response ic) with
+          | Serve.Protocol.Registered { query; name; samples } ->
+            Printf.printf "registered %s samples=%d\n%!" name samples;
+            (query, name)
+          | _ -> await ()
+        in
+        await ()
+      in
+      if updates > 0 then begin
+        send_request oc (Serve.Protocol.Stream { query; every = stream });
+        let rec await_ack () =
+          match exit_on_error (read_response ic) with
+          | Serve.Protocol.Streaming _ -> ()
+          | _ -> await_ack ()
+        in
+        await_ack ();
+        let seen = ref 0 in
+        while !seen < updates do
+          (match exit_on_error (read_response ic) with
+          | Serve.Protocol.Update { sample; estimates; _ } ->
+            incr seen;
+            Printf.printf "update sample=%d tuples=%d\n%!" sample (List.length estimates);
+            if sleep_per_update > 0. then Unix.sleepf sleep_per_update
+          | _ -> ())
+        done
+      end;
+      if wait_samples > 0 then begin
+        (* Poll until the chain reaches the target sample count; stream
+           updates still in flight are drained and ignored. *)
+        let rec poll () =
+          send_request oc Serve.Protocol.Stats;
+          let rec await () =
+            match exit_on_error (read_response ic) with
+            | Serve.Protocol.Stats_reply { samples; _ } -> samples
+            | _ -> await ()
+          in
+          let samples = await () in
+          if samples < wait_samples then begin
+            Unix.sleepf 0.05;
+            poll ()
+          end
+        in
+        poll ()
+      end;
+      if detach then begin
+        send_request oc (Serve.Protocol.Detach { query });
+        let rec await () =
+          match exit_on_error (read_response ic) with
+          | Serve.Protocol.Detached { name; samples; estimates; _ } ->
+            print_frozen ~name ~samples estimates
+          | _ -> await ()
+        in
+        await ()
+      end
+      else begin
+        send_request oc (Serve.Protocol.Marginals { query });
+        let rec await () =
+          match exit_on_error (read_response ic) with
+          | Serve.Protocol.Marginals_reply { name; samples; estimates; _ } ->
+            print_frozen ~name ~samples estimates
+          | _ -> await ()
+        in
+        await ()
+      end
+    end;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:
+            "Query name. Registering an existing name attaches to the standing query \
+             instead of duplicating it — how clients find their queries again after a \
+             daemon resume.")
+  in
+  let stream_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "stream" ] ~docv:"K"
+          ~doc:
+            "Update cadence: every $(docv) samples, or 0 to let the daemon's \
+             convergence-aware scheduler choose.")
+  in
+  let updates_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "updates" ] ~docv:"N" ~doc:"Stream until $(docv) updates have arrived.")
+  in
+  let wait_samples_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "wait-samples" ] ~docv:"S"
+          ~doc:"After streaming, poll until the chain has sampled $(docv) worlds.")
+  in
+  let sleep_per_update_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "sleep-per-update" ] ~docv:"SEC"
+          ~doc:
+            "Artificial read delay per update — makes this client slow so the daemon's \
+             coalescing backpressure is observable.")
+  in
+  let detach_arg =
+    Arg.(
+      value & flag
+      & info [ "detach" ]
+          ~doc:"Unregister the query at the end and print its frozen marginals.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print daemon counters and exit.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List registered queries and exit.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to checkpoint and exit, then exit.")
+  in
+  Cmd.v
+    (Cmd.info "attach"
+       ~doc:
+         "Attach to a running daemon: register a standing SQL query, stream marginal \
+          updates, detach with frozen results.")
+    Term.(
+      const run $ socket_arg $ sql_arg $ name_arg $ stream_arg $ updates_arg
+      $ wait_samples_arg $ sleep_per_update_arg $ detach_arg $ stats_arg $ list_arg
+      $ shutdown_arg)
+
 let () =
   let info =
     Cmd.info "pdb_cli" ~version:"1.0"
       ~doc:"Scalable probabilistic databases with factor graphs and MCMC."
   in
-  exit (Cmd.eval (Cmd.group info [ corpus_cmd; train_cmd; query_cmd; serve_cmd; coref_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ corpus_cmd; train_cmd; query_cmd; serve_cmd; coref_cmd; daemon_cmd; attach_cmd ]))

@@ -1,0 +1,467 @@
+(* Line-delimited JSON codec for the daemon protocol (docs/SERVER.md).
+
+   Emission reuses Obs.Jsonx (which already prints floats as %.17g, the
+   round-trip-exact form the bit-identical smoke comparison relies on);
+   parsing is a ~100-line recursive-descent JSON reader kept here so the
+   serving stack stays stdlib-only. The parser accepts exactly the JSON
+   the encoder emits plus insignificant whitespace — numbers, strings
+   with the standard escapes, arrays, objects, true/false/null. *)
+
+type error_code =
+  | Parse
+  | Bad_request
+  | Sql
+  | Unknown_query
+  | Admission_clients
+  | Admission_plans
+  | Admission_bootstrap
+
+let error_code_to_string = function
+  | Parse -> "parse"
+  | Bad_request -> "bad_request"
+  | Sql -> "sql"
+  | Unknown_query -> "unknown_query"
+  | Admission_clients -> "admission_clients"
+  | Admission_plans -> "admission_plans"
+  | Admission_bootstrap -> "admission_bootstrap"
+
+let error_code_of_string = function
+  | "parse" -> Some Parse
+  | "bad_request" -> Some Bad_request
+  | "sql" -> Some Sql
+  | "unknown_query" -> Some Unknown_query
+  | "admission_clients" -> Some Admission_clients
+  | "admission_plans" -> Some Admission_plans
+  | "admission_bootstrap" -> Some Admission_bootstrap
+  | _ -> None
+
+type request =
+  | Register of { sql : string; name : string option }
+  | Stream of { query : int; every : int }
+  | Detach of { query : int }
+  | Marginals of { query : int }
+  | List_queries
+  | Stats
+  | Shutdown
+
+type estimates = (string * float) list
+
+type response =
+  | Registered of { query : int; name : string; samples : int }
+  | Streaming of { query : int; every : int }
+  | Update of { query : int; sample : int; estimates : estimates }
+  | Detached of { query : int; name : string; samples : int; estimates : estimates }
+  | Marginals_reply of {
+      query : int;
+      name : string;
+      samples : int;
+      estimates : estimates;
+    }
+  | Queries_reply of (int * string) list
+  | Stats_reply of {
+      clients : int;
+      queries : int;
+      samples : int;
+      max_samples : int;
+      rejected : int;
+      coalesced : int;
+      thinned : int;
+    }
+  | Error of { code : error_code; msg : string }
+  | Bye
+
+(* ---------- JSON values ---------- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* ---------- parser ---------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when Char.equal x ch -> advance c
+  | Some x -> bad "expected %C at offset %d, found %C" ch c.pos x
+  | None -> bad "expected %C at offset %d, found end of input" ch c.pos
+
+let parse_literal c lit value =
+  let n = String.length lit in
+  if c.pos + n <= String.length c.s && String.equal (String.sub c.s c.pos n) lit then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else bad "invalid literal at offset %d" c.pos
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> bad "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> bad "unterminated escape"
+        | Some ch ->
+            advance c;
+            (match ch with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.s then bad "truncated \\u escape";
+                let hex = String.sub c.s c.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with Failure _ -> bad "invalid \\u escape %S" hex
+                in
+                c.pos <- c.pos + 4;
+                (* The encoder only \u-escapes control characters; anything
+                   in the BMP is decoded as UTF-8 so foreign frames stay
+                   readable. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | _ -> bad "invalid escape \\%C" ch);
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if Int.equal start c.pos then bad "expected a number at offset %d" start;
+  let text = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> bad "invalid number %S" text
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> bad "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if (match peek c with Some '}' -> true | _ -> false) then begin
+        advance c;
+        J_obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((k, v) :: acc)
+          | _ -> bad "expected ',' or '}' at offset %d" c.pos
+        in
+        J_obj (fields [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if (match peek c with Some ']' -> true | _ -> false) then begin
+        advance c;
+        J_arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> bad "expected ',' or ']' at offset %d" c.pos
+        in
+        J_arr (items [])
+      end
+  | Some '"' -> J_str (parse_string c)
+  | Some 't' -> parse_literal c "true" (J_bool true)
+  | Some 'f' -> parse_literal c "false" (J_bool false)
+  | Some 'n' -> parse_literal c "null" J_null
+  | Some _ -> J_num (parse_number c)
+
+let parse_json line =
+  let c = { s = line; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos < String.length line then bad "trailing bytes at offset %d" c.pos;
+  v
+
+(* ---------- field accessors ---------- *)
+
+let field obj name =
+  match obj with
+  | J_obj fields -> (
+      match List.find_opt (fun (k, _) -> String.equal k name) fields with
+      | Some (_, v) -> Some v
+      | None -> None)
+  | _ -> None
+
+let req_field obj name =
+  match field obj name with
+  | Some v -> v
+  | None -> bad "missing field %S" name
+
+let as_string name = function
+  | J_str s -> s
+  | _ -> bad "field %S must be a string" name
+
+let as_int name = function
+  | J_num f ->
+      let i = int_of_float f in
+      if Float.equal (float_of_int i) f then i else bad "field %S must be an integer" name
+  | _ -> bad "field %S must be a number" name
+
+let as_float name = function J_num f -> f | _ -> bad "field %S must be a number" name
+
+(* ---------- requests ---------- *)
+
+let encode_request req =
+  let open Obs.Jsonx in
+  match req with
+  | Register { sql; name } ->
+      obj
+        (("op", str "register") :: ("sql", str sql)
+        :: (match name with None -> [] | Some n -> [ ("name", str n) ]))
+  | Stream { query; every } ->
+      obj [ ("op", str "stream"); ("query", int query); ("every", int every) ]
+  | Detach { query } -> obj [ ("op", str "detach"); ("query", int query) ]
+  | Marginals { query } -> obj [ ("op", str "marginals"); ("query", int query) ]
+  | List_queries -> obj [ ("op", str "list") ]
+  | Stats -> obj [ ("op", str "stats") ]
+  | Shutdown -> obj [ ("op", str "shutdown") ]
+
+let decode_request line =
+  match parse_json line with
+  | exception Bad msg -> Result.Error (Parse, msg)
+  | j -> (
+      try
+        match as_string "op" (req_field j "op") with
+        | "register" ->
+            Result.Ok
+              (Register
+                 {
+                   sql = as_string "sql" (req_field j "sql");
+                   name =
+                     (match field j "name" with
+                     | None -> None
+                     | Some n -> Some (as_string "name" n));
+                 })
+        | "stream" ->
+            Result.Ok
+              (Stream
+                 {
+                   query = as_int "query" (req_field j "query");
+                   every =
+                     (match field j "every" with
+                     | None -> 0
+                     | Some e -> as_int "every" e);
+                 })
+        | "detach" -> Result.Ok (Detach { query = as_int "query" (req_field j "query") })
+        | "marginals" ->
+            Result.Ok (Marginals { query = as_int "query" (req_field j "query") })
+        | "list" -> Result.Ok List_queries
+        | "stats" -> Result.Ok Stats
+        | "shutdown" -> Result.Ok Shutdown
+        | other -> bad "unknown op %S" other
+      with Bad msg -> Result.Error (Bad_request, msg))
+
+(* ---------- responses ---------- *)
+
+let encode_estimates es =
+  Obs.Jsonx.arr
+    (List.map (fun (row, p) -> Obs.Jsonx.arr [ Obs.Jsonx.str row; Obs.Jsonx.float p ]) es)
+
+let decode_estimates name = function
+  | J_arr items ->
+      List.map
+        (function
+          | J_arr [ row; p ] -> (as_string name row, as_float name p)
+          | _ -> bad "field %S must hold [row, probability] pairs" name)
+        items
+  | _ -> bad "field %S must be an array" name
+
+let encode_response resp =
+  let open Obs.Jsonx in
+  match resp with
+  | Registered { query; name; samples } ->
+      obj
+        [ ("type", str "registered"); ("query", int query); ("name", str name);
+          ("samples", int samples) ]
+  | Streaming { query; every } ->
+      obj [ ("type", str "streaming"); ("query", int query); ("every", int every) ]
+  | Update { query; sample; estimates } ->
+      obj
+        [ ("type", str "update"); ("query", int query); ("sample", int sample);
+          ("estimates", encode_estimates estimates) ]
+  | Detached { query; name; samples; estimates } ->
+      obj
+        [ ("type", str "detached"); ("query", int query); ("name", str name);
+          ("samples", int samples); ("estimates", encode_estimates estimates) ]
+  | Marginals_reply { query; name; samples; estimates } ->
+      obj
+        [ ("type", str "marginals"); ("query", int query); ("name", str name);
+          ("samples", int samples); ("estimates", encode_estimates estimates) ]
+  | Queries_reply queries ->
+      obj
+        [ ("type", str "queries");
+          ("queries", arr (List.map (fun (id, n) -> arr [ int id; str n ]) queries)) ]
+  | Stats_reply { clients; queries; samples; max_samples; rejected; coalesced; thinned } ->
+      obj
+        [ ("type", str "stats"); ("clients", int clients); ("queries", int queries);
+          ("samples", int samples); ("max_samples", int max_samples);
+          ("rejected", int rejected); ("coalesced", int coalesced);
+          ("thinned", int thinned) ]
+  | Error { code; msg } ->
+      obj [ ("type", str "error"); ("code", str (error_code_to_string code)); ("msg", str msg) ]
+  | Bye -> obj [ ("type", str "bye") ]
+
+let decode_response line =
+  match parse_json line with
+  | exception Bad msg -> Result.Error msg
+  | j -> (
+      match field j "type" with
+      | None -> Result.Error "missing field \"type\""
+      | Some ty -> (
+          match as_string "type" ty with
+          | exception Bad msg -> Result.Error msg
+          | ty -> (
+              try
+                match ty with
+                | "registered" ->
+                    Result.Ok
+                      (Registered
+                         {
+                           query = as_int "query" (req_field j "query");
+                           name = as_string "name" (req_field j "name");
+                           samples = as_int "samples" (req_field j "samples");
+                         })
+                | "streaming" ->
+                    Result.Ok
+                      (Streaming
+                         {
+                           query = as_int "query" (req_field j "query");
+                           every = as_int "every" (req_field j "every");
+                         })
+                | "update" ->
+                    Result.Ok
+                      (Update
+                         {
+                           query = as_int "query" (req_field j "query");
+                           sample = as_int "sample" (req_field j "sample");
+                           estimates = decode_estimates "estimates" (req_field j "estimates");
+                         })
+                | "detached" ->
+                    Result.Ok
+                      (Detached
+                         {
+                           query = as_int "query" (req_field j "query");
+                           name = as_string "name" (req_field j "name");
+                           samples = as_int "samples" (req_field j "samples");
+                           estimates = decode_estimates "estimates" (req_field j "estimates");
+                         })
+                | "marginals" ->
+                    Result.Ok
+                      (Marginals_reply
+                         {
+                           query = as_int "query" (req_field j "query");
+                           name = as_string "name" (req_field j "name");
+                           samples = as_int "samples" (req_field j "samples");
+                           estimates = decode_estimates "estimates" (req_field j "estimates");
+                         })
+                | "queries" ->
+                    Result.Ok
+                      (Queries_reply
+                         (match req_field j "queries" with
+                         | J_arr items ->
+                             List.map
+                               (function
+                                 | J_arr [ id; n ] ->
+                                     (as_int "queries" id, as_string "queries" n)
+                                 | _ -> bad "field \"queries\" must hold [id, name] pairs")
+                               items
+                         | _ -> bad "field \"queries\" must be an array"))
+                | "stats" ->
+                    Result.Ok
+                      (Stats_reply
+                         {
+                           clients = as_int "clients" (req_field j "clients");
+                           queries = as_int "queries" (req_field j "queries");
+                           samples = as_int "samples" (req_field j "samples");
+                           max_samples = as_int "max_samples" (req_field j "max_samples");
+                           rejected = as_int "rejected" (req_field j "rejected");
+                           coalesced = as_int "coalesced" (req_field j "coalesced");
+                           thinned = as_int "thinned" (req_field j "thinned");
+                         })
+                | "error" -> (
+                    let code_s = as_string "code" (req_field j "code") in
+                    match error_code_of_string code_s with
+                    | Some code ->
+                        Result.Ok (Error { code; msg = as_string "msg" (req_field j "msg") })
+                    | None -> Result.Error (Printf.sprintf "unknown error code %S" code_s))
+                | "bye" -> Result.Ok Bye
+                | other -> Result.Error (Printf.sprintf "unknown response type %S" other)
+              with Bad msg -> Result.Error msg)))

@@ -1,0 +1,92 @@
+(** Wire codec for the query daemon: line-delimited JSON frames.
+
+    The daemon ({!Daemon}) and its clients speak a symmetric
+    request/response protocol over a Unix-domain stream socket. Every
+    frame is one JSON object on one line, terminated by ['\n'] — the
+    framing is the newline, the payload is the object, and a peer that
+    cannot parse a line answers (or receives) a typed [error] frame
+    rather than dropping the connection. docs/SERVER.md is the normative
+    spec (frame grammar, connection state machine, error codes); this
+    module is its executable form, and the codec round-trip property in
+    [test/test_daemon.ml] pins encode/decode as exact inverses.
+
+    Floats are emitted with ["%.17g"] so a decoded estimate is
+    bit-identical to the encoded one — the daemon smoke test compares
+    frozen marginals {e textually} across a crash/resume boundary, which
+    is only sound because the codec never rounds. *)
+
+(** {1 Frames} *)
+
+type error_code =
+  | Parse  (** the request line was not a well-formed frame *)
+  | Bad_request  (** well-formed JSON, but not a known request shape *)
+  | Sql  (** [register] carried SQL that does not parse *)
+  | Unknown_query  (** the referenced query id is not registered *)
+  | Admission_clients  (** client cap reached; connection is closed after this frame *)
+  | Admission_plans  (** registered-plan cap reached; register rejected, not queued *)
+  | Admission_bootstrap
+      (** per-tick bootstrap-evaluation budget exhausted; retry next tick *)
+
+val error_code_to_string : error_code -> string
+(** Stable lowercase wire names, e.g. [Admission_plans] ↦
+    ["admission_plans"]. *)
+
+val error_code_of_string : string -> error_code option
+
+type request =
+  | Register of { sql : string; name : string option }
+      (** Attach a standing SQL query to the running chain. *)
+  | Stream of { query : int; every : int }
+      (** Subscribe to marginal updates: [every >= 1] is a fixed sample
+          cadence, [every = 0] delegates the cadence to the
+          convergence-aware {!Scheduler}. *)
+  | Detach of { query : int }
+      (** Unregister the query and return its frozen marginals. *)
+  | Marginals of { query : int }  (** One-shot snapshot of live estimates. *)
+  | List_queries  (** Registered queries as [(id, name)] pairs. *)
+  | Stats  (** Daemon counters (admission, coalescing, scheduling). *)
+  | Shutdown  (** Orderly stop: the daemon checkpoints and exits its loop. *)
+
+type estimates = (string * float) list
+(** Answer tuples as [(row, probability)] with the row already rendered
+    by [Relational.Row.to_string] — the wire carries display strings,
+    not typed values. *)
+
+type response =
+  | Registered of { query : int; name : string; samples : int }
+  | Streaming of { query : int; every : int }
+  | Update of { query : int; sample : int; estimates : estimates }
+  | Detached of { query : int; name : string; samples : int; estimates : estimates }
+  | Marginals_reply of {
+      query : int;
+      name : string;
+      samples : int;
+      estimates : estimates;
+    }
+  | Queries_reply of (int * string) list
+  | Stats_reply of {
+      clients : int;
+      queries : int;
+      samples : int;
+      max_samples : int;
+      rejected : int;
+      coalesced : int;
+      thinned : int;
+    }
+  | Error of { code : error_code; msg : string }
+  | Bye  (** Acknowledges [Shutdown]; the daemon closes after sending it. *)
+
+(** {1 Codec} *)
+
+val encode_request : request -> string
+(** One JSON object, no trailing newline (the transport adds the frame
+    terminator). *)
+
+val decode_request : string -> (request, error_code * string) result
+(** Inverse of {!encode_request}. [Error (code, msg)] classifies the
+    first offence: {!Parse} when the line is not well-formed JSON,
+    {!Bad_request} when the JSON does not shape into a known request —
+    exactly the code the daemon's error frame must carry. *)
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

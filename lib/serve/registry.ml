@@ -20,6 +20,9 @@ let m_replay = Obs.Metrics.counter "wal.replay_records"
 
 type query_id = int
 
+let id_to_int id = id
+let id_of_int id = id
+
 type entry = {
   id : query_id;
   name : string;

@@ -45,6 +45,14 @@ type query_id
 (** Stable handle for one registered query (never reused within a
     registry). *)
 
+val id_to_int : query_id -> int
+val id_of_int : int -> query_id
+(** Wire conversions for the daemon protocol ({!Protocol} carries query
+    ids as JSON numbers). [id_of_int] does not validate — an id that
+    names no registered query surfaces as [Invalid_argument] at the
+    accessor that receives it, which the daemon maps to the
+    [unknown_query] error frame. *)
+
 val create : Core.Pdb.t -> t
 (** A registry serving [pdb]'s chain, with no queries yet. Any update
     delta still pending on the world is discarded — it is already

@@ -1,0 +1,85 @@
+(* Per-query sliding windows of a scalar marginal summary, mapped to an
+   update cadence via windowed ESS and split-half R̂ (see the .mli for
+   the degenerate-input contract this implements). *)
+
+module IT = Hashtbl.Make (Int)
+
+type entry = {
+  ring : float array; (* circular buffer of summaries *)
+  mutable len : int; (* filled slots, <= Array.length ring *)
+  mutable next : int; (* write position *)
+}
+
+type t = {
+  window : int;
+  min_window : int;
+  rhat_threshold : float;
+  max_thin : int;
+  entries : entry IT.t;
+}
+
+let create ?(window = 64) ?(min_window = 16) ?(rhat_threshold = 1.1) ?(max_thin = 16)
+    () =
+  let window = max window 2 in
+  {
+    window;
+    min_window = max 2 (min min_window window);
+    rhat_threshold;
+    max_thin = max 1 max_thin;
+    entries = IT.create 16;
+  }
+
+let track t q =
+  IT.replace t.entries q { ring = Array.make t.window 0.; len = 0; next = 0 }
+
+let untrack t q = IT.remove t.entries q
+
+let observe t q x =
+  match IT.find_opt t.entries q with
+  | None -> ()
+  | Some e ->
+      e.ring.(e.next) <- x;
+      e.next <- (e.next + 1) mod Array.length e.ring;
+      if e.len < Array.length e.ring then e.len <- e.len + 1
+
+(* Window contents oldest-first. *)
+let window_of e =
+  let n = e.len in
+  let cap = Array.length e.ring in
+  let start = (e.next - n + cap) mod cap in
+  Array.init n (fun i -> e.ring.((start + i) mod cap))
+
+let diagnostics_of e =
+  let w = window_of e in
+  let n = Array.length w in
+  let ess = Mcmc.Diagnostics.effective_sample_size w in
+  let rhat =
+    if n < 4 then Float.nan
+    else
+      let half = n / 2 in
+      let first = Array.sub w 0 half in
+      let second = Array.sub w (n - half) half in
+      Mcmc.Diagnostics.gelman_rubin [ first; second ]
+  in
+  (ess, rhat)
+
+let diagnostics t q =
+  match IT.find_opt t.entries q with
+  | None -> None
+  | Some e -> Some (diagnostics_of e)
+
+let cadence t q =
+  match IT.find_opt t.entries q with
+  | None -> 1
+  | Some e ->
+      if e.len < t.min_window then 1
+      else
+        let ess, rhat = diagnostics_of e in
+        (* Degenerate diagnostics mean "we cannot certify convergence":
+           nan R̂ (constant or too-short window, zero within-chain
+           variance) and non-positive ESS both force dense scheduling. *)
+        if (not (Float.is_finite rhat)) || rhat > t.rhat_threshold || ess <= 0. then 1
+        else
+          let ratio = ess /. float_of_int e.len in
+          let thin = 1 + int_of_float (ratio *. float_of_int (t.max_thin - 1)) in
+          max 1 (min t.max_thin thin)

@@ -1,13 +1,15 @@
 #!/bin/sh
 # Perf-regression gate over the machine-readable bench outputs.
 #
-#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON WAL_JSON SHARD_JSON MQO_JSON]
+#   tools/bench_gate.sh [VIEW_JSON SERVE_JSON WAL_JSON SHARD_JSON MQO_JSON
+#                        DAEMON_JSON CHECKPOINT_JSON]
 #   tools/bench_gate.sh --self-test
 #
 # Reads BENCH_view.json, BENCH_serve.json, BENCH_wal.json,
-# BENCH_shard.json, and BENCH_mqo.json (the regenerated working-tree
-# copies by default), extracts the headline ratios at the largest size
-# each file carries, and fails (exit 1) when any drops below its floor:
+# BENCH_shard.json, BENCH_mqo.json, BENCH_daemon.json, and
+# BENCH_checkpoint.json (the regenerated working-tree copies by
+# default), extracts the headline ratios at the largest size each file
+# carries, and fails (exit 1) when any drops below its floor:
 #
 #   view  — naive-rerun / view-update at the largest size present:
 #             >= 10x when that size is >= 10k tuples (the paper-scale claim)
@@ -29,6 +31,22 @@
 #           each core maintained once instead of 8 times); any
 #           marginals_equal:false fails outright — sharing must be
 #           invisible in the answers.
+#   daemon — register_amortization (1st registration cost / 8th) >= 0.5x:
+#           with the shared-subplan cache warm, registering against a
+#           daemon full of standing plans must not cost more than 2x a
+#           registration against an empty one; admission_ok:false,
+#           coalescing_ok:false, or resume_marginals_equal:false fails
+#           outright — the plan cap must reject, a slow client must
+#           coalesce rather than stall the chain, and a crash/resume
+#           must be invisible in the answers.
+#   checkpoint — snapshot bytes/token <= 100 at the largest size: the
+#           snapshot codec staying compact is what keeps the WAL's
+#           amplification claim honest.
+#
+# Independent of the floors, every BENCH_*.json next to the checked files
+# must be one the gate knows: a bench output with no gate entry is a
+# silent hole where numbers rot without failing CI, so an unknown file
+# fails outright (add a check_* here when adding a bench group).
 #
 # On top of the absolute floors, when the committed baseline (git show
 # HEAD:<file>) carries the same largest size, the fresh ratio must stay
@@ -251,6 +269,72 @@ check_mqo() {
   fi
 }
 
+# ---- daemon: admission, coalescing, crash/resume -------------------------
+
+check_daemon() {
+  f=$1
+  [ -s "$f" ] || fail "$f missing or empty"
+  grep -q '"resume_marginals_equal":false' "$f" \
+    && fail "$f: daemon crash/resume marginals diverged"
+  grep -q '"admission_ok":false' "$f" && fail "$f: daemon plan cap not enforced"
+  grep -q '"coalescing_ok":false' "$f" \
+    && fail "$f: slow daemon client never coalesced"
+  grep -q '"resume_marginals_equal":true' "$f" \
+    || fail "$f: missing resume_marginals_equal"
+  amort=$(json_num "$f" "register_amortization")
+  [ -n "$amort" ] || fail "$f: missing register_amortization"
+  echo "bench_gate: daemon: 8th-registration amortization ${amort}x (floor 0.5x)"
+  ge "$amort" 0.5 \
+    || fail "daemon register amortization ${amort}x below floor 0.5x — registration cost grows with standing plans"
+  base=$(git show "HEAD:$(basename "$f")" 2>/dev/null || true)
+  if [ -n "$base" ]; then
+    tmp=$(mktemp); printf '%s\n' "$base" > "$tmp"
+    if [ "$(json_num "$tmp" "n_tokens")" = "$(json_num "$f" "n_tokens")" ]; then
+      bamort=$(json_num "$tmp" "register_amortization")
+      slack=$(awk -v b="$bamort" 'BEGIN { printf "%.3f", b * 0.5 }')
+      echo "bench_gate: daemon: committed baseline ${bamort}x (slack floor ${slack}x)"
+      ge "$amort" "$slack" \
+        || { rm -f "$tmp"; fail "daemon amortization ${amort}x regressed >50% from baseline ${bamort}x"; }
+    fi
+    rm -f "$tmp"
+  fi
+}
+
+# ---- checkpoint: full-snapshot cost (the WAL's motivation) ---------------
+
+checkpoint_largest_n() {
+  grep -o '"n_tokens":[0-9]*' "$1" | cut -d: -f2 | sort -n | tail -n 1
+}
+
+check_checkpoint() {
+  f=$1
+  [ -s "$f" ] || fail "$f missing or empty"
+  n=$(checkpoint_largest_n "$f")
+  [ -n "$n" ] || fail "$f: no checkpoint entries"
+  bytes=$(json_num_last "$f" "snapshot_bytes")
+  [ -n "$bytes" ] || fail "$f: missing snapshot_bytes"
+  per_token=$(awk -v b="$bytes" -v n="$n" 'BEGIN { printf "%.3f", b / n }')
+  echo "bench_gate: checkpoint ${n} tokens: snapshot ${per_token} bytes/token (ceiling 100)"
+  ge 100 "$per_token" \
+    || fail "checkpoint snapshot ${per_token} bytes/token at ${n} tokens above ceiling 100"
+}
+
+# ---- every bench output must be gated ------------------------------------
+
+check_no_ungated() {
+  benchdir=$1
+  for rogue in "$benchdir"/BENCH_*.json; do
+    [ -e "$rogue" ] || continue
+    case $(basename "$rogue") in
+      BENCH_view.json | BENCH_serve.json | BENCH_wal.json | BENCH_shard.json \
+        | BENCH_mqo.json | BENCH_daemon.json | BENCH_checkpoint.json) ;;
+      *)
+        fail "$(basename "$rogue") has no gate entry — add a check_* floor to tools/bench_gate.sh"
+        ;;
+    esac
+  done
+}
+
 # ---- self-test ----------------------------------------------------------
 
 self_test() {
@@ -344,6 +428,46 @@ EOF
   fi
   echo "bench_gate: self-test: diverged mqo marginals rejected"
 
+  # Seeded regression: registration cost grows with standing plans
+  # (amortization floor is 0.5x).
+  cp BENCH_mqo.json "$dir/BENCH_mqo.json"
+  cat > "$dir/BENCH_daemon.json" <<'EOF'
+{"config":{"n_tokens":10000,"thin":50,"samples":120,"queries":8},"daemon":{"first_register_ns":100,"last_register_ns":250,"register_amortization":0.4,"updates_seen":1,"coalesced_updates":1,"sched_thinned":1,"rejected":1,"tick_ns_mean":1,"admission_ok":true,"coalescing_ok":true,"resume_marginals_equal":true}}
+EOF
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" "$dir/BENCH_daemon.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 0.4x daemon register amortization (floor is 0.5x)"
+  fi
+  echo "bench_gate: self-test: seeded daemon-registration regression rejected"
+
+  # A crash/resume that changed the daemon's answers must fail regardless
+  # of speed.
+  sed 's/"resume_marginals_equal":true/"resume_marginals_equal":false/' BENCH_daemon.json \
+    > "$dir/BENCH_daemon.json"
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" "$dir/BENCH_daemon.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted diverged daemon crash/resume marginals"
+  fi
+  echo "bench_gate: self-test: diverged daemon resume rejected"
+
+  # Seeded regression: a bloated snapshot codec (ceiling 100 bytes/token).
+  cp BENCH_daemon.json "$dir/BENCH_daemon.json"
+  cat > "$dir/BENCH_checkpoint.json" <<'EOF'
+{"config":{"thin":100,"samples":30,"queries":2},"checkpoint":[{"n_tokens":100000,"sample_ns":1,"snapshot_ns":1,"snapshot_bytes":50000000,"restore_ns":1,"snapshot_cost_samples":1.0}]}
+EOF
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" "$dir/BENCH_daemon.json" "$dir/BENCH_checkpoint.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted a 500 bytes/token snapshot (ceiling is 100)"
+  fi
+  echo "bench_gate: self-test: seeded checkpoint regression rejected"
+
+  # A bench output the gate does not know must be rejected, not silently
+  # ignored.
+  cp BENCH_checkpoint.json "$dir/BENCH_checkpoint.json"
+  echo '{}' > "$dir/BENCH_rogue.json"
+  if sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" "$dir/BENCH_daemon.json" "$dir/BENCH_checkpoint.json" >/dev/null 2>&1; then
+    fail "self-test: gate accepted an ungated BENCH_rogue.json"
+  fi
+  rm -f "$dir/BENCH_rogue.json"
+  echo "bench_gate: self-test: ungated bench output rejected"
+
   # The committed baselines themselves must pass.
   git show HEAD:BENCH_view.json > "$dir/BENCH_view.json"
   git show HEAD:BENCH_serve.json > "$dir/BENCH_serve.json"
@@ -362,7 +486,17 @@ EOF
   else
     cp BENCH_mqo.json "$dir/BENCH_mqo.json"
   fi
-  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" >/dev/null \
+  if git cat-file -e HEAD:BENCH_daemon.json 2>/dev/null; then
+    git show HEAD:BENCH_daemon.json > "$dir/BENCH_daemon.json"
+  else
+    cp BENCH_daemon.json "$dir/BENCH_daemon.json"
+  fi
+  if git cat-file -e HEAD:BENCH_checkpoint.json 2>/dev/null; then
+    git show HEAD:BENCH_checkpoint.json > "$dir/BENCH_checkpoint.json"
+  else
+    cp BENCH_checkpoint.json "$dir/BENCH_checkpoint.json"
+  fi
+  sh "$0" "$dir/BENCH_view.json" "$dir/BENCH_serve.json" "$dir/BENCH_wal.json" "$dir/BENCH_shard.json" "$dir/BENCH_mqo.json" "$dir/BENCH_daemon.json" "$dir/BENCH_checkpoint.json" >/dev/null \
     || fail "self-test: gate rejected the committed baselines"
   echo "bench_gate: self-test: committed baselines accepted"
   echo "bench_gate: self-test OK"
@@ -373,9 +507,12 @@ if [ "${1:-}" = "--self-test" ]; then
   exit 0
 fi
 
+check_no_ungated "$(dirname "${1:-BENCH_view.json}")"
 check_view "${1:-BENCH_view.json}"
 check_serve "${2:-BENCH_serve.json}"
 check_wal "${3:-BENCH_wal.json}"
 check_shard "${4:-BENCH_shard.json}"
 check_mqo "${5:-BENCH_mqo.json}"
+check_daemon "${6:-BENCH_daemon.json}"
+check_checkpoint "${7:-BENCH_checkpoint.json}"
 echo "bench_gate: OK"

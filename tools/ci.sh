@@ -45,6 +45,19 @@ echo "ci: shared-subplan bench (smoke)"
 # and regenerates BENCH_mqo.json for the gate below.
 dune exec bench/main.exe -- mqo-smoke
 test -s BENCH_mqo.json
+echo "ci: query daemon bench (smoke)"
+# Smallest-size run of the daemon group: drives the socket server
+# in-process (registration latency with a warm subplan cache, slow-client
+# coalescing, plan-cap admission, crash/resume marginal equality) and
+# regenerates BENCH_daemon.json for the gate below.
+dune exec bench/main.exe -- daemon-smoke
+test -s BENCH_daemon.json
+echo "ci: daemon kill/resume smoke"
+# The same twin comparison through the real CLI and a real SIGKILL:
+# 8 clients attach/stream/detach over the Unix socket, the daemon dies
+# mid-stream, resumes from its WAL, and every query's frozen marginals
+# must be bit-identical to the uninterrupted twin's.
+sh tools/daemon_smoke.sh
 echo "ci: bench gate self-test"
 # The gate must be able to reject a seeded regression before its pass on
 # the real numbers means anything.
