@@ -518,7 +518,7 @@ let e8 ~full () =
   Harness.print_header
     (Printf.sprintf "E8 / extension: entity resolution, %d mentions of %d entities"
        (n_entities * mentions_per) n_entities);
-  let rand = Random.State.make [| 404 |] in
+  let rand = Prng.of_seeds [| 404 |] in
   let first = Ie.Lexicon.first_names and last = Ie.Lexicon.last_names in
   let truth = Array.make (n_entities * mentions_per) 0 in
   let strings =
@@ -530,7 +530,7 @@ let e8 ~full () =
         | 0 -> f ^ " " ^ l
         | 1 -> String.make 1 f.[0] ^ ". " ^ l
         | 2 -> l
-        | _ -> f ^ (if Random.State.bool rand then " " ^ l else ""))
+        | _ -> f ^ (if Prng.bool rand then " " ^ l else ""))
   in
   let db = Relational.Database.create () in
   let world, coref = Ie.Coref.load db ~strings in

@@ -1,5 +1,9 @@
 (* Benchmark harness entry point.
 
+   pdb_lint: allow-file R10 — the harness is an executable in all but
+   dune stanza kind: it parses its own argv exactly like bin/ entry
+   points do, and nothing below bench/ reads the environment.
+
    Usage:
      dune exec bench/main.exe                 # every experiment, quick scale
      dune exec bench/main.exe -- e1 e4        # selected experiments

@@ -97,7 +97,7 @@ let sample m rand =
     let path = Array.make m.length 0 in
     let draw logits =
       let probs = Logspace.normalize_log logits in
-      let u = Random.State.float rand 1. in
+      let u = Prng.float rand 1. in
       let rec pick i acc =
         if i = Array.length probs - 1 then i
         else if u < acc +. probs.(i) then i

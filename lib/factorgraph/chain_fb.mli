@@ -26,7 +26,7 @@ val pairwise_marginals : model -> int -> float array array
 val viterbi : model -> int array
 (** Highest-probability label path (ties broken toward lower indices). *)
 
-val sample : model -> Random.State.t -> int array
+val sample : model -> Prng.t -> int array
 (** Exact posterior sample by forward filtering / backward sampling — the
     generative (MCDB-style) alternative to MCMC, available only because a
     chain's normalizer is tractable. *)

@@ -45,12 +45,12 @@ let annotate ?(noise = 0.) ?(seed = 0) tokens =
     else incr i
   done;
   if noise > 0. then begin
-    let rand = Random.State.make [| seed; 0xA110 |] in
+    let rand = Mcmc.Rng.of_seeds [| seed; 0xA110 |] in
     Array.iteri
       (fun idx l ->
-        if Random.State.float rand 1. < noise then begin
+        if Mcmc.Rng.float rand 1. < noise then begin
           let alternatives = Array.of_list (List.filter (fun x -> x <> l) (Array.to_list Labels.all)) in
-          out.(idx) <- alternatives.(Random.State.int rand (Array.length alternatives))
+          out.(idx) <- alternatives.(Mcmc.Rng.int rand (Array.length alternatives))
         end)
       out
   end;

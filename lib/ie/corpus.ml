@@ -13,38 +13,38 @@ let default_params =
 
 (* One mention: a list of (string, label) pairs. *)
 let fresh_mention rand =
-  let pick arr = arr.(Random.State.int rand (Array.length arr)) in
-  match Random.State.int rand 4 with
+  let pick arr = arr.(Mcmc.Rng.int rand (Array.length arr)) in
+  match Mcmc.Rng.int rand 4 with
   | 0 ->
     (* Person: first [last] *)
     let toks = [ (pick Lexicon.first_names, Labels.B Per) ] in
-    if Random.State.bool rand then toks @ [ (pick Lexicon.last_names, Labels.I Per) ] else toks
+    if Mcmc.Rng.bool rand then toks @ [ (pick Lexicon.last_names, Labels.I Per) ] else toks
   | 1 ->
     (* Organization: name [suffix]; city-derived names make "Boston" an ORG
        sometimes. *)
     let toks = [ (pick Lexicon.org_words, Labels.B Org) ] in
-    if Random.State.int rand 3 = 0 then toks @ [ (pick Lexicon.org_suffixes, Labels.I Org) ]
+    if Mcmc.Rng.int rand 3 = 0 then toks @ [ (pick Lexicon.org_suffixes, Labels.I Org) ]
     else toks
   | 2 -> [ (pick Lexicon.locations, Labels.B Loc) ]
   | _ -> [ (pick Lexicon.misc_words, Labels.B Misc) ]
 
 let generate ?(params = default_params) ~seed () =
-  let rand = Random.State.make [| seed; 0xC0FFEE |] in
+  let rand = Mcmc.Rng.of_seeds [| seed; 0xC0FFEE |] in
   let docs = ref [] in
   for doc_id = 0 to params.n_docs - 1 do
-    let len = max 10 (params.avg_doc_len / 2 + Random.State.int rand params.avg_doc_len) in
+    let len = max 10 (params.avg_doc_len / 2 + Mcmc.Rng.int rand params.avg_doc_len) in
     let tokens = ref [] in
     let n = ref 0 in
     (* Mentions already used in this document, available for repetition. *)
     let prior_mentions = ref [] in
     while !n < len do
-      if Random.State.float rand 1. < params.entity_density then begin
+      if Mcmc.Rng.float rand 1. < params.entity_density then begin
         let mention =
           match !prior_mentions with
-          | _ :: _ when Random.State.float rand 1. < params.repeat_boost ->
+          | _ :: _ when Mcmc.Rng.float rand 1. < params.repeat_boost ->
             (* Reuse a random earlier mention verbatim: identical strings in
                one document are what skip edges connect. *)
-            List.nth !prior_mentions (Random.State.int rand (List.length !prior_mentions))
+            List.nth !prior_mentions (Mcmc.Rng.int rand (List.length !prior_mentions))
           | _ ->
             let m = fresh_mention rand in
             prior_mentions := m :: !prior_mentions;
@@ -57,7 +57,7 @@ let generate ?(params = default_params) ~seed () =
           mention
       end
       else begin
-        let s = Lexicon.common_words.(Random.State.int rand (Array.length Lexicon.common_words)) in
+        let s = Lexicon.common_words.(Mcmc.Rng.int rand (Array.length Lexicon.common_words)) in
         tokens := { string = s; truth = Labels.O } :: !tokens;
         incr n
       end

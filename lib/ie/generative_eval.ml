@@ -9,13 +9,12 @@ let evaluate ?on_sample ~rng ~crf ~query ~samples () =
   let models =
     Array.init (Crf.n_docs crf) (fun doc -> (doc, Chain_inference.model_of_doc crf ~doc))
   in
-  let raw = Mcmc.Rng.raw_state rng in
   let started = Obs.Timer.start () in
   for i = 1 to samples do
     Array.iter
       (fun (doc, model) ->
         let first, _ = Crf.doc_token_range crf doc in
-        let path = Factorgraph.Chain_fb.sample model raw in
+        let path = Factorgraph.Chain_fb.sample model rng in
         Array.iteri (fun k l -> Crf.set_label crf ~pos:(first + k) (Labels.of_index l)) path)
       models;
     ignore (Core.World.drain_delta world : Relational.Delta.t);

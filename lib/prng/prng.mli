@@ -1,26 +1,27 @@
 (** Seeded random number generation with explicit state, so every sampler in
     the system is reproducible and parallel chains get independent streams.
 
-    The engine is {!Prng} (lib/prng), homed below the factor-graph and
-    lineage layers so they can consume the same stream type; this module
-    re-exports it under the historical [Mcmc.Rng] name and the types are
-    equal ([t = Prng.t]). Lint rule R9 (rng-discipline) confines [Random.*]
-    to lib/prng/prng.ml — all other code threads a [t]. *)
+    This is the engine behind {!Mcmc.Rng} (which re-exports it verbatim),
+    homed below the factor-graph and lineage layers so that they can draw
+    from the same stream type without depending on lib/mcmc. It is the one
+    module allowed to touch [Random.*] (lint rule R9, rng-discipline):
+    everything else threads a [t], so a seed fully determines every sample
+    path — the invariant the WAL-resume bit-identical guarantee rests on. *)
 
-type t = Prng.t
+type t
 
 val create : int -> t
 (** The canonical chain stream: seed mixed with a fixed golden-ratio salt. *)
 
 val of_seeds : int array -> t
 (** A stream from a raw seed array, for side streams (corpus synthesis,
-    annotator noise) that must stay byte-identical to their historically
-    seeded draws. *)
+    annotator noise, Monte Carlo over lineage) that must stay byte-identical
+    to their historically seeded draws. *)
 
 val split : t -> t
 (** A new generator seeded from (but independent of) this one — four
     30-bit draws of parent entropy, so sibling streams (e.g. from
-    {!Parallel.split_rngs}) do not collide on their early draws. *)
+    {!Mcmc.Parallel.split_rngs}) do not collide on their early draws. *)
 
 val int : t -> int -> int
 (** [int t n] is uniform in [0, n). *)

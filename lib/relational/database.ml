@@ -16,16 +16,28 @@ let table_opt db name =
   match Str_tbl.find_opt db name with
   | Some t -> Some t
   | None ->
-    (* Table names, like all SQL identifiers, are case-insensitive. *)
+    (* Table names, like all SQL identifiers, are case-insensitive. If
+       several stored names fold to the same lowercase form, the winner
+       must not depend on Hashtbl iteration order (R8) — collect the
+       matches and take the lexicographically least. *)
     let lname = String.lowercase_ascii name in
-    Str_tbl.fold
-      (fun n t acc ->
-        match acc with
-        | Some _ -> acc
-        | None -> if String.equal (String.lowercase_ascii n) lname then Some t else None)
-      db None
+    let matches =
+      Str_tbl.fold
+        (fun n t acc ->
+          if String.equal (String.lowercase_ascii n) lname then (n, t) :: acc
+          else acc)
+        db []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    (match matches with (_, t) :: _ -> Some t | [] -> None)
 
 let table db name =
   match table_opt db name with Some t -> t | None -> raise Not_found
-let tables db = Str_tbl.fold (fun _ t acc -> t :: acc) db []
+
+(* Name order, not hash order: callers iterate this to checkpoint and to
+   snapshot row counts, so the enumeration must be stable across
+   processes with different insertion histories (R8). *)
+let tables db =
+  Str_tbl.fold (fun _ t acc -> t :: acc) db []
+  |> List.sort (fun a b -> String.compare (Table.name a) (Table.name b))
 let drop_table db name = Str_tbl.remove db name

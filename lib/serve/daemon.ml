@@ -145,6 +145,16 @@ let reject t c code msg =
   Obs.Metrics.incr m_rejected;
   enqueue c (Protocol.Error { code; msg })
 
+(* Subscriptions in ascending wire-id order. [c.subs] is a Hashtbl, and its
+   iteration order depends on insertion history — a daemon that restores from
+   a checkpoint re-registers queries in a different order than the original
+   process and would otherwise emit frames in a different interleaving,
+   diverging from the twin it must stay byte-identical with (R8:
+   deterministic-serialization). *)
+let subs_in_order c =
+  IT.fold (fun wire_id sub acc -> (wire_id, sub) :: acc) c.subs []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let drop_client t c =
   if c.alive then begin
     c.alive <- false;
@@ -187,15 +197,15 @@ let flush_client t c =
           if c.closing then drop_client t c
         end
         else begin
-          IT.iter
-            (fun _ sub ->
+          List.iter
+            (fun (_, sub) ->
               match sub.pending with
               | Some frame ->
                   sub.pending <- None;
                   Buffer.add_string c.outbuf frame;
                   Buffer.add_char c.outbuf '\n'
               | None -> ())
-            c.subs;
+            (subs_in_order c);
           if Buffer.length c.outbuf > 0 then pump true
           else if c.closing then drop_client t c
         end
@@ -444,8 +454,8 @@ let emit_updates t sample =
   List.iter
     (fun c ->
       if c.alive && not c.closing then
-        IT.iter
-          (fun wire_id sub ->
+        List.iter
+          (fun (wire_id, sub) ->
             match find_query t wire_id with
             | None -> ()
             | Some (qid, _) ->
@@ -465,7 +475,7 @@ let emit_updates t sample =
                   t.thinned <- t.thinned + 1;
                   Obs.Metrics.incr m_thinned
                 end)
-          c.subs)
+          (subs_in_order c))
     t.clients
 
 let step_once t =

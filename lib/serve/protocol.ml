@@ -279,20 +279,29 @@ let as_float name = function J_num f -> f | _ -> bad "field %S must be a number"
 
 (* ---------- requests ---------- *)
 
+(* Every frame is emitted with its object fields in ascending key order.
+   The decoders above are field-order independent, so this is wire
+   compatible; what it buys is byte-identical frames regardless of how the
+   record literal happens to be written or refactored, which the resume
+   twin-smoke comparison and the protocol determinism test pin (R8:
+   deterministic-serialization). *)
+let obj_sorted fields =
+  Obs.Jsonx.obj (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+
 let encode_request req =
   let open Obs.Jsonx in
   match req with
   | Register { sql; name } ->
-      obj
+      obj_sorted
         (("op", str "register") :: ("sql", str sql)
         :: (match name with None -> [] | Some n -> [ ("name", str n) ]))
   | Stream { query; every } ->
-      obj [ ("op", str "stream"); ("query", int query); ("every", int every) ]
-  | Detach { query } -> obj [ ("op", str "detach"); ("query", int query) ]
-  | Marginals { query } -> obj [ ("op", str "marginals"); ("query", int query) ]
-  | List_queries -> obj [ ("op", str "list") ]
-  | Stats -> obj [ ("op", str "stats") ]
-  | Shutdown -> obj [ ("op", str "shutdown") ]
+      obj_sorted [ ("op", str "stream"); ("query", int query); ("every", int every) ]
+  | Detach { query } -> obj_sorted [ ("op", str "detach"); ("query", int query) ]
+  | Marginals { query } -> obj_sorted [ ("op", str "marginals"); ("query", int query) ]
+  | List_queries -> obj_sorted [ ("op", str "list") ]
+  | Stats -> obj_sorted [ ("op", str "stats") ]
+  | Shutdown -> obj_sorted [ ("op", str "shutdown") ]
 
 let decode_request line =
   match parse_json line with
@@ -348,36 +357,36 @@ let encode_response resp =
   let open Obs.Jsonx in
   match resp with
   | Registered { query; name; samples } ->
-      obj
+      obj_sorted
         [ ("type", str "registered"); ("query", int query); ("name", str name);
           ("samples", int samples) ]
   | Streaming { query; every } ->
-      obj [ ("type", str "streaming"); ("query", int query); ("every", int every) ]
+      obj_sorted [ ("type", str "streaming"); ("query", int query); ("every", int every) ]
   | Update { query; sample; estimates } ->
-      obj
+      obj_sorted
         [ ("type", str "update"); ("query", int query); ("sample", int sample);
           ("estimates", encode_estimates estimates) ]
   | Detached { query; name; samples; estimates } ->
-      obj
+      obj_sorted
         [ ("type", str "detached"); ("query", int query); ("name", str name);
           ("samples", int samples); ("estimates", encode_estimates estimates) ]
   | Marginals_reply { query; name; samples; estimates } ->
-      obj
+      obj_sorted
         [ ("type", str "marginals"); ("query", int query); ("name", str name);
           ("samples", int samples); ("estimates", encode_estimates estimates) ]
   | Queries_reply queries ->
-      obj
+      obj_sorted
         [ ("type", str "queries");
           ("queries", arr (List.map (fun (id, n) -> arr [ int id; str n ]) queries)) ]
   | Stats_reply { clients; queries; samples; max_samples; rejected; coalesced; thinned } ->
-      obj
+      obj_sorted
         [ ("type", str "stats"); ("clients", int clients); ("queries", int queries);
           ("samples", int samples); ("max_samples", int max_samples);
           ("rejected", int rejected); ("coalesced", int coalesced);
           ("thinned", int thinned) ]
   | Error { code; msg } ->
-      obj [ ("type", str "error"); ("code", str (error_code_to_string code)); ("msg", str msg) ]
-  | Bye -> obj [ ("type", str "bye") ]
+      obj_sorted [ ("type", str "error"); ("code", str (error_code_to_string code)); ("msg", str msg) ]
+  | Bye -> obj_sorted [ ("type", str "bye") ]
 
 let decode_response line =
   match parse_json line with

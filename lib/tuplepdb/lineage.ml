@@ -109,7 +109,7 @@ let monte_carlo prob ~rng ~samples f =
   let assign = Hashtbl.create (Array.length vs) in
   let hits = ref 0 in
   for _ = 1 to samples do
-    Array.iter (fun v -> Hashtbl.replace assign v (Random.State.float rng 1. < prob v)) vs;
+    Array.iter (fun v -> Hashtbl.replace assign v (Prng.bernoulli rng (prob v))) vs;
     if eval (Hashtbl.find assign) f then incr hits
   done;
   float_of_int !hits /. float_of_int samples

@@ -32,7 +32,7 @@ val exact_probability : ?budget:int -> (int -> float) -> t -> float
     [Failure] beyond it — probability of a monotone formula is #P-hard in
     general, which is the point the paper's sampling approach sidesteps. *)
 
-val monte_carlo : (int -> float) -> rng:Random.State.t -> samples:int -> t -> float
+val monte_carlo : (int -> float) -> rng:Prng.t -> samples:int -> t -> float
 (** Naive Monte Carlo estimate (the baseline flavour of MystiQ [5]). *)
 
 val pp : Format.formatter -> t -> unit

@@ -127,7 +127,7 @@ let answer_probabilities ?(method_ = `Exact) ?budget t q =
         match method_ with
         | `Exact -> Lineage.exact_probability ?budget prob lineage
         | `Monte_carlo (samples, seed) ->
-          Lineage.monte_carlo prob ~rng:(Random.State.make [| seed |]) ~samples lineage
+          Lineage.monte_carlo prob ~rng:(Prng.of_seeds [| seed |]) ~samples lineage
       in
       (row, p))
     answers

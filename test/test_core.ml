@@ -316,13 +316,13 @@ let test_confidence_interval_covers () =
   (* Coverage sanity: estimate a known probability repeatedly; the 95%
      interval should contain it most of the time. *)
   let p_true = 0.3 in
-  let rand = Random.State.make [| 5 |] in
+  let rand = Prng.of_seeds [| 5 |] in
   let covered = ref 0 in
   let trials = 200 in
   for _ = 1 to trials do
     let m = Marginals.create () in
     for _ = 1 to 60 do
-      let present = Random.State.float rand 1. < p_true in
+      let present = Prng.float rand 1. < p_true in
       Marginals.observe m (if present then Bag.of_rows [ r [ Value.Int 1 ] ] else Bag.of_rows [])
     done;
     let lo, hi = Confidence.wilson_interval m (r [ Value.Int 1 ]) in

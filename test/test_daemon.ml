@@ -455,13 +455,225 @@ let test_slow_client_coalescing () =
   Serve.Daemon.close daemon;
   if Sys.file_exists path then Sys.remove path
 
+
+(* ---------------------------------------------------------------- *)
+(* Serialization determinism (lint rule R8)                         *)
+(* ---------------------------------------------------------------- *)
+
+(* Top-level object keys of a compact one-line JSON frame, in wire
+   order. Depth-1 scan: Jsonx emits no whitespace, so a key is a string
+   literal at depth 1 immediately followed by ':'. *)
+let toplevel_keys s =
+  let n = String.length s in
+  let keys = ref [] in
+  let depth = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '{' | '[' -> incr depth
+    | '}' | ']' -> decr depth
+    | '"' ->
+        let start = !i + 1 in
+        let j = ref start in
+        while !j < n && s.[!j] <> '"' do
+          if s.[!j] = '\\' then incr j;
+          incr j
+        done;
+        if !depth = 1 && !j + 1 < n && s.[!j + 1] = ':' then
+          keys := String.sub s start (!j - start) :: !keys;
+        i := !j
+    | _ -> ());
+    incr i
+  done;
+  List.rev !keys
+
+(* Every frame of every request/response shape serializes its fields in
+   ascending key order: byte-identical output no matter how the record
+   literal is written or later refactored. *)
+let test_frame_field_order () =
+  let frames =
+    [ P.encode_request (P.Register { sql = sql_for "B-PER"; name = Some "q" });
+      P.encode_request (P.Register { sql = sql_for "B-PER"; name = None });
+      P.encode_request (P.Stream { query = 3; every = 2 });
+      P.encode_request (P.Detach { query = 3 });
+      P.encode_request (P.Marginals { query = 3 });
+      P.encode_request P.List_queries;
+      P.encode_request P.Stats;
+      P.encode_request P.Shutdown;
+      P.encode_response (P.Registered { query = 1; name = "q"; samples = 5 });
+      P.encode_response (P.Streaming { query = 1; every = 2 });
+      P.encode_response
+        (P.Update { query = 1; sample = 9; estimates = [ ("Poe", 0.25) ] });
+      P.encode_response
+        (P.Detached { query = 1; name = "q"; samples = 5; estimates = [] });
+      P.encode_response
+        (P.Marginals_reply
+           { query = 1; name = "q"; samples = 5; estimates = [ ("Poe", 0.5) ] });
+      P.encode_response (P.Queries_reply [ (1, "a"); (2, "b") ]);
+      P.encode_response
+        (P.Stats_reply
+           { clients = 1; queries = 2; samples = 3; max_samples = 4; rejected = 0;
+             coalesced = 0; thinned = 0 });
+      P.encode_response (P.Error { code = P.Sql; msg = "no" });
+      P.encode_response P.Bye ]
+  in
+  List.iter
+    (fun frame ->
+      let keys = toplevel_keys frame in
+      Alcotest.(check (list string))
+        (Printf.sprintf "keys sorted in %s" frame)
+        (List.sort String.compare keys)
+        keys)
+    frames
+
+(* Drive one daemon to [samples], returning the stats frame bytes and
+   each query's final marginal estimates keyed by name. [specs] gives
+   (name, label) registration order — the thing that must not matter. *)
+let run_daemon_to_completion specs =
+  let path = fresh_socket_path () in
+  let samples = 12 in
+  let cfg =
+    { (Serve.Daemon.default_config ~socket_path:path) with
+      Serve.Daemon.thin = 1;
+      max_samples = samples;
+      await_queries = List.length specs }
+  in
+  let daemon = Serve.Daemon.of_registry cfg (Serve.Registry.create (make_pdb ~thin:1 ())) in
+  let c = connect path in
+  let ids =
+    List.map
+      (fun (name, lbl) ->
+        let id =
+          rpc daemon c
+            (P.Register { sql = sql_for lbl; name = Some name })
+            (function P.Registered { query; _ } -> Some query | _ -> None)
+        in
+        (name, id))
+      specs
+  in
+  let ticks = ref 0 in
+  while Serve.Daemon.samples daemon < samples && !ticks < 10_000 do
+    Serve.Daemon.tick daemon ~timeout:0.;
+    incr ticks
+  done;
+  Alcotest.(check int) "chain ran out" samples (Serve.Daemon.samples daemon);
+  let stats =
+    rpc daemon c P.Stats (function
+      | P.Stats_reply _ as r -> Some (P.encode_response r)
+      | _ -> None)
+  in
+  let marginals =
+    List.map
+      (fun (name, id) ->
+        let estimates =
+          rpc daemon c
+            (P.Marginals { query = id })
+            (function
+              | P.Marginals_reply { query; estimates; _ } when query = id ->
+                  Some estimates
+              | _ -> None)
+        in
+        (name, estimates))
+      ids
+  in
+  disconnect c;
+  Serve.Daemon.close daemon;
+  if Sys.file_exists path then Sys.remove path;
+  (stats, List.sort compare marginals)
+
+(* Two daemons over the same seeded corpus, queries registered in
+   permuted order: the stats frame and every per-name estimates payload
+   must serialize byte-identically. Wire ids differ by construction, so
+   the estimates are re-framed under a fixed id before comparing. *)
+let test_registration_order_immaterial () =
+  let stats_a, marg_a =
+    run_daemon_to_completion
+      [ ("alpha", "B-PER"); ("beta", "B-ORG"); ("gamma", "B-LOC") ]
+  in
+  let stats_b, marg_b =
+    run_daemon_to_completion
+      [ ("gamma", "B-LOC"); ("alpha", "B-PER"); ("beta", "B-ORG") ]
+  in
+  Alcotest.(check string) "stats frames byte-identical" stats_a stats_b;
+  Alcotest.(check int) "same query set" (List.length marg_a) (List.length marg_b);
+  List.iter2
+    (fun (na, ea) (nb, eb) ->
+      let frame name estimates =
+        P.encode_response
+          (P.Marginals_reply { query = 0; name; samples = 0; estimates })
+      in
+      Alcotest.(check string) "query name" na nb;
+      Alcotest.(check string)
+        (Printf.sprintf "marginals for %s byte-identical" na)
+        (frame na ea) (frame nb eb))
+    marg_a marg_b
+
+(* Regression pin for the daemon's sorted emission ([subs_in_order]):
+   with several streamed subscriptions, the updates of one sample wave
+   must arrive in ascending wire-id order. The pre-fix emitter walked
+   the subscription Hashtbl in hash order, which scrambles six ids. *)
+let test_update_emission_order () =
+  let path = fresh_socket_path () in
+  let samples = 8 in
+  let labels = [ "B-PER"; "I-PER"; "B-ORG"; "I-ORG"; "B-LOC"; "O" ] in
+  let cfg =
+    { (Serve.Daemon.default_config ~socket_path:path) with
+      Serve.Daemon.thin = 1;
+      max_samples = samples;
+      await_queries = List.length labels }
+  in
+  let daemon = Serve.Daemon.of_registry cfg (Serve.Registry.create (make_pdb ~thin:1 ())) in
+  let c = connect path in
+  List.iter
+    (fun lbl ->
+      let q =
+        rpc daemon c
+          (P.Register { sql = sql_for lbl; name = Some lbl })
+          (function P.Registered { query; _ } -> Some query | _ -> None)
+      in
+      ignore
+        (rpc daemon c
+           (P.Stream { query = q; every = 1 })
+           (function P.Streaming { query; _ } when query = q -> Some () | _ -> None)))
+    labels;
+  let last_sample = ref (-1) and last_query = ref (-1) in
+  let ordered_pairs = ref 0 in
+  let ticks = ref 0 in
+  while Serve.Daemon.samples daemon < samples && !ticks < 10_000 do
+    Serve.Daemon.tick daemon ~timeout:0.;
+    incr ticks;
+    let rec pump () =
+      match next_frame c with
+      | None -> ()
+      | Some (P.Update { query; sample; _ }) ->
+          if sample = !last_sample then begin
+            if query <= !last_query then
+              Alcotest.failf "sample %d: update for query %d arrived after query %d"
+                sample query !last_query;
+            incr ordered_pairs
+          end;
+          last_sample := sample;
+          last_query := query;
+          pump ()
+      | Some _ -> pump ()
+    in
+    pump ()
+  done;
+  Alcotest.(check bool)
+    "saw same-sample update pairs to order-check" true (!ordered_pairs > 0);
+  disconnect c;
+  Serve.Daemon.close daemon;
+  if Sys.file_exists path then Sys.remove path
+
 let () =
   Alcotest.run "daemon"
     [ ( "protocol",
         [ QCheck_alcotest.to_alcotest prop_request_roundtrip;
           QCheck_alcotest.to_alcotest prop_response_roundtrip;
           Alcotest.test_case "decode classification" `Quick test_decode_classification;
-          Alcotest.test_case "error-code strings" `Quick test_error_code_strings ] );
+          Alcotest.test_case "error-code strings" `Quick test_error_code_strings;
+          Alcotest.test_case "frames serialize with key-sorted fields" `Quick
+            test_frame_field_order ] );
       ( "scheduler",
         [ Alcotest.test_case "short windows dense" `Quick test_scheduler_short_windows;
           Alcotest.test_case "constant window dense" `Quick
@@ -475,4 +687,8 @@ let () =
             test_plan_cap_rejection;
           Alcotest.test_case "client cap rejects" `Quick test_client_cap_rejection;
           Alcotest.test_case "slow client coalesces" `Quick
-            test_slow_client_coalescing ] ) ]
+            test_slow_client_coalescing;
+          Alcotest.test_case "registration order immaterial to frames" `Quick
+            test_registration_order_immaterial;
+          Alcotest.test_case "updates emitted in wire-id order" `Quick
+            test_update_emission_order ] ) ]

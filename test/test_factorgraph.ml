@@ -138,31 +138,31 @@ let prop_delta_score =
   QCheck.Test.make ~name:"graph: delta score = full score difference" ~count:100
     QCheck.(triple (int_range 2 5) (int_range 1 6) (int_range 0 10_000))
     (fun (n_vars, n_factors, seed) ->
-      let rand = Random.State.make [| seed |] in
+      let rand = Prng.of_seeds [| seed |] in
       let g = Graph.create () in
       let doms =
         Array.init n_vars (fun _ ->
-            Domain.make (List.init (2 + Random.State.int rand 2) (Printf.sprintf "v%d")))
+            Domain.make (List.init (2 + Prng.int rand 2) (Printf.sprintf "v%d")))
       in
       let vars = Array.map (fun d -> Graph.add_variable g d) doms in
       for _ = 1 to n_factors do
-        let arity = 1 + Random.State.int rand 2 in
-        let scope = Array.init arity (fun _ -> vars.(Random.State.int rand n_vars)) in
+        let arity = 1 + Prng.int rand 2 in
+        let scope = Array.init arity (fun _ -> vars.(Prng.int rand n_vars)) in
         let size =
           Array.fold_left (fun acc v -> acc * Domain.size (Graph.domain g v)) 1 scope
         in
-        let table = Array.init size (fun _ -> Random.State.float rand 4. -. 2.) in
+        let table = Array.init size (fun _ -> Prng.float rand 4. -. 2.) in
         ignore (Graph.add_table_factor g ~scope table)
       done;
       let a = Graph.new_assignment g in
       Array.iter
-        (fun v -> Assignment.set a v (Random.State.int rand (Domain.size (Graph.domain g v))))
+        (fun v -> Assignment.set a v (Prng.int rand (Domain.size (Graph.domain g v))))
         vars;
-      let n_changes = 1 + Random.State.int rand n_vars in
+      let n_changes = 1 + Prng.int rand n_vars in
       let changes =
         List.init n_changes (fun _ ->
-            let v = vars.(Random.State.int rand n_vars) in
-            (v, Random.State.int rand (Domain.size (Graph.domain g v))))
+            let v = vars.(Prng.int rand n_vars) in
+            (v, Prng.int rand (Domain.size (Graph.domain g v))))
       in
       (* de-duplicate variables: with_values restores in order, so repeated
          vars are fine, but delta semantics require last-write-wins — keep
@@ -241,17 +241,17 @@ let test_bp_exact_on_tree () =
   let g = Graph.create () in
   let d = Domain.make [ "a"; "b"; "c" ] in
   let vars = Array.init 4 (fun _ -> Graph.add_variable g d) in
-  let rand = Random.State.make [| 3 |] in
+  let rand = Prng.of_seeds [| 3 |] in
   Array.iter
     (fun v ->
       ignore
         (Graph.add_table_factor g ~scope:[| v |]
-           (Array.init 3 (fun _ -> Random.State.float rand 2. -. 1.))))
+           (Array.init 3 (fun _ -> Prng.float rand 2. -. 1.))))
     vars;
   for i = 0 to 2 do
     ignore
       (Graph.add_table_factor g ~scope:[| vars.(i); vars.(i + 1) |]
-         (Array.init 9 (fun _ -> Random.State.float rand 2. -. 1.)))
+         (Array.init 9 (fun _ -> Prng.float rand 2. -. 1.)))
   done;
   let a = Graph.new_assignment g in
   let bp = Bp.run ~max_iters:200 ~damping:0. g a in
@@ -345,10 +345,10 @@ let prop_logsumexp_monotone =
 (* Forward-backward on chains *)
 
 let random_chain_model rand n l =
-  let node_t = Array.init n (fun _ -> Array.init l (fun _ -> Random.State.float rand 2. -. 1.)) in
+  let node_t = Array.init n (fun _ -> Array.init l (fun _ -> Prng.float rand 2. -. 1.)) in
   let edge_t =
     Array.init (max 0 (n - 1)) (fun _ ->
-        Array.init l (fun _ -> Array.init l (fun _ -> Random.State.float rand 2. -. 1.)))
+        Array.init l (fun _ -> Array.init l (fun _ -> Prng.float rand 2. -. 1.)))
   in
   { Chain_fb.length = n; labels = l;
     node = (fun i x -> node_t.(i).(x));
@@ -377,16 +377,16 @@ let enumerate_chain (m : Chain_fb.model) =
   List.map (fun p -> (Array.of_list p, score p)) !paths
 
 let test_chain_fb_partition () =
-  let rand = Random.State.make [| 5 |] in
+  let rand = Prng.of_seeds [| 5 |] in
   for _ = 1 to 10 do
-    let m = random_chain_model rand (2 + Random.State.int rand 4) (2 + Random.State.int rand 2) in
+    let m = random_chain_model rand (2 + Prng.int rand 4) (2 + Prng.int rand 2) in
     let all = enumerate_chain m in
     let z = Logspace.log_sum_exp (Array.of_list (List.map snd all)) in
     feq ~eps:1e-9 "partition matches enumeration" z (Chain_fb.log_partition m)
   done
 
 let test_chain_fb_marginals () =
-  let rand = Random.State.make [| 6 |] in
+  let rand = Prng.of_seeds [| 6 |] in
   let m = random_chain_model rand 5 3 in
   let all = enumerate_chain m in
   let z = Logspace.log_sum_exp (Array.of_list (List.map snd all)) in
@@ -403,7 +403,7 @@ let test_chain_fb_marginals () =
   done
 
 let test_chain_fb_pairwise () =
-  let rand = Random.State.make [| 7 |] in
+  let rand = Prng.of_seeds [| 7 |] in
   let m = random_chain_model rand 4 2 in
   let all = enumerate_chain m in
   let z = Logspace.log_sum_exp (Array.of_list (List.map snd all)) in
@@ -421,9 +421,9 @@ let test_chain_fb_pairwise () =
   done
 
 let test_chain_fb_viterbi () =
-  let rand = Random.State.make [| 8 |] in
+  let rand = Prng.of_seeds [| 8 |] in
   for _ = 1 to 10 do
-    let m = random_chain_model rand (2 + Random.State.int rand 4) 3 in
+    let m = random_chain_model rand (2 + Prng.int rand 4) 3 in
     let all = enumerate_chain m in
     let best_score = List.fold_left (fun acc (_, s) -> max acc s) neg_infinity all in
     let v = Chain_fb.viterbi m in
@@ -441,7 +441,7 @@ let test_chain_fb_viterbi () =
 let test_chain_fb_agrees_with_bp_on_chain () =
   (* A chain is a tree: BP must agree with forward-backward. Build the same
      model both ways. *)
-  let rand = Random.State.make [| 9 |] in
+  let rand = Prng.of_seeds [| 9 |] in
   let m = random_chain_model rand 4 3 in
   let g = Graph.create () in
   let d = Domain.make [ "a"; "b"; "c" ] in
@@ -466,7 +466,7 @@ let test_chain_fb_agrees_with_bp_on_chain () =
 
 
 let test_chain_fb_sample_frequencies () =
-  let rand = Random.State.make [| 11 |] in
+  let rand = Prng.of_seeds [| 11 |] in
   let m = random_chain_model rand 4 2 in
   let marg = Chain_fb.marginals m in
   let counts = Array.make_matrix 4 2 0 in

@@ -330,8 +330,8 @@ let test_annealing_schedules () =
 
 
 let test_gelman_rubin () =
-  let rand = Random.State.make [| 12 |] in
-  let noise () = Array.init 500 (fun _ -> Random.State.float rand 1.) in
+  let rand = Prng.of_seeds [| 12 |] in
+  let noise () = Array.init 500 (fun _ -> Prng.float rand 1.) in
   let same = [ noise (); noise (); noise () ] in
   let rhat_same = Diagnostics.gelman_rubin same in
   Alcotest.(check bool) (Printf.sprintf "agreeing chains ~1 (%.3f)" rhat_same) true

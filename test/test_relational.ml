@@ -402,9 +402,9 @@ let random_db rand n_tokens n_docs =
   for i = 1 to n_tokens do
     Table.insert t
       (r
-         [ Int i; Int (1 + Random.State.int rand n_docs);
-           Text strings_pool.(Random.State.int rand (Array.length strings_pool));
-           Text labels_pool.(Random.State.int rand (Array.length labels_pool)) ])
+         [ Int i; Int (1 + Prng.int rand n_docs);
+           Text strings_pool.(Prng.int rand (Array.length strings_pool));
+           Text labels_pool.(Prng.int rand (Array.length labels_pool)) ])
   done;
   Database.add_table db t;
   db
@@ -452,21 +452,21 @@ let apply_random_updates rand db delta n =
   let t = Database.table db "TOKEN" in
   let n_tokens = Table.cardinal t in
   for _ = 1 to n do
-    let id = 1 + Random.State.int rand n_tokens in
-    let label = labels_pool.(Random.State.int rand (Array.length labels_pool)) in
+    let id = 1 + Prng.int rand n_tokens in
+    let label = labels_pool.(Prng.int rand (Array.length labels_pool)) in
     let old_row, new_row = Table.update_field_by_pk t (Int id) ~column:"label" (Text label) in
     Delta.record_update delta ~table:"TOKEN" ~old_row ~new_row
   done
 
 let test_view_matches_full_eval () =
-  let rand = Random.State.make [| 42 |] in
+  let rand = Prng.of_seeds [| 42 |] in
   List.iter
     (fun (name, q) ->
       let db = random_db rand 120 6 in
       let view = View.create db q in
       for batch = 1 to 12 do
         let delta = Delta.create () in
-        apply_random_updates rand db delta (1 + Random.State.int rand 20);
+        apply_random_updates rand db delta (1 + Prng.int rand 20);
         View.update view delta;
         let fresh = Eval.eval db q in
         if not (Bag.equal fresh.Eval.bag (View.result view)) then
@@ -477,7 +477,7 @@ let test_view_matches_full_eval () =
     (view_queries ())
 
 let test_view_refresh () =
-  let rand = Random.State.make [| 7 |] in
+  let rand = Prng.of_seeds [| 7 |] in
   let db = random_db rand 60 4 in
   let q = Algebra.(count_star (select Expr.(col "label" = text "B-PER") (scan "TOKEN"))) in
   let view = View.create db q in
@@ -492,7 +492,7 @@ let prop_view_maintenance =
   QCheck.Test.make ~name:"view: incremental equals full re-evaluation" ~count:25
     QCheck.(pair small_nat (small_list (pair small_nat small_nat)))
     (fun (seed, batches) ->
-      let rand = Random.State.make [| seed; 101 |] in
+      let rand = Prng.of_seeds [| seed; 101 |] in
       let db = random_db rand 40 4 in
       let q =
         Algebra.(
@@ -517,7 +517,7 @@ let fresh_tok_id = ref 1_000_000
 
 let pick_existing_row rand t =
   let rows = Bag.fold (fun row _ acc -> row :: acc) (Table.rows t) [] in
-  List.nth rows (Random.State.int rand (List.length rows))
+  List.nth rows (Prng.int rand (List.length rows))
 
 (* R1's motivating hot path: the indexed K_join delta kernel probes
    Key_index tables keyed by Row.hash/Row.equal. Pin it to a from-scratch
@@ -533,8 +533,8 @@ let prop_indexed_join_delta =
     ~count:40
     QCheck.(pair small_nat (small_list small_nat))
     (fun (seed, batches) ->
-      let rand = Random.State.make [| seed; 733 |] in
-      let key () = join_key_pool.(Random.State.int rand (Array.length join_key_pool)) in
+      let rand = Prng.of_seeds [| seed; 733 |] in
+      let key () = join_key_pool.(Prng.int rand (Array.length join_key_pool)) in
       let db = Database.create () in
       let schema_of cols =
         Schema.make (List.map (fun (n, ty) -> { Schema.name = n; ty }) cols)
@@ -566,9 +566,9 @@ let prop_indexed_join_delta =
         (fun n ->
           let delta = Delta.create () in
           for _ = 1 to 1 + (n mod 5) do
-            let t, name = if Random.State.bool rand then (lt, "L") else (rt, "R") in
-            if Random.State.bool rand || Table.cardinal t = 0 then begin
-              let row = r [ Int (Random.State.int rand 1000); key () ] in
+            let t, name = if Prng.bool rand then (lt, "L") else (rt, "R") in
+            if Prng.bool rand || Table.cardinal t = 0 then begin
+              let row = r [ Int (Prng.int rand 1000); key () ] in
               Table.insert t row;
               Delta.record_insert delta ~table:name row
             end
@@ -587,14 +587,14 @@ let prop_indexed_join_delta =
 let apply_random_dml rand db delta n =
   let t = Database.table db "TOKEN" in
   for _ = 1 to n do
-    match Random.State.int rand 4 with
+    match Prng.int rand 4 with
     | 0 ->
       incr fresh_tok_id;
       let row =
         r
-          [ Int !fresh_tok_id; Int (1 + Random.State.int rand 6);
-            Text strings_pool.(Random.State.int rand (Array.length strings_pool));
-            Text labels_pool.(Random.State.int rand (Array.length labels_pool)) ]
+          [ Int !fresh_tok_id; Int (1 + Prng.int rand 6);
+            Text strings_pool.(Prng.int rand (Array.length strings_pool));
+            Text labels_pool.(Prng.int rand (Array.length labels_pool)) ]
       in
       Table.insert t row;
       Delta.record_insert delta ~table:"TOKEN" row
@@ -604,7 +604,7 @@ let apply_random_dml rand db delta n =
       Delta.record_delete delta ~table:"TOKEN" row
     | _ ->
       let row = pick_existing_row rand t in
-      let label = labels_pool.(Random.State.int rand (Array.length labels_pool)) in
+      let label = labels_pool.(Prng.int rand (Array.length labels_pool)) in
       let old_row, new_row =
         Table.update_field_by_pk t (Row.get row 0) ~column:"label" (Text label)
       in
@@ -623,14 +623,14 @@ let mixed_view_queries () =
           T1.LABEL='B-PER' AND T2.LABEL='B-ORG'") ]
 
 let test_view_mixed_dml_matches_full_eval () =
-  let rand = Random.State.make [| 2024 |] in
+  let rand = Prng.of_seeds [| 2024 |] in
   List.iter
     (fun (name, q) ->
       let db = random_db rand 100 6 in
       let view = View.create db q in
       for batch = 1 to 10 do
         let delta = Delta.create () in
-        apply_random_dml rand db delta (1 + Random.State.int rand 12);
+        apply_random_dml rand db delta (1 + Prng.int rand 12);
         View.update view delta;
         let fresh = Eval.eval db q in
         if not (Bag.equal fresh.Eval.bag (View.result view)) then
@@ -677,7 +677,7 @@ let sum_relop_evals () =
    equi-join view performs zero [Eval.eval] calls — every delta row is an
    index probe. *)
 let test_view_indexed_join_no_eval () =
-  let rand = Random.State.make [| 5; 17 |] in
+  let rand = Prng.of_seeds [| 5; 17 |] in
   let db = random_db rand 150 6 in
   let q =
     Sql.parse
@@ -831,7 +831,7 @@ let test_limit_counts_multiplicity () =
   check_bag "limit across duplicates" expected res.bag
 
 let test_view_with_limit_recomputes () =
-  let rand = Random.State.make [| 99 |] in
+  let rand = Prng.of_seeds [| 99 |] in
   let db = random_db rand 80 5 in
   let q = Sql.parse "SELECT tok_id FROM TOKEN WHERE label='B-PER' ORDER BY tok_id LIMIT 5" in
   let view = View.create db q in
@@ -905,7 +905,7 @@ let test_storage_manifest_format () =
 (* Indexed selection fast path *)
 
 let test_indexed_selection_agrees () =
-  let rand = Random.State.make [| 123 |] in
+  let rand = Prng.of_seeds [| 123 |] in
   let db = random_db rand 200 8 in
   let t = Database.table db "TOKEN" in
   let q = Sql.parse "SELECT tok_id FROM TOKEN WHERE doc_id = 3 AND label = 'B-PER'" in
@@ -927,11 +927,11 @@ let prop_optimizer_preserves_semantics =
   QCheck.Test.make ~name:"optimizer: optimized plan is equivalent" ~count:60
     QCheck.(int_range 0 100_000)
     (fun seed ->
-      let rand = Random.State.make [| seed; 7 |] in
+      let rand = Prng.of_seeds [| seed; 7 |] in
       let db = random_db rand 60 4 in
       let pred alias =
         let col_name = Printf.sprintf "%s.label" alias in
-        let v = labels_pool.(Random.State.int rand (Array.length labels_pool)) in
+        let v = labels_pool.(Prng.int rand (Array.length labels_pool)) in
         Expr.(col col_name = text v)
       in
       let base =
@@ -942,7 +942,7 @@ let prop_optimizer_preserves_semantics =
           [ pred "T1"; pred "T2"; Expr.(Expr.col "T1.doc_id" = Expr.col "T2.doc_id") ]
       in
       let q =
-        match Random.State.int rand 3 with
+        match Prng.int rand 3 with
         | 0 -> Algebra.Select (conj, base)
         | 1 -> Algebra.Project ([ "T1.string" ], Algebra.Select (conj, base))
         | _ -> Algebra.count_star (Algebra.Select (conj, base))

@@ -50,15 +50,15 @@ let prop_exact_matches_brute_force =
   QCheck.Test.make ~name:"lineage: Shannon = brute force" ~count:100
     QCheck.(int_range 0 100_000)
     (fun seed ->
-      let rand = Random.State.make [| seed |] in
-      let n_vars = 2 + Random.State.int rand 6 in
-      let probs = Array.init n_vars (fun _ -> Random.State.float rand 1.) in
+      let rand = Prng.of_seeds [| seed |] in
+      let n_vars = 2 + Prng.int rand 6 in
+      let probs = Array.init n_vars (fun _ -> Prng.float rand 1.) in
       (* Random monotone-ish formula with occasional negation. *)
       let rec gen depth =
-        if depth = 0 || Random.State.int rand 3 = 0 then
-          Lineage.var (Random.State.int rand n_vars)
+        if depth = 0 || Prng.int rand 3 = 0 then
+          Lineage.var (Prng.int rand n_vars)
         else
-          match Random.State.int rand 3 with
+          match Prng.int rand 3 with
           | 0 -> Lineage.conj [ gen (depth - 1); gen (depth - 1) ]
           | 1 -> Lineage.disj [ gen (depth - 1); gen (depth - 1) ]
           | _ -> Lineage.neg (gen (depth - 1))
@@ -71,7 +71,7 @@ let test_lineage_monte_carlo () =
   let probs = function 0 -> 0.3 | 1 -> 0.6 | _ -> 0.5 in
   let f = Lineage.disj [ Lineage.var 0; Lineage.var 1 ] in
   let exact = Lineage.exact_probability probs f in
-  let mc = Lineage.monte_carlo probs ~rng:(Random.State.make [| 5 |]) ~samples:100_000 f in
+  let mc = Lineage.monte_carlo probs ~rng:(Prng.of_seeds [| 5 |]) ~samples:100_000 f in
   feq ~eps:0.01 "MC close to exact" exact mc
 
 let test_lineage_budget () =

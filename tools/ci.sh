@@ -14,7 +14,13 @@ echo "ci: pdb_lint self-test"
 # bench gate's self-test below).
 dune exec tools/lint/pdb_lint.exe -- --self-test
 echo "ci: pdb_lint"
-dune exec tools/lint/pdb_lint.exe -- --root . --json lint_report.json
+# Reports land under _build/ (untracked, wiped by dune clean): the JSON
+# violation list for tooling, and the interprocedural effect-summary
+# table so a red R8/R9/R10 can be traced through the call graph without
+# re-running the analyzer locally.
+mkdir -p _build
+dune exec tools/lint/pdb_lint.exe -- --root . --json _build/lint_report.json \
+  --summaries _build/lint_summaries.txt
 echo "ci: multi-query serve bench (smoke)"
 # Smallest-size run of the multi-query group: exercises the shared-chain
 # serving path end to end and regenerates BENCH_serve.json, so the bench

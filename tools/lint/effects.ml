@@ -1,0 +1,659 @@
+(* Phase 2 of the interprocedural analyzer: per-function effect
+   summaries, a monotone fixpoint over the Callgraph decls, and the sink
+   rules R8–R10 (docs/STATIC_ANALYSIS.md).
+
+   A summary is five effect booleans per decl — reads-clock,
+   consumes-randomness, reads-ambient-env, performs-IO,
+   writes-serialization-sink — plus [unordered_ret]: does the decl's
+   return value derive from the iteration order of an unordered
+   collection? Direct effects come from a syntactic walk of the decl
+   body; the fixpoint then unions in the summaries of every resolvable
+   callee, so an effect three helpers deep still surfaces at the public
+   entry point. Sanctioned boundary files (lib/prng/prng.ml for
+   randomness, lib/obs/timer.ml for the clock, bin/ and
+   lib/checkpoint/failpoint.ml for ambient env) contribute *no* bits:
+   calling through the sanctioned channel is the approved pattern, so
+   their callers must stay clean.
+
+   [unordered_ret] and the R8 taint check share one evaluator: an
+   expression is *order-tainted* when it is an unordered [fold]/[to_seq]
+   application, a call to a decl whose summary says unordered_ret, a
+   let-bound variable holding such a value, or any expression built from
+   a tainted part — until a sanitizer ([List.sort] and friends) or an
+   order-insensitive neutralizer ([length]/[cardinal]/[mem]) launders
+   it. R8 fires when a tainted value is passed to a serialization sink,
+   and when an unordered [iter]/[fold] callback writes a sink directly
+   (the accumulate-into-a-Buffer shape that bit the daemon's
+   subscription pump). The walk visits every subexpression exactly once,
+   so findings are neither duplicated nor short-circuited away. *)
+
+open Ppxlib
+
+module SS = Set.Make (String)
+
+type summary = {
+  s_clock : bool;
+  s_rng : bool;
+  s_env : bool;
+  s_io : bool;
+  s_sink : bool;
+  s_unordered : bool;
+}
+
+let s_empty =
+  { s_clock = false; s_rng = false; s_env = false; s_io = false; s_sink = false;
+    s_unordered = false }
+
+let s_union a b =
+  { s_clock = a.s_clock || b.s_clock;
+    s_rng = a.s_rng || b.s_rng;
+    s_env = a.s_env || b.s_env;
+    s_io = a.s_io || b.s_io;
+    s_sink = a.s_sink || b.s_sink;
+    s_unordered = a.s_unordered || b.s_unordered;
+  }
+
+let s_equal a b =
+  Bool.equal a.s_clock b.s_clock && Bool.equal a.s_rng b.s_rng
+  && Bool.equal a.s_env b.s_env && Bool.equal a.s_io b.s_io
+  && Bool.equal a.s_sink b.s_sink && Bool.equal a.s_unordered b.s_unordered
+
+type finding = {
+  f_rule : string;  (** "R8" | "R9" | "R10" *)
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_msg : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scoping: sanctioned boundaries and enforcement dirs                *)
+(* ------------------------------------------------------------------ *)
+
+let under dir path =
+  let n = String.length dir in
+  String.length path > n
+  && String.equal (String.sub path 0 n) dir
+  && Char.equal path.[n] '/'
+
+let rng_boundary file = String.equal file "lib/prng/prng.ml"
+let clock_boundary file = String.equal file "lib/obs/timer.ml"
+
+let env_boundary file =
+  under "bin" file || String.equal file "lib/checkpoint/failpoint.ml"
+
+(* R8 is enforced where serialized bytes ship: the libraries and the CLI.
+   test/ and bench/ build frames only to compare them with themselves. *)
+let r8_scope file = under "lib" file || under "bin" file
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* ------------------------------------------------------------------ *)
+(* Sinks, sanitizers, sources                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A serialization sink is an application that commits bytes (or a
+   to-be-serialized structure) to the wire or the disk image: the
+   checkpoint codec writers, WAL framing, protocol/JSON frame builders,
+   marginal merge/export, and Buffer writes inside the serialization
+   layers themselves. Returns the sink's display name. *)
+let sink_of ~file path =
+  match List.rev path with
+  | [] -> None
+  | fn :: rev_prefix -> (
+    let prev = match rev_prefix with p :: _ -> Some p | [] -> None in
+    if starts_with "encode_" fn || starts_with "enc_" fn then
+      Some (String.concat "." path)
+    else
+      match prev, fn with
+      | Some "W", _ -> Some (String.concat "." path)
+      | Some "Jsonx", ("obj" | "arr" | "str" | "int" | "float" | "bool" | "null") ->
+        Some (String.concat "." path)
+      | Some "Wal", ("append" | "header_bytes" | "frame") ->
+        Some (String.concat "." path)
+      | Some "Codec", ("frame" | "write_file" | "to_string") ->
+        Some (String.concat "." path)
+      | Some "Marginals", ("merge" | "merge_shards" | "of_counts" | "export") ->
+        Some (String.concat "." path)
+      | Some "Buffer", _
+        when starts_with "add_" fn
+             && (under "lib/serve" file || under "lib/checkpoint" file) ->
+        Some (String.concat "." path)
+      | _ -> None)
+
+let is_sanitizer path =
+  match List.rev path with
+  | ("sort" | "sort_uniq" | "stable_sort" | "fast_sort") :: _ -> true
+  | _ -> false
+
+(* Order-insensitive reductions of an unordered collection: safe to
+   serialize even though the collection itself has no stable order. *)
+let is_neutralizer path =
+  match List.rev path with
+  | ("length" | "cardinal" | "mem" | "is_empty") :: _ -> true
+  | _ -> false
+
+let order_sensitive_fn = function
+  | "iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values" -> true
+  | _ -> false
+
+let fold_fn = function "fold" | "fold_left" | "fold_right" -> true | _ -> false
+
+let value_returning_fn = function
+  | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values" -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Direct effect sites                                                *)
+(* ------------------------------------------------------------------ *)
+
+let flatten_longident l =
+  try Longident.flatten_exn l with Invalid_argument _ -> []
+
+let direct_effect_of_path = function
+  | "Random" :: _ :: _ -> Some `Rng
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] -> Some `Clock
+  | [ "Sys"; ("getenv" | "getenv_opt" | "argv") ]
+  | [ "Unix"; ("getenv" | "environment" | "getenv_opt") ] ->
+    Some `Env
+  | [ "Printf"; ("printf" | "eprintf") ]
+  | [ ("print_endline" | "print_string" | "print_newline" | "prerr_endline"
+      | "prerr_string" | "prerr_newline" | "output_string" | "output_bytes") ]
+  | [ "Unix"; ("write" | "write_substring" | "single_write" | "read") ] ->
+    Some `Io
+  | _ -> None
+
+(* The boundary files absorb their sanctioned effect: a bit set inside
+   one does not exist as far as summaries and callers are concerned. *)
+let effect_applies ~file = function
+  | `Rng -> not (rng_boundary file)
+  | `Clock -> not (clock_boundary file)
+  | `Env -> not (env_boundary file)
+  | `Io -> true
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cg : Callgraph.t;
+  summaries : summary array;  (** indexed like [Callgraph.decls] *)
+}
+
+(* Rewrite [x |> f] and [f @@ x] into plain applications, and flatten
+   curried applications of applications ([x |> List.sort cmp] parses
+   with the partial [List.sort cmp] as the pipe's function), so the
+   taint and sink logic always sees an identifier head with the full
+   argument list. *)
+let rec norm_apply f args =
+  match f.pexp_desc, args with
+  | Pexp_ident { txt = Lident "|>"; _ }, [ (Nolabel, x); (Nolabel, g) ] ->
+    norm_apply g [ (Nolabel, x) ]
+  | Pexp_ident { txt = Lident "@@"; _ }, [ (Nolabel, g); (Nolabel, x) ] ->
+    norm_apply g [ (Nolabel, x) ]
+  | Pexp_apply (g, inner), _ -> norm_apply g (inner @ args)
+  | _ -> (f, args)
+
+let head_path f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten_longident txt
+  | _ -> []
+
+(* A fold whose callback literally reduces with a commutative-associative
+   operator computes an order-insensitive value (a sum, a count, a
+   conjunction): [Bag.total]'s [acc + c], [Delta.is_empty]'s
+   [acc && Bag.is_empty b]. Such a result is safe to serialize even
+   though the fold enumerates a Hashtbl. Only function *literals* are
+   judged — a callback passed as a variable stays conservative, so
+   wrappers like [Bag.fold f b init] keep their unordered-return bit. *)
+let commutative_op = function
+  | [ ("+" | "+." | "-" | "-." | "*" | "*." | "&&" | "||" | "land" | "lor"
+      | "lxor" | "max" | "min") ]
+  | [ ("Int" | "Float"); ("add" | "mul" | "max" | "min" | "logand" | "logor") ]
+    -> true
+  | _ -> false
+
+let order_insensitive_callback cb =
+  (* the reduction spine: every leaf either returns the accumulator
+     unchanged (ident/constant) or combines with a commutative operator;
+     conditionals must be insensitive on both branches, and a nested
+     unordered fold is fine when its own callback is. *)
+  let rec spine e =
+    match e.pexp_desc with
+    | Pexp_ident _ | Pexp_constant _ -> true
+    | Pexp_ifthenelse (_, t, e_opt) ->
+      spine t && (match e_opt with Some e -> spine e | None -> true)
+    | Pexp_constraint (e, _) -> spine e
+    | Pexp_apply (f, args) -> (
+      let f, args = norm_apply f args in
+      let path = head_path f in
+      match List.rev path with
+      | fn :: _ :: _ when fold_fn fn -> (
+        match args with (_, inner) :: _ -> literal inner | [] -> false)
+      | _ -> commutative_op path)
+    | _ -> false
+  and literal cb =
+    match cb.pexp_desc with
+    | Pexp_function (_, _, Pfunction_body b) -> spine b
+    | _ -> false
+  in
+  literal cb
+
+let rec pattern_vars p acc =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> SS.add txt acc
+  | Ppat_alias (p, { txt; _ }) -> pattern_vars p (SS.add txt acc)
+  | Ppat_tuple ps | Ppat_array ps ->
+    List.fold_left (fun a p -> pattern_vars p a) acc ps
+  | Ppat_construct (_, Some (_, p))
+  | Ppat_variant (_, Some p)
+  | Ppat_constraint (p, _)
+  | Ppat_open (_, p)
+  | Ppat_lazy p | Ppat_exception p ->
+    pattern_vars p acc
+  | Ppat_or (a, b) -> pattern_vars a (pattern_vars b acc)
+  | Ppat_record (fields, _) ->
+    List.fold_left (fun a (_, p) -> pattern_vars p a) acc fields
+  | _ -> acc
+
+(* [walk ~cg ~summaries ~file ~emit body] computes the order-taint of
+   [body] under the current fixpoint state and, when [emit] is set,
+   reports R8/R9/R10 findings. *)
+let walk ~cg ~summaries ~file ~emit body =
+  let resolve path = Callgraph.resolve cg ~file path in
+  let callee_summary path =
+    List.fold_left (fun acc i -> s_union acc summaries.(i)) s_empty (resolve path)
+  in
+  let report rule e msg =
+    match emit with
+    | None -> ()
+    | Some f ->
+      let p = e.pexp_loc.loc_start in
+      f { f_rule = rule;
+          f_file = file;
+          f_line = p.Lexing.pos_lnum;
+          f_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+          f_msg = msg;
+        }
+  in
+  (* Does [e] contain a serialization-sink application anywhere? Used on
+     the callbacks of unordered iter/fold; calls into decls that sink
+     count too. Pure query — never emits. *)
+  let contains_sink e =
+    let found = ref None in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (if Option.is_none !found then
+             match e.pexp_desc with
+             | Pexp_apply (f, args) -> (
+               let f, _ = norm_apply f args in
+               let path = head_path f in
+               match sink_of ~file path with
+               | Some name -> found := Some name
+               | None ->
+                 if (callee_summary path).s_sink then
+                   found := Some (String.concat "." path))
+             | _ -> ());
+          super#expression e
+      end
+    in
+    it#expression e;
+    !found
+  in
+  (* Single-visit recursive walk. Every subexpression is evaluated
+     exactly once: no [||] short-circuits over recursive calls, no
+     re-walking of already-visited children. *)
+  let rec taint env e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc = _ } -> (
+      match flatten_longident txt with
+      | [] -> false
+      | [ x ] -> SS.mem x env
+      | path -> (
+        (* direct R9/R10 hits (Random.*, Sys.getenv, ...) live on the
+           identifier itself, not on an application node *)
+        (match direct_effect_of_path path with
+        | Some `Rng when effect_applies ~file `Rng ->
+          report "R9" e
+            (Printf.sprintf
+               "`%s` consumes global randomness outside Mcmc.Rng (thread an \
+                Mcmc.Rng.t instead)"
+               (String.concat "." path))
+        | Some `Env when effect_applies ~file `Env ->
+          report "R10" e
+            (Printf.sprintf
+               "`%s` reads the ambient environment outside bin/ (pass the value \
+                in explicitly)"
+               (String.concat "." path))
+        | _ -> ());
+        (callee_summary path).s_unordered))
+    | Pexp_apply (f, args) -> apply_taint env e f args
+    | Pexp_let (_, vbs, body) ->
+      let env' =
+        List.fold_left
+          (fun acc vb ->
+            if taint acc vb.pvb_expr then pattern_vars vb.pvb_pat acc else acc)
+          env vbs
+      in
+      taint env' body
+    | Pexp_sequence (a, b) ->
+      let (_ : bool) = taint env a in
+      taint env b
+    | Pexp_ifthenelse (c, t, e_opt) ->
+      let (_ : bool) = taint env c in
+      let tt = taint env t in
+      let te = match e_opt with Some e -> taint env e | None -> false in
+      tt || te
+    | Pexp_match (scrut, cases) ->
+      let scrut_t = taint env scrut in
+      taint_cases ~scrut_t env cases
+    | Pexp_try (body, cases) ->
+      let body_t = taint env body in
+      body_t || taint_cases ~scrut_t:false env cases
+    | Pexp_function (_, _, Pfunction_body b) ->
+      (* the closure's eventual return value carries the body's taint:
+         mapping such a closure over a list yields tainted elements *)
+      taint env b
+    | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+      taint_cases ~scrut_t:false env cases
+    | Pexp_tuple es | Pexp_array es ->
+      List.fold_left (fun acc e -> taint env e || acc) false es
+    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> taint env e
+    | Pexp_record (fields, base) ->
+      let ft =
+        List.fold_left (fun acc (_, e) -> taint env e || acc) false fields
+      in
+      let bt = match base with Some b -> taint env b | None -> false in
+      ft || bt
+    | Pexp_field (e, _) -> taint env e
+    | Pexp_setfield (a, _, b) ->
+      let (_ : bool) = taint env a in
+      let (_ : bool) = taint env b in
+      false
+    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> taint env e
+    | Pexp_open (_, e) | Pexp_letexception (_, e) | Pexp_letmodule (_, _, e) ->
+      taint env e
+    | Pexp_assert e | Pexp_lazy e -> taint env e
+    | Pexp_while (c, body) ->
+      let (_ : bool) = taint env c in
+      let (_ : bool) = taint env body in
+      false
+    | Pexp_for (_, a, b, _, body) ->
+      let (_ : bool) = taint env a in
+      let (_ : bool) = taint env b in
+      let (_ : bool) = taint env body in
+      false
+    | Pexp_newtype (_, e) -> taint env e
+    | _ -> false
+  and taint_cases ~scrut_t env cases =
+    List.fold_left
+      (fun acc c ->
+        let env' = if scrut_t then pattern_vars c.pc_lhs env else env in
+        (match c.pc_guard with
+        | Some g -> ignore (taint env' g : bool)
+        | None -> ());
+        taint env' c.pc_rhs || acc)
+      false cases
+  and apply_taint env whole f args =
+    let f, args = norm_apply f args in
+    let path = head_path f in
+    (* a non-identifier head (e.g. a computed function) is walked as a
+       subexpression; identifier heads are consumed here *)
+    let head_t =
+      match f.pexp_desc with
+      | Pexp_ident _ -> (
+        match path with
+        | [ x ] -> SS.mem x env
+        | _ -> (
+          (* report direct Random./Sys.getenv heads once, here *)
+          (match direct_effect_of_path path with
+          | Some `Rng when effect_applies ~file `Rng ->
+            report "R9" f
+              (Printf.sprintf
+                 "`%s` consumes global randomness outside Mcmc.Rng (thread an \
+                  Mcmc.Rng.t instead)"
+                 (String.concat "." path))
+          | Some `Env when effect_applies ~file `Env ->
+            report "R10" f
+              (Printf.sprintf
+                 "`%s` reads the ambient environment outside bin/ (pass the \
+                  value in explicitly)"
+                 (String.concat "." path))
+          | _ -> ());
+          false))
+      | _ -> taint env f
+    in
+    let arg_taints = List.map (fun (_, a) -> taint env a) args in
+    let any_arg_tainted = List.exists Fun.id arg_taints in
+    (* R8: a tainted value handed to a serialization sink. *)
+    (match sink_of ~file path with
+    | Some sink when any_arg_tainted && r8_scope file ->
+      report "R8" whole
+        (Printf.sprintf
+           "value derived from unordered Hashtbl iteration order reaches \
+            serialization sink `%s`"
+           sink)
+    | _ -> ());
+    (* Interprocedural checks against the callee's summary. *)
+    (match resolve path with
+    | [] -> ()
+    | idxs ->
+      let s = List.fold_left (fun acc i -> s_union acc summaries.(i)) s_empty idxs in
+      let callee = String.concat "." path in
+      if s.s_sink && any_arg_tainted && r8_scope file && sink_of ~file path = None
+      then
+        report "R8" whole
+          (Printf.sprintf
+             "value derived from unordered Hashtbl iteration order flows into \
+              `%s`, which writes a serialization sink"
+             callee);
+      if s.s_rng && not (rng_boundary file) then
+        report "R9" whole
+          (Printf.sprintf "calls `%s`, which consumes randomness outside Mcmc.Rng"
+             callee);
+      if s.s_env && not (env_boundary file) then
+        report "R10" whole
+          (Printf.sprintf "calls `%s`, which reads the ambient environment" callee));
+    (* R8: unordered iter/fold whose callback writes a sink. *)
+    (match List.rev path with
+    | fn :: (_ :: _ as rev_prefix)
+      when order_sensitive_fn fn
+           && Callgraph.unordered_module cg ~file (List.rev rev_prefix)
+           && r8_scope file -> (
+      match
+        List.find_map
+          (fun (_, a) ->
+            match a.pexp_desc with Pexp_function _ -> contains_sink a | _ -> None)
+          args
+      with
+      | Some sink ->
+        report "R8" whole
+          (Printf.sprintf
+             "unordered `%s` callback writes serialization sink `%s` — \
+              iteration order reaches the wire (extract and List.sort the keys \
+              first)"
+             (String.concat "." path) sink)
+      | None -> ())
+    | _ -> ());
+    (* the application's own taint *)
+    let commutative_fold =
+      (match List.rev path with fn :: _ -> fold_fn fn | [] -> false)
+      && (match args with (_, cb) :: _ -> order_insensitive_callback cb | [] -> false)
+    in
+    if is_sanitizer path then false
+    else if is_neutralizer path then false
+    else if commutative_fold then
+      (* an order-insensitive reduction launders both the collection's
+         missing order and any order taint riding on the arguments *)
+      head_t
+    else
+      let unordered_source =
+        match List.rev path with
+        | fn :: (_ :: _ as rev_prefix) ->
+          value_returning_fn fn
+          && Callgraph.unordered_module cg ~file (List.rev rev_prefix)
+        | _ -> false
+      in
+      unordered_source
+      || (callee_summary path).s_unordered
+      || head_t || any_arg_tainted
+  in
+  taint SS.empty body
+
+(* Direct (syntactic) effect bits of one decl body, boundary-filtered. *)
+let direct_summary ~file body =
+  let s = ref s_empty in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+          match direct_effect_of_path (flatten_longident txt) with
+          | Some eff when effect_applies ~file eff ->
+            s :=
+              (match eff with
+              | `Clock -> { !s with s_clock = true }
+              | `Rng -> { !s with s_rng = true }
+              | `Env -> { !s with s_env = true }
+              | `Io -> { !s with s_io = true })
+          | _ -> ())
+        | Pexp_apply (f, args) -> (
+          let f, _ = norm_apply f args in
+          match sink_of ~file (head_path f) with
+          | Some _ -> s := { !s with s_sink = true }
+          | None -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  !s
+
+(* Identifier paths referenced anywhere in a body (call edges, including
+   first-class uses). *)
+let referenced_paths body =
+  let acc = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+          match flatten_longident txt with [] -> () | p -> acc := p :: !acc)
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  !acc
+
+let analyze cg =
+  let decls = Callgraph.decls cg in
+  let n = Array.length decls in
+  let summaries = Array.make n s_empty in
+  let direct = Array.make n s_empty in
+  let edges = Array.make n [] in
+  Array.iteri
+    (fun i d ->
+      direct.(i) <- direct_summary ~file:d.Callgraph.d_file d.Callgraph.d_body;
+      let callees =
+        referenced_paths d.Callgraph.d_body
+        |> List.concat_map (fun p -> Callgraph.resolve cg ~file:d.Callgraph.d_file p)
+        |> List.sort_uniq Int.compare
+        |> List.filter (fun j -> j <> i)
+      in
+      edges.(i) <- callees)
+    decls;
+  (* Monotone boolean fixpoint: effect bits flow callee -> caller;
+     unordered_ret is recomputed from the taint evaluator against the
+     current summaries, which only ever gain bits, so this terminates. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i d ->
+        let from_callees =
+          List.fold_left (fun acc j -> s_union acc summaries.(j)) direct.(i) edges.(i)
+        in
+        let file = d.Callgraph.d_file in
+        let unordered_ret = walk ~cg ~summaries ~file ~emit:None d.Callgraph.d_body in
+        let next =
+          { from_callees with
+            (* unordered_ret is a *dataflow* property of the return value,
+               not an ambient effect: it comes only from the taint walk,
+               which already accounts for calls to unordered-returning
+               callees. Unioning it from [edges] like the effect bits
+               would taint every caller that merely references an
+               unordered-returning decl. *)
+            s_unordered = unordered_ret;
+            (* s_sink is direct-only: the decl's own body must apply a
+               static sink. Propagating it through the whole call graph
+               would flag every CLI entry point that hands any
+               hash-derived value to any subsystem that eventually
+               serializes — the actionable rule is one helper level deep
+               (the seeded [write buf t = Codec.W.list ... (snapshot t)]
+               shape), which direct summaries plus unbounded *taint*
+               propagation already cover. *)
+            s_sink = direct.(i).s_sink;
+            (* boundary files absorb even propagated bits: their whole
+               point is to be the sanctioned channel *)
+            s_rng = from_callees.s_rng && not (rng_boundary file);
+            s_env = from_callees.s_env && not (env_boundary file);
+            s_clock = from_callees.s_clock && not (clock_boundary file);
+          }
+        in
+        if not (s_equal next summaries.(i)) then begin
+          summaries.(i) <- next;
+          changed := true
+        end)
+      decls
+  done;
+  (* Enforcement pass with the final summaries. *)
+  let findings = ref [] in
+  Array.iter
+    (fun d ->
+      ignore
+        (walk ~cg ~summaries ~file:d.Callgraph.d_file
+           ~emit:(Some (fun f -> findings := f :: !findings))
+           d.Callgraph.d_body
+          : bool))
+    decls;
+  ({ cg; summaries }, List.rev !findings)
+
+(* ------------------------------------------------------------------ *)
+(* Summary table (--summaries)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let render_table { cg; summaries } =
+  let decls = Callgraph.decls cg in
+  let rows = ref [] in
+  Array.iteri
+    (fun i d ->
+      let s = summaries.(i) in
+      let flag b c = if b then c else '-' in
+      let bits =
+        Printf.sprintf "%c%c%c%c%c%c" (flag s.s_clock 'c') (flag s.s_rng 'r')
+          (flag s.s_env 'e') (flag s.s_io 'i') (flag s.s_sink 's')
+          (flag s.s_unordered 'u')
+      in
+      rows :=
+        Printf.sprintf "%s  %-44s %s:%d" bits d.Callgraph.d_fq d.Callgraph.d_file
+          d.Callgraph.d_line
+        :: !rows)
+    decls;
+  let header =
+    "# pdb_lint effect summaries — c=reads-clock r=consumes-randomness \
+     e=reads-ambient-env i=performs-io s=writes-serialization-sink \
+     u=returns-unordered-iteration-order\n\
+     # sanctioned boundary files (lib/prng/prng.ml, lib/obs/timer.ml, bin/, \
+     lib/checkpoint/failpoint.ml) contribute no bits by design\n"
+  in
+  header ^ String.concat "\n" (List.sort String.compare !rows) ^ "\n"

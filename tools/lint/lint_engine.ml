@@ -19,6 +19,20 @@
                           (decode/proposal/fan-out files and lib/serve,
                           lib/mcmc) — interned text must flow through
                           Intern.value's shared boxes
+     R8 deterministic-serialization
+                          no value derived from unordered Hashtbl iteration
+                          order may reach a serialization sink (interprocedural;
+                          see Callgraph/Effects)
+     R9 rng-discipline    Random.* outside lib/prng/prng.ml (Mcmc.Rng's engine)
+     R10 ambient-env      Sys.getenv/Unix.getenv/Sys.argv outside bin/ and the
+                          failpoint shim
+
+   R1–R7 are per-expression and syntactic. R8–R10 run as a second,
+   interprocedural phase: Callgraph collects module-qualified decls over
+   every parsed implementation, Effects computes per-function effect
+   summaries to a fixpoint and taint-checks flows into serialization
+   sinks; this file merges those findings (allowlist comments apply the
+   same way) and renders the --summaries table.
 
    Everything here is syntactic — no typing pass — so R1's =/<> check
    uses an immediacy heuristic: a comparison is exempt when either
@@ -99,6 +113,37 @@ let rules =
         "a Value.Text allocation in the per-sample decode/proposal/fan-out path \
          costs one box per row per sample — at 10M tokens that is the difference \
          between interned columnar storage paying off and the GC eating it";
+    };
+    { id = "R8";
+      rname = "deterministic-serialization";
+      hint =
+        "extract the entries and List.sort them with an explicit comparator \
+         before serializing (or serialize an order-insensitive reduction such \
+         as length/cardinal)";
+      blurb =
+        "Hashtbl iteration order depends on insertion history, so serializing \
+         it makes WAL replay and twin daemons diverge from the byte-identical \
+         frames the resume guarantee promises";
+    };
+    { id = "R9";
+      rname = "rng-discipline";
+      hint =
+        "thread an Mcmc.Rng.t (engine: lib/prng/prng.ml, the one module \
+         allowed to touch Random.*) instead of the global generator";
+      blurb =
+        "randomness outside the seeded Mcmc.Rng stream breaks 'seed determines \
+         the sample path' — the invariant checkpoint resume and every \
+         reproducibility test rest on";
+    };
+    { id = "R10";
+      rname = "ambient-env";
+      hint =
+        "read the environment variable or argv in bin/ (or the failpoint shim) \
+         and pass the value down as an explicit argument";
+      blurb =
+        "library behavior must be a function of its arguments: ambient \
+         Sys.getenv/Sys.argv reads make identical calls behave differently \
+         across hosts and make the library untestable";
     }
   ]
 
@@ -155,7 +200,7 @@ let compare_violation a b =
 (* Scoping                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let scan_dirs = [ "lib"; "bin"; "bench"; "test" ]
+let scan_dirs = [ "lib"; "bin"; "bench"; "test"; "tools" ]
 let r1_dirs = [ "lib/relational"; "lib/mcmc"; "lib/serve"; "lib/checkpoint" ]
 
 (* R7 scope: the files a Metropolis–Hastings sample actually flows
@@ -355,7 +400,8 @@ let parse_doc path =
 (* AST checks (R1–R5 + R6 collection)                                 *)
 (* ------------------------------------------------------------------ *)
 
-let flatten_longident l = try Longident.flatten_exn l with _ -> []
+let flatten_longident l =
+  try Longident.flatten_exn l with Invalid_argument _ -> []
 
 (* Operands for which polymorphic =/<> is exact and allocation-free.
    Deliberately narrow: the empty list and 0-ary polymorphic variants are
@@ -426,9 +472,40 @@ let rec exception_subpattern p =
     match exception_subpattern a with Some x -> Some x | None -> exception_subpattern b)
   | _ -> None
 
+(* A sprintf format string as a doc-side wildcard pattern: every %
+   conversion (with its flags/width) becomes '*', '%%' stays a literal
+   percent — [Printf.sprintf "relop.%s.rows" op] matches the catalogued
+   [relop.<op>.rows]. *)
+let wildcard_of_format fmt =
+  let n = String.length fmt in
+  let b = Buffer.create n in
+  let is_letter c =
+    (Char.compare 'a' c <= 0 && Char.compare c 'z' <= 0)
+    || (Char.compare 'A' c <= 0 && Char.compare c 'Z' <= 0)
+  in
+  let rec go i =
+    if i < n then
+      match fmt.[i] with
+      | '%' when i + 1 < n && Char.equal fmt.[i + 1] '%' ->
+        Buffer.add_char b '%';
+        go (i + 2)
+      | '%' ->
+        let j = ref (i + 1) in
+        while !j < n && not (is_letter fmt.[!j]) do
+          incr j
+        done;
+        Buffer.add_char b '*';
+        go (!j + 1)
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
 (* Best-effort static rendering of a metric-name argument: string literals
-   and [^]-concatenations keep their literal fragments, anything dynamic
-   becomes '*'. *)
+   keep their fragments through [^]-concatenation and [Printf.sprintf]
+   formats (conversions become '*'); anything else dynamic is a bare '*'. *)
 let rec name_pattern_of_expr e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_string (s, _, _)) -> s
@@ -436,6 +513,13 @@ let rec name_pattern_of_expr e =
       ( { pexp_desc = Pexp_ident { txt = Lident "^"; _ }; _ },
         [ (Nolabel, a); (Nolabel, b) ] ) ->
     name_pattern_of_expr a ^ name_pattern_of_expr b
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt; _ }; _ },
+        (Nolabel, { pexp_desc = Pexp_constant (Pconst_string (fmt, _, _)); _ }) :: _ )
+    when (match flatten_longident txt with
+         | [ "Printf"; "sprintf" ] | [ "sprintf" ] | [ "Format"; "sprintf" ] -> true
+         | _ -> false) ->
+    wildcard_of_format fmt
   | Pexp_constraint (e, _) -> name_pattern_of_expr e
   | _ -> "*"
 
@@ -466,7 +550,7 @@ let check_structure ~rel str =
   let in_r1 = under_any r1_dirs rel in
   let r7_on = List.exists (fun f -> String.equal f rel) r7_files || under_any r7_dirs rel in
   let r2_on = not (String.equal rel r2_exempt_file) in
-  let r3_on = under "lib" rel in
+  let r3_on = under "lib" rel || under "tools" rel in
   let r6_on = under_any r6_dirs rel in
   let local_compare = defines_toplevel_compare str in
   let violations = ref [] and metrics = ref [] in
@@ -585,34 +669,52 @@ let parse_rule =
     blurb = "unparseable sources cannot be linted";
   }
 
+(* One parsed file: its allowlist, its per-expression report, and (for
+   implementations) the parse tree the interprocedural phase consumes. *)
+type parsed_file = {
+  p_rel : string;
+  p_allows : allow list;
+  p_str : structure option;
+  p_report : file_report;
+}
+
 let lint_file ~root rel =
   let abs = Filename.concat root rel in
   let src = read_file abs in
   let allows = parse_allows src in
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf rel;
-  let report =
+  let str, report =
     if Filename.check_suffix rel ".mli" then (
       (* interfaces carry no expressions; parsing them still guards
          against rot and validates allowlist syntax placement *)
       match Parse.interface lexbuf with
-      | (_ : signature) -> { fr_violations = []; fr_metrics = [] }
+      | (_ : signature) -> (None, { fr_violations = []; fr_metrics = [] })
+      (* pdb_lint: allow R4 — any exception here means "does not parse"; surfaced as a P0 violation, nothing to re-raise *)
       | exception _ ->
-        { fr_violations =
-            [ violation ~rule:parse_rule ~file:rel ~loc:Location.none "interface does not parse" ];
-          fr_metrics = [];
-        })
+        ( None,
+          { fr_violations =
+              [ violation ~rule:parse_rule ~file:rel ~loc:Location.none "interface does not parse" ];
+            fr_metrics = [];
+          } ))
     else
       match Parse.implementation lexbuf with
-      | str -> check_structure ~rel str
+      | str -> (Some str, check_structure ~rel str)
+      (* pdb_lint: allow R4 — any exception here means "does not parse"; surfaced as a P0 violation, nothing to re-raise *)
       | exception _ ->
-        { fr_violations =
-            [ violation ~rule:parse_rule ~file:rel ~loc:Location.none "implementation does not parse" ];
-          fr_metrics = [];
-        }
+        ( None,
+          { fr_violations =
+              [ violation ~rule:parse_rule ~file:rel ~loc:Location.none "implementation does not parse" ];
+            fr_metrics = [];
+          } )
   in
-  { report with
-    fr_violations = List.filter (fun v -> not (allowed allows v)) report.fr_violations
+  { p_rel = rel;
+    p_allows = allows;
+    p_str = str;
+    p_report =
+      { report with
+        fr_violations = List.filter (fun v -> not (allowed allows v)) report.fr_violations
+      };
   }
 
 (* ------------------------------------------------------------------ *)
@@ -674,17 +776,51 @@ let r6_diff ~doc_rel (doc_metrics, doc_events) code_sites =
 (* Whole-tree run                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type run = { files_scanned : int; violations : violation list }
+type run = {
+  files_scanned : int;
+  violations : violation list;
+  summaries : string;  (** the rendered effect-summary table (--summaries) *)
+}
 
 let run ?(doc = default_doc) ~root () =
   let files = discover root in
-  let reports = List.map (fun rel -> lint_file ~root rel) files in
-  let ast_violations = List.concat_map (fun r -> r.fr_violations) reports in
-  let sites = List.concat_map (fun r -> r.fr_metrics) reports in
+  let parsed = List.map (fun rel -> lint_file ~root rel) files in
+  let ast_violations = List.concat_map (fun p -> p.p_report.fr_violations) parsed in
+  let sites = List.concat_map (fun p -> p.p_report.fr_metrics) parsed in
   let doc_path = Filename.concat root doc in
   let r6 = r6_diff ~doc_rel:doc (parse_doc doc_path) sites in
+  (* Phase 2: interprocedural effect summaries + sink rules over every
+     implementation that parsed. Findings honor the same allowlist
+     comments as the per-expression rules. *)
+  let impls =
+    List.filter_map (fun p -> Option.map (fun s -> (p.p_rel, s)) p.p_str) parsed
+  in
+  let allows_by_file = Hashtbl.create (List.length parsed) in
+  List.iter (fun p -> Hashtbl.replace allows_by_file p.p_rel p.p_allows) parsed;
+  let eff, findings = Effects.analyze (Callgraph.build impls) in
+  let inter =
+    List.filter_map
+      (fun f ->
+        let rule = rule_exn f.Effects.f_rule in
+        let v =
+          { rule_id = rule.id;
+            rule_name = rule.rname;
+            file = f.Effects.f_file;
+            line = f.Effects.f_line;
+            col = f.Effects.f_col;
+            msg = f.Effects.f_msg;
+            vhint = rule.hint;
+          }
+        in
+        let allows =
+          Option.value ~default:[] (Hashtbl.find_opt allows_by_file v.file)
+        in
+        if allowed allows v then None else Some v)
+      findings
+  in
   { files_scanned = List.length files;
-    violations = List.sort compare_violation (ast_violations @ r6);
+    violations = List.sort_uniq compare_violation (ast_violations @ r6 @ inter);
+    summaries = Effects.render_table eff;
   }
 
 (* ------------------------------------------------------------------ *)

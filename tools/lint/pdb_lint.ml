@@ -1,13 +1,16 @@
 (* pdb_lint — invariant linter for the sampler/view stack.
 
    Usage:
-     pdb_lint [--root DIR] [--doc PATH] [--json PATH] [--quiet]
+     pdb_lint [--root DIR] [--doc PATH] [--json PATH] [--summaries PATH] [--quiet]
      pdb_lint --list-rules
      pdb_lint --self-test
 
    Exit codes: 0 clean, 1 violations found, 2 self-test failure or
    internal error. See docs/STATIC_ANALYSIS.md for the rule catalogue
    and allowlist syntax. *)
+
+(* pdb_lint: allow-file R3 — this CLI entry point owns stdout/stderr: the
+   text/JSON reports and self-test verdicts are its entire purpose. *)
 
 let ( // ) = Filename.concat
 
@@ -79,7 +82,68 @@ let seeds =
     ( "lib/serve/seed_r7.ml",
       "R7",
       "let box s = Relational.Value.Text s\n\
-       let unbox v = match v with Relational.Value.Text s -> s | _ -> \"\"\n" )
+       let unbox v = match v with Relational.Value.Text s -> s | _ -> \"\"\n" );
+    (* R8 direct: an unordered iteration callback writing wire bytes. *)
+    ( "lib/serve/seed_r8_direct.ml",
+      "R8",
+      "let dump buf tbl =\n\
+      \  Hashtbl.iter (fun k v -> Buffer.add_string buf (k ^ string_of_int v)) tbl\n" );
+    (* R8 through one helper level: the fold's order-tainted return value
+       travels through [snapshot] into the codec sink — only the
+       interprocedural summary can see it. *)
+    ( "lib/checkpoint/seed_r8_helper.ml",
+      "R8",
+      "let snapshot t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []\n\
+       let write buf t = Codec.W.list Codec.W.string buf (snapshot t)\n" );
+    ( "lib/mcmc/seed_r9_direct.ml",
+      "R9",
+      "let jitter () = Random.float 1.0\n" );
+    (* R9 through one helper level: [pick_index] never touches Random.*
+       itself; its violation exists only because [noise]'s summary says
+       consumes-randomness. *)
+    ( "lib/mcmc/seed_r9_helper.ml",
+      "R9",
+      "let noise () = Random.bits ()\n\
+       let pick_index n = noise () mod n\n" );
+    ( "lib/serve/seed_r10_direct.ml",
+      "R10",
+      "let port () = Sys.getenv \"PDB_PORT\"\n" );
+    (* R10 through one helper level, same shape as the R9 twin. *)
+    ( "lib/serve/seed_r10_helper.ml",
+      "R10",
+      "let raw () = Sys.getenv_opt \"PDB_ADDR\"\n\
+       let addr () = match raw () with Some a -> a | None -> \"/tmp/pdb.sock\"\n" );
+    (* A sprintf-built metric name whose wildcard pattern matches nothing
+       in the catalogue must fire R6 (the pre-fix matcher saw only a bare
+       '*' and reported it as not statically analyzable). *)
+    ( "lib/relational/seed_r6_sprintf.ml",
+      "R6",
+      "let m op = Obs.Metrics.counter (Printf.sprintf \"seed.sprintf.%s.missing\" op)\n" )
+  ]
+
+(* Fixtures that must produce NO violations: sanitizer recognition, the
+   sanctioned boundary files, and sprintf names that match the catalogue.
+   Any violation in one of these is a self-test failure. *)
+let clean_seeds =
+  [ (* List.sort launders the fold's order taint; Hashtbl.length is an
+       order-insensitive reduction. Neither may reach R8. *)
+    ( "lib/checkpoint/seed_r8_sorted.ml",
+      "let snapshot t =\n\
+      \  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])\n\
+       let write buf t = Codec.W.list Codec.W.string buf (snapshot t)\n\
+       let count buf t = Codec.W.uvarint buf (Hashtbl.length t)\n" );
+    (* lib/prng/prng.ml is the sanctioned Random.* boundary: no R9 inside
+       it, and no R9 for callers drawing through it. *)
+    ("lib/prng/prng.ml", "let bits () = Random.bits ()\n");
+    ("lib/mcmc/seed_r9_clean.ml", "let draw rng = Prng.bits rng\n");
+    (* bin/ and the failpoint shim own ambient env reads (R10). The
+       [<> None] compare is against an immediate, so R1 stays quiet too. *)
+    ("bin/seed_cli.ml", "let port () = Sys.getenv_opt \"PDB_PORT\"\n");
+    ( "lib/checkpoint/failpoint.ml",
+      "let enabled () = Sys.getenv_opt \"PDB_FAILPOINT\" <> None\n" );
+    (* sprintf-built name matching the catalogued seed.dyn.<op>.rows. *)
+    ( "lib/relational/seed_r6_dyn.ml",
+      "let m op = Obs.Metrics.counter (Printf.sprintf \"seed.dyn.%s.rows\" op)\n" )
   ]
 
 (* The same violations under allowlist comments must be silent. *)
@@ -100,7 +164,8 @@ let seed_doc =
    | name | kind | unit | meaning |\n\
    |---|---|---|---|\n\
    | `seed.stale` | counter | x | catalogued but gone from code |\n\
-   | `seed.kind` | counter | x | registered as a gauge in code |\n"
+   | `seed.kind` | counter | x | registered as a gauge in code |\n\
+   | `seed.dyn.<op>.rows` | counter | x | matched by a sprintf-built name |\n"
 
 let self_test () =
   let root =
@@ -123,6 +188,11 @@ let self_test () =
     seeds;
   let allow_rel, allow_src = allow_seed in
   write_file (root // allow_rel) allow_src;
+  List.iter
+    (fun (rel, src) ->
+      mkdir_p (Filename.dirname (root // rel));
+      write_file (root // rel) src)
+    clean_seeds;
   mkdir_p (root // "docs");
   write_file (root // Lint_engine.default_doc) seed_doc;
   let run = Lint_engine.run ~root () in
@@ -147,6 +217,29 @@ let self_test () =
   (let imm = by_file "lib/relational/seed_r1_immediate.ml" in
    if not (Int.equal (List.length imm) 3) then
      fail "seed_r1_immediate: expected exactly 3 R1 violations, got %d" (List.length imm));
+  (* the helper-indirection seeds must fire on the *caller* line (line 2),
+     which only interprocedural summary propagation can reach: the caller
+     never mentions Hashtbl/Random/Sys itself. *)
+  List.iter
+    (fun (rel, expect) ->
+      if
+        not
+          (List.exists
+             (fun v -> Int.equal v.Lint_engine.line 2)
+             (List.filter (fun v -> String.equal v.Lint_engine.rule_id expect) (by_file rel)))
+      then fail "%s: no %s violation propagated to the line-2 caller" rel expect)
+    [ ("lib/checkpoint/seed_r8_helper.ml", "R8");
+      ("lib/mcmc/seed_r9_helper.ml", "R9");
+      ("lib/serve/seed_r10_helper.ml", "R10") ];
+  (* sanitized/sanctioned fixtures stay perfectly silent *)
+  List.iter
+    (fun (rel, _) ->
+      match by_file rel with
+      | [] -> ()
+      | v :: _ ->
+        fail "clean fixture %s unexpectedly fired %s at line %d (%s)" rel
+          v.Lint_engine.rule_id v.Lint_engine.line v.Lint_engine.msg)
+    clean_seeds;
   (* the stale doc entry is reported against the doc file *)
   let doc_vs = by_file Lint_engine.default_doc in
   if
@@ -187,6 +280,7 @@ let () =
   let root = ref "." in
   let doc = ref Lint_engine.default_doc in
   let json = ref "" in
+  let summaries = ref "" in
   let quiet = ref false in
   let do_self_test = ref false in
   let list_rules = ref false in
@@ -197,6 +291,9 @@ let () =
         Printf.sprintf "PATH metric catalogue for R6, relative to root (default %s)"
           Lint_engine.default_doc );
       ("--json", Arg.Set_string json, "PATH write a JSON report there ('-' for stdout)");
+      ( "--summaries",
+        Arg.Set_string summaries,
+        "PATH write the interprocedural effect-summary table there ('-' for stdout)" );
       ("--quiet", Arg.Set quiet, " suppress the text report (exit code only)");
       ("--self-test", Arg.Set do_self_test, " seed one violation per rule and assert each is caught");
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit")
@@ -204,7 +301,7 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "pdb_lint [--root DIR] [--doc PATH] [--json PATH] [--quiet] [--self-test] [--list-rules]";
+    "pdb_lint [--root DIR] [--doc PATH] [--json PATH] [--summaries PATH] [--quiet] [--self-test] [--list-rules]";
   if !list_rules then begin
     List.iter
       (fun r ->
@@ -221,6 +318,13 @@ let () =
       exit 2
   in
   if not !quiet then Lint_engine.report_text stdout run;
+  (match !summaries with
+  | "" -> ()
+  | "-" -> print_string run.Lint_engine.summaries
+  | path ->
+    let oc = open_out_bin path in
+    output_string oc run.Lint_engine.summaries;
+    close_out oc);
   (match !json with
   | "" -> ()
   | "-" -> Lint_engine.report_json stdout run
